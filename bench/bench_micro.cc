@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Google-benchmark micro benchmarks for the substrate layers: the SAT
+ * solver, the bit-blaster, symbolic evaluation of the RISC-V core,
+ * one-instruction CEGIS, the AES accelerator interpreter, and the
+ * netlist optimizer. These track the constants behind the Table 1
+ * times.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/synthesis.h"
+#include "designs/aes_accelerator.h"
+#include "designs/aes_tables.h"
+#include "designs/riscv_single_cycle.h"
+#include "netlist/compile.h"
+#include "netlist/optimize.h"
+#include "oyster/interp.h"
+#include "oyster/symeval.h"
+#include "sat/solver.h"
+#include "smt/solver.h"
+
+using namespace owl;
+
+static void
+BM_SatRandom3Sat(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    std::mt19937 rng(42);
+    for (auto _ : state) {
+        sat::Solver s;
+        for (int i = 0; i < n; i++)
+            (void)s.newVar();
+        int m = static_cast<int>(n * 4.1);
+        for (int c = 0; c < m; c++) {
+            s.addClause(sat::Lit(rng() % n, rng() % 2),
+                        sat::Lit(rng() % n, rng() % 2),
+                        sat::Lit(rng() % n, rng() % 2));
+        }
+        benchmark::DoNotOptimize(s.solve());
+    }
+}
+BENCHMARK(BM_SatRandom3Sat)->Arg(50)->Arg(100)->Arg(150);
+
+static void
+BM_BitblastAddMulEquality(benchmark::State &state)
+{
+    const int w = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        smt::TermTable tt;
+        auto a = tt.freshVar("a", w);
+        auto b = tt.freshVar("b", w);
+        auto lhs = tt.mkMul(tt.mkAdd(a, b), tt.constant(w, 3));
+        auto rhs = tt.mkAdd(tt.mkMul(a, tt.constant(w, 3)),
+                            tt.mkMul(b, tt.constant(w, 3)));
+        auto r = smt::checkSat(tt, {tt.mkNe(lhs, rhs)});
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_BitblastAddMulEquality)->Arg(8)->Arg(16)->Arg(32);
+
+static void
+BM_SymbolicEvalRiscvSingleCycle(benchmark::State &state)
+{
+    designs::CaseStudy cs =
+        designs::makeRiscvSingleCycle(designs::RiscvVariant::RV32I);
+    for (auto _ : state) {
+        smt::TermTable tt;
+        oyster::SymbolicEvaluator ev(cs.sketch, tt);
+        for (const auto &d : cs.sketch.decls()) {
+            if (d.kind == oyster::DeclKind::Hole)
+                ev.setHole(d.name, tt.constant(BitVec(d.width)));
+        }
+        auto run = ev.run(1);
+        benchmark::DoNotOptimize(run.states.size());
+    }
+}
+BENCHMARK(BM_SymbolicEvalRiscvSingleCycle)->Iterations(20);
+
+static void
+BM_CegisOneInstruction(benchmark::State &state)
+{
+    designs::CaseStudy cs =
+        designs::makeRiscvSingleCycle(designs::RiscvVariant::RV32I);
+    synth::InstrSynthesizer syn(cs.sketch, cs.spec, cs.alpha);
+    const ila::Instr &add = cs.spec.instr("ADD");
+    for (auto _ : state) {
+        synth::CegisOptions opts;
+        auto r = syn.synthesize(add, nullptr, opts);
+        benchmark::DoNotOptimize(r.status);
+    }
+}
+BENCHMARK(BM_CegisOneInstruction)->Iterations(5);
+
+static void
+BM_AesBlockOnInterpreter(benchmark::State &state)
+{
+    designs::CaseStudy cs = designs::makeAesAccelerator();
+    synth::SynthesisResult r =
+        synth::synthesizeControl(cs.sketch, cs.spec, cs.alpha);
+    if (r.status != synth::SynthStatus::Ok) {
+        state.SkipWithError("synthesis failed");
+        return;
+    }
+    uint8_t key[16] = {}, plain[16] = {1, 2, 3};
+    oyster::InputMap in{{"key_in", designs::aesPackBlock(key)},
+                        {"plaintext", designs::aesPackBlock(plain)}};
+    for (auto _ : state) {
+        oyster::Interpreter sim(cs.sketch);
+        for (int c = 0; c < 11; c++)
+            sim.step(in);
+        benchmark::DoNotOptimize(sim.reg("ciphertext").toUint64());
+    }
+}
+BENCHMARK(BM_AesBlockOnInterpreter)->Iterations(5);
+
+static void
+BM_NetlistOptimizeRiscv(benchmark::State &state)
+{
+    designs::CaseStudy cs =
+        designs::makeRiscvSingleCycle(designs::RiscvVariant::RV32I);
+    synth::SynthesisResult r =
+        synth::synthesizeControl(cs.sketch, cs.spec, cs.alpha);
+    if (r.status != synth::SynthStatus::Ok) {
+        state.SkipWithError("synthesis failed");
+        return;
+    }
+    for (auto _ : state) {
+        netlist::Netlist nl = netlist::compile(cs.sketch);
+        auto st = netlist::optimize(nl);
+        benchmark::DoNotOptimize(st.gatesAfter);
+    }
+}
+BENCHMARK(BM_NetlistOptimizeRiscv)->Iterations(3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Ablation (DESIGN.md): scalability of per-instruction synthesis vs
+ * the monolithic Equation (1) query as the specification grows. This
+ * is the mechanism behind Table 1's † rows: the monolithic
+ * formulation's big conjunction blows up with instruction count while
+ * the per-instruction optimization stays near-linear.
+ *
+ * Workload: a parameterized ALU machine (single-cycle, 16-bit) whose
+ * ISA has N instructions cycling over 8 ALU functions, N in
+ * {2,4,8,16,32}. The monolithic runs get a per-size wall budget
+ * (default 20 s; OWL_SCALING_BUDGET_S overrides).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/synthesis.h"
+#include "oyster/builder.h"
+
+using namespace owl;
+using namespace owl::synth;
+using namespace owl::ila;
+using oyster::Design;
+using oyster::ExprRef;
+
+namespace
+{
+
+constexpr int kOpWidth = 6;
+constexpr int kDataWidth = 16;
+constexpr int kFuncs = 8;
+
+Ila
+makeSpec(int n_instrs)
+{
+    Ila ila("scaling_ila");
+    auto op = ila.NewBvInput("op", kOpWidth);
+    auto dest = ila.NewBvInput("dest", 3);
+    auto src1 = ila.NewBvInput("src1", 3);
+    auto src2 = ila.NewBvInput("src2", 3);
+    auto regs = ila.NewMemState("regs", 3, kDataWidth);
+    auto a = Load(regs, src1);
+    auto b = Load(regs, src2);
+    for (int i = 0; i < n_instrs; i++) {
+        auto &instr = ila.NewInstr("I" + std::to_string(i));
+        instr.SetDecode(op == BvConst(ila.ctx(), i, kOpWidth));
+        IlaExpr val;
+        switch (i % kFuncs) {
+          case 0: val = a + b; break;
+          case 1: val = a - b; break;
+          case 2: val = a & b; break;
+          case 3: val = a | b; break;
+          case 4: val = a ^ b; break;
+          case 5: val = !(a & b); break;
+          case 6: val = ZExt(Slt(a, b), kDataWidth); break;
+          default: val = ZExt(a < b, kDataWidth); break;
+        }
+        instr.SetUpdate(regs, Store(regs, dest, val));
+    }
+    return ila;
+}
+
+Design
+makeSketch()
+{
+    Design d("scaling_dp");
+    d.addInput("op", kOpWidth);
+    d.addInput("dest", 3);
+    d.addInput("src1", 3);
+    d.addInput("src2", 3);
+    d.addMemory("regs", 3, kDataWidth);
+    d.addHole("alu_op", 3, {"op"});
+    d.addHole("reg_write", 1, {"op"});
+    ExprRef a = d.opRead("regs", d.var("src1"));
+    ExprRef b = d.opRead("regs", d.var("src2"));
+    auto is = [&](uint64_t v) {
+        return d.opEq(d.var("alu_op"), d.lit(3, v));
+    };
+    ExprRef val = muxChain(
+        d,
+        {{is(0), d.opAdd(a, b)},
+         {is(1), d.opSub(a, b)},
+         {is(2), d.opAnd(a, b)},
+         {is(3), d.opOr(a, b)},
+         {is(4), d.opXor(a, b)},
+         {is(5), d.opNot(d.opAnd(a, b))},
+         {is(6), d.opZExt(d.opSlt(a, b), kDataWidth)}},
+        d.opZExt(d.opUlt(a, b), kDataWidth));
+    d.addWire("result", kDataWidth);
+    d.assign("result", val);
+    d.memWrite("regs", d.var("dest"), d.var("result"),
+               d.var("reg_write"));
+    return d;
+}
+
+AbsFunc
+makeAlpha()
+{
+    AbsFunc alpha;
+    using synth::Effect;
+    using synth::MapType;
+    alpha.map("op", "op", MapType::Input, {{Effect::Read, 1}});
+    alpha.map("dest", "dest", MapType::Input, {{Effect::Read, 1}});
+    alpha.map("src1", "src1", MapType::Input, {{Effect::Read, 1}});
+    alpha.map("src2", "src2", MapType::Input, {{Effect::Read, 1}});
+    alpha.map("regs", "regs", MapType::Memory,
+              {{Effect::Read, 1}, {Effect::Write, 1}});
+    alpha.withCycles(1);
+    return alpha;
+}
+
+} // namespace
+
+int
+main()
+{
+    long budget_s = 20;
+    if (const char *env = std::getenv("OWL_SCALING_BUDGET_S"))
+        budget_s = std::atol(env);
+
+    printf("Scaling ablation: per-instruction vs monolithic "
+           "(Equation 1)\n");
+    printf("%8s %18s %18s\n", "instrs", "per-instr(s)", "monolithic(s)");
+    for (int n : {2, 4, 8, 16, 32}) {
+        double t_per = 0, t_mono = 0;
+        bool mono_timeout = false;
+        {
+            Ila spec = makeSpec(n);
+            Design sketch = makeSketch();
+            AbsFunc alpha = makeAlpha();
+            SynthesisResult r =
+                synthesizeControl(sketch, spec, alpha);
+            t_per = r.status == SynthStatus::Ok ? r.seconds : -1;
+        }
+        {
+            Ila spec = makeSpec(n);
+            Design sketch = makeSketch();
+            AbsFunc alpha = makeAlpha();
+            SynthesisOptions opts;
+            opts.perInstruction = false;
+            opts.timeLimit = std::chrono::milliseconds(budget_s * 1000);
+            SynthesisResult r =
+                synthesizeControl(sketch, spec, alpha, opts);
+            t_mono = r.seconds;
+            mono_timeout = r.status != SynthStatus::Ok;
+        }
+        char mono_buf[32];
+        if (mono_timeout)
+            snprintf(mono_buf, sizeof(mono_buf), "Timeout(%lds)",
+                     budget_s);
+        else
+            snprintf(mono_buf, sizeof(mono_buf), "%.2f", t_mono);
+        printf("%8d %18.2f %18s\n", n, t_per, mono_buf);
+        fflush(stdout);
+    }
+    return 0;
+}

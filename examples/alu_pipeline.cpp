@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The §2.2 example: instruction-decoder control for the three-stage
+ * pipelined ALU machine of Figure 2, with the §3.2 abstraction
+ * function (multi-cycle read/write timing plus a pipeline-empty
+ * assumption).
+ *
+ *   $ ./examples/alu_pipeline
+ */
+
+#include <cstdio>
+
+#include "core/synthesis.h"
+#include "designs/alu_machine.h"
+#include "oyster/interp.h"
+#include "oyster/printer.h"
+
+using namespace owl;
+using namespace owl::designs;
+using namespace owl::synth;
+
+int
+main()
+{
+    CaseStudy cs = makeAluMachine();
+    printf("three-stage ALU machine: %zu instructions, %zu holes\n",
+           cs.spec.instrs().size(), cs.sketch.holeNames().size());
+
+    SynthesisResult r = synthesizeControl(cs.sketch, cs.spec, cs.alpha);
+    if (r.status != SynthStatus::Ok) {
+        printf("synthesis failed at %s\n", r.failedInstr.c_str());
+        return 1;
+    }
+    printf("synthesized in %.3f s\n", r.seconds);
+    for (const auto &[name, holes] : r.perInstr) {
+        printf("  %-4s -> alu_op=%llu reg_write=%llu\n", name.c_str(),
+               static_cast<unsigned long long>(
+                   holes.at("alu_op").toUint64()),
+               static_cast<unsigned long long>(
+                   holes.at("reg_write").toUint64()));
+    }
+
+    // Drive the pipeline: r1 = 20, r2 = 22, r3 = r1 + r2. One
+    // instruction enters per cycle; results retire three cycles later.
+    oyster::Interpreter sim(cs.sketch);
+    sim.setMemWord("regfile", 1, BitVec(8, 20));
+    sim.setMemWord("regfile", 2, BitVec(8, 22));
+    auto issue = [&](uint64_t op, uint64_t dest, uint64_t s1,
+                     uint64_t s2) {
+        sim.step({{"op", BitVec(2, op)},
+                  {"dest", BitVec(2, dest)},
+                  {"src1", BitVec(2, s1)},
+                  {"src2", BitVec(2, s2)}});
+    };
+    issue(1, 3, 1, 2); // ADD r3, r1, r2
+    issue(0, 0, 0, 0); // NOP
+    issue(0, 0, 0, 0); // NOP (ADD retires at the end of this cycle)
+    printf("r3 = %llu (expected 42)\n",
+           static_cast<unsigned long long>(
+               sim.memWord("regfile", 3).toUint64()));
+
+    printf("\n--- generated control (PyRTL view) ---\n%s",
+           oyster::printGeneratedControl(cs.sketch).c_str());
+    return 0;
+}

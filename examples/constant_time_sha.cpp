@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The §4.2/§5.2 story end to end: synthesize control for the bespoke
+ * constant-time crypto core, compile SHA-256 to its branch-free
+ * CMOV-based ISA, and demonstrate that the cycle count is independent
+ * of the message length and contents.
+ *
+ *   $ ./examples/constant_time_sha
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/synthesis.h"
+#include "designs/crypto_core.h"
+#include "oyster/interp.h"
+#include "rv/sha256_gen.h"
+
+using namespace owl;
+using namespace owl::designs;
+using namespace owl::synth;
+
+namespace
+{
+
+uint64_t
+hashOnCore(const oyster::Design &core, const rv::Sha256Program &prog,
+           const char *msg, uint32_t digest[8])
+{
+    size_t len = strlen(msg);
+    oyster::Interpreter sim(core);
+    for (size_t i = 0; i < prog.words.size(); i++)
+        sim.setMemWord("i_mem", i, BitVec(32, prog.words[i]));
+    sim.setMemWord("d_mem", prog.layout.lenAddr >> 2,
+                   BitVec(32, static_cast<uint64_t>(len)));
+    for (size_t w = 0; w < 14; w++) {
+        uint32_t word = 0;
+        for (int b = 0; b < 4; b++) {
+            size_t p = 4 * w + b;
+            if (p < len)
+                word |= static_cast<uint32_t>(
+                            static_cast<uint8_t>(msg[p]))
+                        << (8 * b);
+        }
+        sim.setMemWord("d_mem", (prog.layout.msgAddr >> 2) + w,
+                       BitVec(32, word));
+    }
+    uint64_t cycles = 0;
+    while (sim.reg("pc").toUint64() != prog.haltPc &&
+           cycles < prog.words.size() * 4 + 1000) {
+        sim.step();
+        cycles++;
+    }
+    for (int i = 0; i < 3; i++)
+        sim.step();
+    for (int i = 0; i < 8; i++) {
+        digest[i] =
+            sim.memWord("d_mem", (prog.layout.digestAddr >> 2) + i)
+                .toUint64();
+    }
+    return cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    CaseStudy cs = makeCryptoCore();
+    printf("crypto core: %d-instruction branch-free ISA with CMOV\n",
+           cryptoIsaInstrCount);
+    SynthesisResult r = synthesizeControl(cs.sketch, cs.spec, cs.alpha);
+    if (r.status != SynthStatus::Ok) {
+        printf("synthesis failed at %s\n", r.failedInstr.c_str());
+        return 1;
+    }
+    printf("control synthesized in %.2f s\n", r.seconds);
+
+    rv::Sha256Program prog = rv::generateSha256Program();
+    printf("SHA-256 program: %zu instruction words, fully unrolled, "
+           "no branches\n\n",
+           prog.words.size());
+
+    const char *messages[] = {"owl!", "drawing the rest",
+                              "of the owl, constant time!"};
+    for (const char *msg : messages) {
+        uint32_t digest[8], want[8];
+        uint64_t cycles = hashOnCore(cs.sketch, prog, msg, digest);
+        rv::sha256SingleBlock(
+            reinterpret_cast<const uint8_t *>(msg), strlen(msg), want);
+        bool ok = memcmp(digest, want, sizeof(want)) == 0;
+        printf("len %2zu: %llu cycles, sha256 = ", strlen(msg),
+               static_cast<unsigned long long>(cycles));
+        for (int i = 0; i < 8; i++)
+            printf("%08x", digest[i]);
+        printf("  [%s]\n", ok ? "matches host oracle" : "MISMATCH");
+    }
+    printf("\nsame cycle count for every length: that is the "
+           "constant-time property of 5.2.\n");
+    return 0;
+}

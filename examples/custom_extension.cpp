@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The paper's agile-iteration story (§1.2, §4.1): extend the
+ * architecture with a custom instruction and get correct control
+ * logic regenerated automatically — no hand-editing of the decoder.
+ *
+ * We add ABSDIFF rd, rs1, rs2 (|rs1 - rs2|, useful in DSP kernels) to
+ * the RV32I specification on an unused funct7 encoding, add the
+ * functional unit to the datapath sketch, and re-run synthesis. The
+ * decoder for all 38 instructions is regenerated and re-verified in
+ * about a second.
+ *
+ *   $ ./examples/custom_extension
+ */
+
+#include <cstdio>
+
+#include "core/synthesis.h"
+#include "designs/riscv_datapath.h"
+#include "designs/riscv_single_cycle.h"
+#include "oyster/interp.h"
+#include "rv/encode.h"
+
+using namespace owl;
+using namespace owl::designs;
+using namespace owl::synth;
+using namespace owl::ila;
+
+int
+main()
+{
+    // Start from the stock single-cycle RV32I case study.
+    CaseStudy cs = makeRiscvSingleCycle(RiscvVariant::RV32I);
+
+    // ---- 1. Architecture iteration: add ABSDIFF to the spec ----
+    // R-type, opcode OP (0x33), funct7 = 0x25, funct3 = 0.
+    Ila &spec = cs.spec;
+    auto &ctx = spec.ctx();
+    auto pc = spec.state("pc");
+    auto gpr = spec.state("GPR");
+    // Reuse the registered fetch expression: decode conditions must
+    // reference the same fetch Load node so the compiler routes it to
+    // i_mem (see DESIGN.md §3, fetch disambiguation).
+    auto inst = spec.fetch();
+    auto rd = Extract(inst, 11, 7);
+    auto rs1v = Load(gpr, Extract(inst, 19, 15));
+    auto rs2v = Load(gpr, Extract(inst, 24, 20));
+    auto &absdiff = spec.NewInstr("ABSDIFF");
+    absdiff.SetDecode(Extract(inst, 6, 0) == BvConst(ctx, 0x33, 7) &&
+                      Extract(inst, 14, 12) == BvConst(ctx, 0, 3) &&
+                      Extract(inst, 31, 25) == BvConst(ctx, 0x25, 7));
+    auto diff = Ite(Slt(rs1v, rs2v), rs2v - rs1v, rs1v - rs2v);
+    absdiff.SetUpdate(
+        gpr, Store(gpr, rd,
+                   Ite(rd == BvConst(ctx, 0, 5), Load(gpr, rd),
+                       diff)));
+    absdiff.SetUpdate(pc, pc + BvConst(ctx, 4, 32));
+
+    // ---- 2. Datapath iteration: drop in the functional unit ----
+    // A new writeback source selected by a fresh control hole. The
+    // existing sketch wires (rs1_val/rs2_val/wb structure) are reused;
+    // we interpose on the register-file write data.
+    oyster::Design &d = cs.sketch;
+    d.addHole("absdiff_sel", 1, {"opcode", "funct3", "funct7"});
+    d.addWire("absdiff_out", 32);
+    auto a = d.var("rs1_val"), b = d.var("rs2_val");
+    d.assign("absdiff_out",
+             d.opIte(d.opSlt(a, b), d.opSub(b, a), d.opSub(a, b)));
+    // Rebuild the rf write to mux in the new unit. The original write
+    // statement stays; we cannot edit statements in place, so this
+    // example uses the dedicated hook in the sketch... instead,
+    // simplest: a second enabled write that takes priority when
+    // absdiff_sel is set (later writes win within a cycle).
+    d.memWrite("rf", d.var("rd"), d.var("absdiff_out"),
+               d.opAnd(d.var("absdiff_sel"),
+                       d.opNe(d.var("rd"), d.lit(5, 0))));
+
+    // ---- 3. Re-run control logic synthesis ----
+    printf("re-synthesizing decoder for %zu instructions "
+           "(37 base + ABSDIFF)...\n",
+           spec.instrs().size());
+    SynthesisResult r = synthesizeControl(d, spec, cs.alpha);
+    if (r.status != SynthStatus::Ok) {
+        printf("synthesis failed at %s (%s)\n", r.failedInstr.c_str(),
+               synthStatusName(r.status));
+        return 1;
+    }
+    printf("done in %.2f s; verifying all 38 instructions...\n",
+           r.seconds);
+    std::string failed;
+    if (verifyDesign(d, spec, cs.alpha, &failed) != SynthStatus::Ok) {
+        printf("verification failed at %s\n", failed.c_str());
+        return 1;
+    }
+    printf("verified.\n\n");
+
+    // ---- 4. Run it ----
+    oyster::Interpreter sim(d);
+    sim.setMemWord("rf", 1, BitVec(32, 10));
+    sim.setMemWord("rf", 2, BitVec(32, 27));
+    uint32_t word = rv::encR(0x25, 2, 1, 0, 3, 0x33); // absdiff x3,x1,x2
+    sim.setMemWord("i_mem", 0, BitVec(32, word));
+    sim.step();
+    printf("absdiff x3, x1(=10), x2(=27)  =>  x3 = %llu "
+           "(expected 17)\n",
+           static_cast<unsigned long long>(
+               sim.memWord("rf", 3).toUint64()));
+    return 0;
+}

@@ -1,0 +1,400 @@
+#include "base/bitvec.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace owl
+{
+
+BitVec::BitVec(int width) : _width(width)
+{
+    owl_assert(width >= 1, "BitVec width must be positive, got ", width);
+    words.assign(numWords(), 0);
+}
+
+BitVec::BitVec(int width, uint64_t value) : BitVec(width)
+{
+    words[0] = value;
+    normalize();
+}
+
+BitVec
+BitVec::fromHex(int width, const std::string &hex)
+{
+    BitVec r(width);
+    int bit = 0;
+    for (auto it = hex.rbegin(); it != hex.rend(); ++it) {
+        char c = *it;
+        if (c == '_')
+            continue;
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            owl_fatal("bad hex digit '", c, "' in bitvector literal");
+        for (int i = 0; i < 4; i++) {
+            if (bit + i < width && ((digit >> i) & 1))
+                r.setBit(bit + i, true);
+        }
+        bit += 4;
+    }
+    return r;
+}
+
+BitVec
+BitVec::ones(int width)
+{
+    BitVec r(width);
+    for (auto &w : r.words)
+        w = ~0ULL;
+    r.normalize();
+    return r;
+}
+
+int64_t
+BitVec::toInt64() const
+{
+    owl_assert(_width <= 64, "toInt64 requires width <= 64");
+    uint64_t v = words[0];
+    if (_width < 64 && msb())
+        v |= ~0ULL << _width;
+    return static_cast<int64_t>(v);
+}
+
+bool
+BitVec::getBit(int i) const
+{
+    owl_assert(i >= 0 && i < _width, "bit index ", i, " out of range for ",
+               _width, "-bit vector");
+    return (words[i / 64] >> (i % 64)) & 1;
+}
+
+void
+BitVec::setBit(int i, bool v)
+{
+    owl_assert(i >= 0 && i < _width, "bit index ", i, " out of range for ",
+               _width, "-bit vector");
+    uint64_t mask = 1ULL << (i % 64);
+    if (v)
+        words[i / 64] |= mask;
+    else
+        words[i / 64] &= ~mask;
+}
+
+bool
+BitVec::isZero() const
+{
+    return std::all_of(words.begin(), words.end(),
+                       [](uint64_t w) { return w == 0; });
+}
+
+bool
+BitVec::isOnes() const
+{
+    return *this == ones(_width);
+}
+
+void
+BitVec::normalize()
+{
+    int top_bits = _width % 64;
+    if (top_bits != 0)
+        words.back() &= (~0ULL >> (64 - top_bits));
+}
+
+void
+BitVec::checkSameWidth(const BitVec &o) const
+{
+    owl_assert(_width == o._width, "width mismatch: ", _width, " vs ",
+               o._width);
+}
+
+BitVec
+BitVec::operator&(const BitVec &o) const
+{
+    checkSameWidth(o);
+    BitVec r(_width);
+    for (size_t i = 0; i < words.size(); i++)
+        r.words[i] = words[i] & o.words[i];
+    return r;
+}
+
+BitVec
+BitVec::operator|(const BitVec &o) const
+{
+    checkSameWidth(o);
+    BitVec r(_width);
+    for (size_t i = 0; i < words.size(); i++)
+        r.words[i] = words[i] | o.words[i];
+    return r;
+}
+
+BitVec
+BitVec::operator^(const BitVec &o) const
+{
+    checkSameWidth(o);
+    BitVec r(_width);
+    for (size_t i = 0; i < words.size(); i++)
+        r.words[i] = words[i] ^ o.words[i];
+    return r;
+}
+
+BitVec
+BitVec::operator~() const
+{
+    BitVec r(_width);
+    for (size_t i = 0; i < words.size(); i++)
+        r.words[i] = ~words[i];
+    r.normalize();
+    return r;
+}
+
+BitVec
+BitVec::operator+(const BitVec &o) const
+{
+    checkSameWidth(o);
+    BitVec r(_width);
+    unsigned __int128 carry = 0;
+    for (size_t i = 0; i < words.size(); i++) {
+        unsigned __int128 sum = carry;
+        sum += words[i];
+        sum += o.words[i];
+        r.words[i] = static_cast<uint64_t>(sum);
+        carry = sum >> 64;
+    }
+    r.normalize();
+    return r;
+}
+
+BitVec
+BitVec::operator-(const BitVec &o) const
+{
+    return *this + o.neg();
+}
+
+BitVec
+BitVec::neg() const
+{
+    return ~*this + BitVec(_width, 1);
+}
+
+BitVec
+BitVec::operator*(const BitVec &o) const
+{
+    checkSameWidth(o);
+    BitVec r(_width);
+    // Schoolbook multiply over 64-bit words, keeping the low _width bits.
+    for (size_t i = 0; i < words.size(); i++) {
+        unsigned __int128 carry = 0;
+        for (size_t j = 0; i + j < words.size(); j++) {
+            unsigned __int128 cur = r.words[i + j];
+            cur += carry;
+            cur += static_cast<unsigned __int128>(words[i]) * o.words[j];
+            r.words[i + j] = static_cast<uint64_t>(cur);
+            carry = cur >> 64;
+        }
+    }
+    r.normalize();
+    return r;
+}
+
+BitVec
+BitVec::clmul(const BitVec &o) const
+{
+    checkSameWidth(o);
+    BitVec r(_width);
+    for (int i = 0; i < _width; i++) {
+        if (o.getBit(i))
+            r = r ^ shl(i);
+    }
+    return r;
+}
+
+BitVec
+BitVec::clmulh(const BitVec &o) const
+{
+    checkSameWidth(o);
+    // High half of the 2w-bit carry-less product: extend, multiply,
+    // then take the upper bits.
+    BitVec a = zext(2 * _width);
+    BitVec b = o.zext(2 * _width);
+    BitVec prod = a.clmul(b);
+    return prod.extract(2 * _width - 1, _width);
+}
+
+BitVec
+BitVec::shl(uint64_t amount) const
+{
+    BitVec r(_width);
+    if (amount >= static_cast<uint64_t>(_width))
+        return r;
+    for (int i = _width - 1; i >= static_cast<int>(amount); i--)
+        r.setBit(i, getBit(i - amount));
+    return r;
+}
+
+BitVec
+BitVec::lshr(uint64_t amount) const
+{
+    BitVec r(_width);
+    if (amount >= static_cast<uint64_t>(_width))
+        return r;
+    for (int i = 0; i + static_cast<int>(amount) < _width; i++)
+        r.setBit(i, getBit(i + amount));
+    return r;
+}
+
+BitVec
+BitVec::ashr(uint64_t amount) const
+{
+    bool sign = msb();
+    if (amount >= static_cast<uint64_t>(_width))
+        return sign ? ones(_width) : BitVec(_width);
+    BitVec r = lshr(amount);
+    if (sign) {
+        for (int i = _width - amount; i < _width; i++)
+            r.setBit(i, true);
+    }
+    return r;
+}
+
+BitVec
+BitVec::rol(uint64_t amount) const
+{
+    amount %= _width;
+    if (amount == 0)
+        return *this;
+    return shl(amount) | lshr(_width - amount);
+}
+
+BitVec
+BitVec::ror(uint64_t amount) const
+{
+    amount %= _width;
+    if (amount == 0)
+        return *this;
+    return lshr(amount) | shl(_width - amount);
+}
+
+bool
+BitVec::operator==(const BitVec &o) const
+{
+    checkSameWidth(o);
+    return words == o.words;
+}
+
+bool
+BitVec::ult(const BitVec &o) const
+{
+    checkSameWidth(o);
+    for (int i = words.size() - 1; i >= 0; i--) {
+        if (words[i] != o.words[i])
+            return words[i] < o.words[i];
+    }
+    return false;
+}
+
+bool
+BitVec::ule(const BitVec &o) const
+{
+    return !o.ult(*this);
+}
+
+bool
+BitVec::slt(const BitVec &o) const
+{
+    bool sa = msb(), sb = o.msb();
+    if (sa != sb)
+        return sa;
+    return ult(o);
+}
+
+bool
+BitVec::sle(const BitVec &o) const
+{
+    return !o.slt(*this);
+}
+
+BitVec
+BitVec::extract(int high, int low) const
+{
+    owl_assert(low >= 0 && high >= low && high < _width,
+               "bad extract [", high, ":", low, "] on ", _width,
+               "-bit vector");
+    BitVec r(high - low + 1);
+    for (int i = low; i <= high; i++)
+        r.setBit(i - low, getBit(i));
+    return r;
+}
+
+BitVec
+BitVec::concat(const BitVec &low) const
+{
+    BitVec r(_width + low._width);
+    for (int i = 0; i < low._width; i++)
+        r.setBit(i, low.getBit(i));
+    for (int i = 0; i < _width; i++)
+        r.setBit(low._width + i, getBit(i));
+    return r;
+}
+
+BitVec
+BitVec::zext(int new_width) const
+{
+    owl_assert(new_width >= _width, "zext to smaller width");
+    BitVec r(new_width);
+    std::copy(words.begin(), words.end(), r.words.begin());
+    return r;
+}
+
+BitVec
+BitVec::sext(int new_width) const
+{
+    owl_assert(new_width >= _width, "sext to smaller width");
+    BitVec r = zext(new_width);
+    if (msb()) {
+        for (int i = _width; i < new_width; i++)
+            r.setBit(i, true);
+    }
+    return r;
+}
+
+size_t
+BitVec::hash() const
+{
+    size_t h = std::hash<int>{}(_width);
+    for (uint64_t w : words)
+        h = h * 1000003u + std::hash<uint64_t>{}(w);
+    return h;
+}
+
+std::string
+BitVec::toString() const
+{
+    return std::to_string(_width) + "'h" + toHex();
+}
+
+std::string
+BitVec::toHex() const
+{
+    static const char *digits = "0123456789abcdef";
+    std::string s;
+    int nibbles = (_width + 3) / 4;
+    for (int n = nibbles - 1; n >= 0; n--) {
+        int v = 0;
+        for (int i = 0; i < 4; i++) {
+            int bit = n * 4 + i;
+            if (bit < _width && getBit(bit))
+                v |= 1 << i;
+        }
+        s.push_back(digits[v]);
+    }
+    return s;
+}
+
+} // namespace owl

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Arbitrary-width bitvector values.
+ *
+ * BitVec is the universal value type of the repository: Oyster wires,
+ * ILA constants, SMT model values and netlist signals all carry
+ * BitVecs. Widths range from 1 bit (control signals) to 128 bits (the
+ * AES accelerator state), so values are stored as little-endian arrays
+ * of 64-bit words with the unused high bits of the top word kept zero.
+ */
+
+#ifndef OWL_BASE_BITVEC_H
+#define OWL_BASE_BITVEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace owl
+{
+
+/**
+ * A fixed-width unsigned bitvector with two's-complement signed views.
+ *
+ * All binary operators require equal operand widths (checked); use
+ * zext()/sext()/extract() to adjust widths explicitly, mirroring the
+ * Oyster IR which has no implicit width coercion.
+ */
+class BitVec
+{
+  public:
+    /** Construct the zero vector of the given width (width >= 1). */
+    explicit BitVec(int width = 1);
+
+    /** Construct from a uint64 value, truncated to width. */
+    BitVec(int width, uint64_t value);
+
+    /** Build from a hex string (no 0x prefix), truncated to width. */
+    static BitVec fromHex(int width, const std::string &hex);
+
+    /** All-ones vector of the given width. */
+    static BitVec ones(int width);
+
+    int width() const { return _width; }
+
+    /** Low 64 bits of the value. */
+    uint64_t toUint64() const { return words[0]; }
+
+    /** Signed interpretation of the low bits (requires width <= 64). */
+    int64_t toInt64() const;
+
+    bool getBit(int i) const;
+    void setBit(int i, bool v);
+
+    /** True iff the value is zero. */
+    bool isZero() const;
+    /** True iff every bit is one. */
+    bool isOnes() const;
+    /** Most significant bit (the sign bit). */
+    bool msb() const { return getBit(_width - 1); }
+
+    // Bitwise operations (equal widths).
+    BitVec operator&(const BitVec &o) const;
+    BitVec operator|(const BitVec &o) const;
+    BitVec operator^(const BitVec &o) const;
+    BitVec operator~() const;
+
+    // Arithmetic (equal widths, modular).
+    BitVec operator+(const BitVec &o) const;
+    BitVec operator-(const BitVec &o) const;
+    BitVec operator*(const BitVec &o) const;
+    BitVec neg() const;
+
+    /** Carry-less (GF(2)) multiply, low half — RISC-V Zbkc clmul. */
+    BitVec clmul(const BitVec &o) const;
+    /** Carry-less multiply, high half — RISC-V Zbkc clmulh. */
+    BitVec clmulh(const BitVec &o) const;
+
+    // Shifts; the shift amount is an untyped count. Counts >= width
+    // yield zero (or sign fill for ashr), matching SMT-LIB semantics.
+    BitVec shl(uint64_t amount) const;
+    BitVec lshr(uint64_t amount) const;
+    BitVec ashr(uint64_t amount) const;
+    /** Rotate left by amount mod width. */
+    BitVec rol(uint64_t amount) const;
+    /** Rotate right by amount mod width. */
+    BitVec ror(uint64_t amount) const;
+
+    // Comparisons.
+    bool operator==(const BitVec &o) const;
+    bool operator!=(const BitVec &o) const { return !(*this == o); }
+    bool ult(const BitVec &o) const;
+    bool ule(const BitVec &o) const;
+    bool slt(const BitVec &o) const;
+    bool sle(const BitVec &o) const;
+
+    /** Bits [high:low] inclusive, as a (high-low+1)-wide vector. */
+    BitVec extract(int high, int low) const;
+    /** this is the high part: {this, low}. */
+    BitVec concat(const BitVec &low) const;
+    BitVec zext(int new_width) const;
+    BitVec sext(int new_width) const;
+
+    /** Hash suitable for hash-consing SMT constants. */
+    size_t hash() const;
+
+    /** Render as e.g. "8'h3f" (Oyster constant syntax). */
+    std::string toString() const;
+    /** Hex digits only, no prefix. */
+    std::string toHex() const;
+
+  private:
+    int _width;
+    std::vector<uint64_t> words;
+
+    int numWords() const { return (_width + 63) / 64; }
+    /** Zero the bits above _width in the top word. */
+    void normalize();
+    void checkSameWidth(const BitVec &o) const;
+};
+
+} // namespace owl
+
+#endif // OWL_BASE_BITVEC_H

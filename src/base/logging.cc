@@ -1,0 +1,30 @@
+#include "base/logging.h"
+
+#include <iostream>
+
+namespace owl
+{
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "panic: " << msg << " [" << file << ":" << line << "]";
+    throw PanicError(os.str());
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "fatal: " << msg << " [" << file << ":" << line << "]";
+    throw FatalError(os.str());
+}
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+} // namespace owl

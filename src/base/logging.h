@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic() is for internal invariant violations (library bugs); fatal()
+ * is for user-caused errors (malformed specs, inconsistent abstraction
+ * functions, etc.). Both are implemented on top of exceptions so that
+ * tests can assert on failures instead of aborting the process.
+ */
+
+#ifndef OWL_BASE_LOGGING_H
+#define OWL_BASE_LOGGING_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace owl
+{
+
+/** Exception thrown by panic(): an internal library bug. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Exception thrown by fatal(): a user-level error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Emit a non-fatal warning on stderr. */
+void warn(const std::string &msg);
+
+namespace detail
+{
+
+template <typename... Args>
+std::string
+formatMsg(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace owl
+
+/** Report an internal invariant violation and throw PanicError. */
+#define owl_panic(...) \
+    ::owl::panicImpl(__FILE__, __LINE__, \
+                     ::owl::detail::formatMsg(__VA_ARGS__))
+
+/** Report a user-caused error and throw FatalError. */
+#define owl_fatal(...) \
+    ::owl::fatalImpl(__FILE__, __LINE__, \
+                     ::owl::detail::formatMsg(__VA_ARGS__))
+
+/** Panic unless the given condition holds. */
+#define owl_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::owl::panicImpl(__FILE__, __LINE__, \
+                ::owl::detail::formatMsg("assertion '" #cond "' failed: ", \
+                                         ##__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // OWL_BASE_LOGGING_H

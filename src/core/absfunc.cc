@@ -1,0 +1,106 @@
+#include "core/absfunc.h"
+
+#include "base/logging.h"
+
+namespace owl::synth
+{
+
+int
+AbsEntry::readTime() const
+{
+    for (const Effect &e : effects) {
+        if (e.kind == Effect::Read)
+            return e.time;
+    }
+    return -1;
+}
+
+int
+AbsEntry::writeTime() const
+{
+    for (const Effect &e : effects) {
+        if (e.kind == Effect::Write)
+            return e.time;
+    }
+    return -1;
+}
+
+AbsFunc &
+AbsFunc::map(const std::string &spec_name,
+             const std::string &datapath_name, MapType type,
+             std::vector<Effect> effects)
+{
+    AbsEntry e;
+    e.specName = spec_name;
+    e.datapathName = datapath_name;
+    e.type = type;
+    e.effects = std::move(effects);
+    entryList.push_back(std::move(e));
+    return *this;
+}
+
+AbsFunc &
+AbsFunc::mapFetch(const std::string &spec_name,
+                  const std::string &datapath_name,
+                  std::vector<Effect> effects,
+                  const std::string &fetch_wire)
+{
+    AbsEntry e;
+    e.specName = spec_name;
+    e.datapathName = datapath_name;
+    e.type = MapType::Memory;
+    e.effects = std::move(effects);
+    e.isFetch = true;
+    e.fetchWire = fetch_wire;
+    entryList.push_back(std::move(e));
+    return *this;
+}
+
+AbsFunc &
+AbsFunc::withCycles(int n)
+{
+    owl_assert(n >= 1, "abstraction function needs cycles >= 1");
+    nCycles = n;
+    return *this;
+}
+
+AbsFunc &
+AbsFunc::assume(const std::string &wire, int time)
+{
+    assumeList.push_back(Assumption{wire, time});
+    return *this;
+}
+
+AbsFunc &
+AbsFunc::aliasInit(const std::string &reg_a, const std::string &reg_b)
+{
+    aliasList.emplace_back(reg_a, reg_b);
+    return *this;
+}
+
+const AbsEntry *
+AbsFunc::entryFor(const std::string &spec_name, bool fetch_context) const
+{
+    const AbsEntry *fallback = nullptr;
+    for (const AbsEntry &e : entryList) {
+        if (e.specName != spec_name)
+            continue;
+        if (e.isFetch == fetch_context)
+            return &e;
+        if (!fallback)
+            fallback = &e;
+    }
+    return fallback;
+}
+
+const AbsEntry *
+AbsFunc::fetchEntry() const
+{
+    for (const AbsEntry &e : entryList) {
+        if (e.isFetch)
+            return &e;
+    }
+    return nullptr;
+}
+
+} // namespace owl::synth

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Abstraction functions (paper §3.2).
+ *
+ * An abstraction function α maps each architectural state element of
+ * the ILA specification to a datapath component, annotated with the
+ * timesteps at which the datapath reads/writes that state:
+ *
+ *   pc:  {name: 'pc', type: register, [read: 1, write: 2]}
+ *   GPR: {name: 'rf', type: memory,   [read: 1, write: 2]}
+ *   with cycles: 2, [instruction_valid: 1]
+ *
+ * Timestep convention (DESIGN.md §3): "read: t" observes the state at
+ * the start of cycle t (s_{t-1}), or the cycle-t value for inputs;
+ * "write: t" is checked against the committed state s_t.
+ *
+ * One spec state may map to several datapath components (e.g. the
+ * spec's unified `mem` to separate i_mem/d_mem); the entry serving
+ * instruction fetch is tagged `fetch` and carries the name of the
+ * datapath wire holding the fetched instruction word (used when
+ * translating decode conditions into datapath-level preconditions for
+ * the control union).
+ */
+
+#ifndef OWL_CORE_ABSFUNC_H
+#define OWL_CORE_ABSFUNC_H
+
+#include <string>
+#include <vector>
+
+namespace owl::synth
+{
+
+/** The datapath component type an architectural state maps to. */
+enum class MapType
+{
+    Input,
+    Output,
+    Register,
+    Memory,
+};
+
+/** A read or write effect with its timestep. */
+struct Effect
+{
+    enum Kind { Read, Write } kind;
+    int time;
+};
+
+/** One α entry: spec state -> datapath component + effects. */
+struct AbsEntry
+{
+    std::string specName;
+    std::string datapathName;
+    MapType type;
+    std::vector<Effect> effects;
+    /** True for the entry that serves instruction fetch. */
+    bool isFetch = false;
+    /** Fetch entries: datapath wire carrying the instruction word. */
+    std::string fetchWire;
+
+    /** First read-effect time, or -1 if none. */
+    int readTime() const;
+    /** First write-effect time, or -1 if none. */
+    int writeTime() const;
+};
+
+/** An `assume` clause: the named wire is true at the given cycle. */
+struct Assumption
+{
+    std::string wire;
+    int time;
+};
+
+/**
+ * A complete abstraction function: entries, the symbolic-evaluation
+ * depth (`with cycles:`), and optional wire assumptions.
+ */
+class AbsFunc
+{
+  public:
+    /** Add a mapping entry (fluent style). */
+    AbsFunc &map(const std::string &spec_name,
+                 const std::string &datapath_name, MapType type,
+                 std::vector<Effect> effects);
+
+    /** Add the fetch-serving entry for a spec memory. */
+    AbsFunc &mapFetch(const std::string &spec_name,
+                      const std::string &datapath_name,
+                      std::vector<Effect> effects,
+                      const std::string &fetch_wire);
+
+    /** Set the number of cycles to symbolically evaluate. */
+    AbsFunc &withCycles(int n);
+
+    /** Assume a datapath wire is true at a cycle. */
+    AbsFunc &assume(const std::string &wire, int time);
+
+    /**
+     * Assume two datapath registers are equal in the initial state
+     * (e.g. a speculating fetch pc and the architectural pc). This is
+     * the term-level form of an equality assumption: both registers
+     * share one initial-state term, so the symbolic evaluator's
+     * hash-consing sees through the aliasing.
+     */
+    AbsFunc &aliasInit(const std::string &reg_a,
+                       const std::string &reg_b);
+
+    int cycles() const { return nCycles; }
+    const std::vector<AbsEntry> &entries() const { return entryList; }
+    const std::vector<Assumption> &assumes() const { return assumeList; }
+    const std::vector<std::pair<std::string, std::string>> &
+    initAliases() const
+    {
+        return aliasList;
+    }
+
+    /**
+     * The entry for a spec state. With fetch_context true, prefer the
+     * fetch-tagged entry; otherwise prefer the non-fetch entry.
+     * Returns nullptr if the state is unmapped.
+     */
+    const AbsEntry *entryFor(const std::string &spec_name,
+                             bool fetch_context = false) const;
+
+    /** The fetch-tagged entry, if any. */
+    const AbsEntry *fetchEntry() const;
+
+  private:
+    std::vector<AbsEntry> entryList;
+    std::vector<Assumption> assumeList;
+    std::vector<std::pair<std::string, std::string>> aliasList;
+    int nCycles = 1;
+};
+
+} // namespace owl::synth
+
+#endif // OWL_CORE_ABSFUNC_H

@@ -1,0 +1,267 @@
+#include "core/absfunc_parser.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace owl::synth
+{
+
+namespace
+{
+
+/** Minimal cursor-based scanner for the α syntax. */
+class Scanner
+{
+  public:
+    explicit Scanner(const std::string &s) : s(s) {}
+
+    void
+    skip()
+    {
+        while (pos < s.size()) {
+            if (std::isspace(static_cast<unsigned char>(s[pos]))) {
+                pos++;
+            } else if (s[pos] == '#') {
+                while (pos < s.size() && s[pos] != '\n')
+                    pos++;
+            } else {
+                break;
+            }
+        }
+    }
+
+    bool
+    atEnd()
+    {
+        skip();
+        return pos >= s.size();
+    }
+
+    bool
+    tryChar(char c)
+    {
+        skip();
+        if (pos < s.size() && s[pos] == c) {
+            pos++;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectChar(char c)
+    {
+        if (!tryChar(c))
+            owl_fatal("abstraction function parse error: expected '",
+                      std::string(1, c), "' near ...",
+                      s.substr(pos, 20));
+    }
+
+    std::string
+    ident()
+    {
+        skip();
+        size_t start = pos;
+        while (pos < s.size() &&
+               (std::isalnum(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '_')) {
+            pos++;
+        }
+        if (start == pos)
+            owl_fatal("abstraction function parse error: expected "
+                      "identifier near ...",
+                      s.substr(pos, 20));
+        return s.substr(start, pos - start);
+    }
+
+    /** Identifier optionally wrapped in single quotes. */
+    std::string
+    name()
+    {
+        skip();
+        if (tryChar('\'')) {
+            std::string n = ident();
+            expectChar('\'');
+            return n;
+        }
+        return ident();
+    }
+
+    int
+    number()
+    {
+        skip();
+        size_t start = pos;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos]))) {
+            pos++;
+        }
+        if (start == pos)
+            owl_fatal("abstraction function parse error: expected "
+                      "number near ...",
+                      s.substr(pos, 20));
+        return std::stoi(s.substr(start, pos - start));
+    }
+
+  private:
+    const std::string &s;
+    size_t pos = 0;
+};
+
+MapType
+mapTypeFromName(const std::string &t)
+{
+    if (t == "input")
+        return MapType::Input;
+    if (t == "output")
+        return MapType::Output;
+    if (t == "register" || t == "regster") // the paper's §4.3 typo
+        return MapType::Register;
+    if (t == "memory")
+        return MapType::Memory;
+    owl_fatal("abstraction function parse error: unknown type '", t,
+              "'");
+}
+
+const char *
+mapTypeName(MapType t)
+{
+    switch (t) {
+      case MapType::Input: return "input";
+      case MapType::Output: return "output";
+      case MapType::Register: return "register";
+      case MapType::Memory: return "memory";
+    }
+    return "?";
+}
+
+} // namespace
+
+AbsFunc
+parseAbsFunc(const std::string &text)
+{
+    AbsFunc alpha;
+    Scanner sc(text);
+    bool saw_with = false;
+
+    while (!sc.atEnd()) {
+        std::string head = sc.ident();
+        if (head == "with") {
+            // with cycles: N [, [wire: t, wire: t ...]]
+            std::string kw = sc.ident();
+            if (kw != "cycles")
+                owl_fatal("abstraction function parse error: "
+                          "expected 'cycles' after 'with'");
+            sc.expectChar(':');
+            alpha.withCycles(sc.number());
+            if (sc.tryChar(',')) {
+                sc.expectChar('[');
+                while (!sc.tryChar(']')) {
+                    std::string wire = sc.name();
+                    sc.expectChar(':');
+                    alpha.assume(wire, sc.number());
+                    sc.tryChar(',');
+                }
+            }
+            saw_with = true;
+            continue;
+        }
+        if (head == "alias") {
+            std::string a = sc.name();
+            sc.expectChar('=');
+            std::string b = sc.name();
+            alpha.aliasInit(b, a); // alias f_pc = pc: pc is canonical
+            continue;
+        }
+        // <SpecID>: {name: 'x', type: t, [effects], fetch: 'wire'}
+        sc.expectChar(':');
+        sc.expectChar('{');
+        std::string dp_name;
+        MapType type = MapType::Input;
+        std::vector<Effect> effects;
+        bool is_fetch = false;
+        std::string fetch_wire;
+        while (!sc.tryChar('}')) {
+            if (sc.tryChar('[')) {
+                while (!sc.tryChar(']')) {
+                    std::string kind = sc.ident();
+                    sc.expectChar(':');
+                    int t = sc.number();
+                    if (kind == "read")
+                        effects.push_back({Effect::Read, t});
+                    else if (kind == "write")
+                        effects.push_back({Effect::Write, t});
+                    else
+                        owl_fatal("abstraction function parse error: "
+                                  "unknown effect '",
+                                  kind, "'");
+                    sc.tryChar(',');
+                }
+                sc.tryChar(',');
+                continue;
+            }
+            std::string attr = sc.ident();
+            sc.expectChar(':');
+            if (attr == "name") {
+                dp_name = sc.name();
+            } else if (attr == "type") {
+                type = mapTypeFromName(sc.ident());
+            } else if (attr == "fetch") {
+                is_fetch = true;
+                fetch_wire = sc.name();
+            } else {
+                owl_fatal("abstraction function parse error: unknown "
+                          "attribute '",
+                          attr, "'");
+            }
+            sc.tryChar(',');
+        }
+        if (is_fetch)
+            alpha.mapFetch(head, dp_name, effects, fetch_wire);
+        else
+            alpha.map(head, dp_name, type, effects);
+    }
+
+    if (!saw_with)
+        owl_fatal("abstraction function parse error: missing "
+                  "'with cycles: N' clause");
+    return alpha;
+}
+
+std::string
+printAbsFunc(const AbsFunc &alpha)
+{
+    std::ostringstream os;
+    for (const AbsEntry &e : alpha.entries()) {
+        os << e.specName << ": {name: '" << e.datapathName
+           << "', type: " << mapTypeName(e.type) << ", [";
+        for (size_t i = 0; i < e.effects.size(); i++) {
+            os << (i ? ", " : "")
+               << (e.effects[i].kind == Effect::Read ? "read"
+                                                     : "write")
+               << ": " << e.effects[i].time;
+        }
+        os << "]";
+        if (e.isFetch)
+            os << ", fetch: '" << e.fetchWire << "'";
+        os << "}\n";
+    }
+    for (const auto &[a, b] : alpha.initAliases())
+        os << "alias " << b << " = " << a << "\n";
+    os << "with cycles: " << alpha.cycles();
+    if (!alpha.assumes().empty()) {
+        os << ", [";
+        for (size_t i = 0; i < alpha.assumes().size(); i++) {
+            os << (i ? ", " : "") << alpha.assumes()[i].wire << ": "
+               << alpha.assumes()[i].time;
+        }
+        os << "]";
+    }
+    os << "\n";
+    return os.str();
+}
+
+} // namespace owl::synth

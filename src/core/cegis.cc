@@ -1,0 +1,315 @@
+#include "core/cegis.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "oyster/symeval.h"
+#include "smt/solver.h"
+
+namespace owl::synth
+{
+
+using oyster::SymbolicEvaluator;
+using oyster::SymRun;
+using smt::CheckResult;
+using smt::TermRef;
+using smt::TermTable;
+
+const char *
+synthStatusName(SynthStatus s)
+{
+    switch (s) {
+      case SynthStatus::Ok: return "ok";
+      case SynthStatus::Unsat: return "unsat";
+      case SynthStatus::Timeout: return "timeout";
+      case SynthStatus::IterLimit: return "iteration-limit";
+    }
+    return "?";
+}
+
+std::chrono::milliseconds
+CegisOptions::remaining() const
+{
+    if (!hasDeadline())
+        return std::chrono::milliseconds(0);
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline)
+        return std::chrono::milliseconds(1);
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - now);
+}
+
+std::map<int, std::string>
+memoryNames(const oyster::Design &sketch)
+{
+    std::map<int, std::string> out;
+    int idx = 0;
+    for (const oyster::Decl &d : sketch.decls()) {
+        if (d.kind == oyster::DeclKind::Memory)
+            out[idx] = d.name;
+        idx++;
+    }
+    return out;
+}
+
+void
+applyInitAliases(const oyster::Design &sketch, const AbsFunc &alpha,
+                 TermTable &tt, SymbolicEvaluator &ev)
+{
+    for (const auto &[a, b] : alpha.initAliases()) {
+        int w = sketch.decl(a).width;
+        TermRef v = tt.freshVar("reg." + a + ".0", w);
+        ev.setInitialReg(a, v);
+        ev.setInitialReg(b, v);
+    }
+}
+
+void
+applyCexAliases(const AbsFunc &alpha, Counterexample &cex)
+{
+    for (const auto &[a, b] : alpha.initAliases()) {
+        auto it = cex.regs.find(a);
+        if (it != cex.regs.end())
+            cex.regs[b] = it->second;
+        else
+            cex.regs.erase(b);
+    }
+}
+
+InstrSynthesizer::InstrSynthesizer(const oyster::Design &sketch,
+                                   const ila::Ila &spec,
+                                   const AbsFunc &alpha)
+    : sketch(sketch), spec(spec), alpha(alpha),
+      memNames(memoryNames(sketch))
+{
+}
+
+HoleValues
+InstrSynthesizer::zeroCandidate() const
+{
+    HoleValues hv;
+    for (const oyster::Decl &d : sketch.decls()) {
+        if (d.kind == oyster::DeclKind::Hole)
+            hv.emplace(d.name, BitVec(d.width));
+    }
+    return hv;
+}
+
+void
+extractCounterexample(const TermTable &tt, const smt::Model &model,
+                      const std::map<int, std::string> &mem_names,
+                      Counterexample &cex)
+{
+    // First pass: variables (initial registers and per-cycle inputs),
+    // identified by the symbolic evaluator's naming scheme.
+    smt::Assignment asg;
+    std::vector<std::pair<TermRef, BitVec>> base_reads;
+    for (const auto &[idx, val] : model.leafValues) {
+        TermRef t{idx};
+        const smt::Node &n = tt.node(t);
+        if (n.op == smt::Op::Var) {
+            const std::string &name = tt.varInfo(n.a).name;
+            asg.setVar(n.a, val);
+            if (name.rfind("reg.", 0) == 0 &&
+                name.size() > 6 &&
+                name.compare(name.size() - 2, 2, ".0") == 0) {
+                cex.regs[name.substr(4, name.size() - 6)] = val;
+            } else if (name.rfind("in.", 0) == 0) {
+                size_t dot = name.rfind('.');
+                std::string in_name = name.substr(3, dot - 3);
+                int cycle = std::stoi(name.substr(dot + 1));
+                cex.inputs[{in_name, cycle}] = val;
+            }
+        }
+    }
+    // Second pass: memory base reads. Addresses may be symbolic and
+    // may depend on *other* base reads (e.g. a register index sliced
+    // out of the fetched instruction word). Children always have
+    // smaller term indices than their parents, so resolving base
+    // reads in ascending index order and feeding each resolved word
+    // back into the assignment handles those chains.
+    std::vector<std::pair<uint32_t, BitVec>> base_reads_sorted;
+    for (const auto &[idx, val] : model.leafValues) {
+        if (tt.node(TermRef{idx}).op == smt::Op::BaseRead)
+            base_reads_sorted.emplace_back(idx, val);
+    }
+    std::sort(base_reads_sorted.begin(), base_reads_sorted.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (const auto &[idx, val] : base_reads_sorted) {
+        const smt::Node &n = tt.node(TermRef{idx});
+        BitVec addr = evalTerm(tt, n.children[0], asg);
+        asg.setMemWord(n.a, addr.toUint64(), val);
+        auto it = mem_names.find(n.a);
+        if (it == mem_names.end())
+            continue;
+        cex.mems[it->second][addr.toUint64()] = val;
+    }
+}
+
+SynthStatus
+InstrSynthesizer::verifyCandidate(const ila::Instr &instr,
+                                  const HoleValues &candidate,
+                                  Counterexample *cex,
+                                  const CegisOptions &opts)
+{
+    TermTable tt;
+    SymbolicEvaluator ev(sketch, tt);
+    for (const auto &[name, value] : candidate)
+        ev.setHole(name, tt.constant(value));
+    applyInitAliases(sketch, alpha, tt, ev);
+    SymRun run = ev.run(alpha.cycles());
+
+    SpecCompiler sc(spec, alpha, tt, run, sketch);
+    InstrConditions conds = sc.compileInstr(instr);
+
+    // Pre ∧ assumes ∧ ¬(∧ posts): a model is a state where the
+    // candidate control violates the instruction's semantics.
+    std::vector<TermRef> assertions;
+    assertions.push_back(conds.pre);
+    for (TermRef a : conds.assumes)
+        assertions.push_back(a);
+    TermRef all_posts = tt.trueTerm();
+    for (TermRef p : conds.posts)
+        all_posts = tt.mkAnd(all_posts, p);
+    assertions.push_back(tt.mkNot(all_posts));
+
+    smt::SolveLimits limits;
+    limits.conflictLimit = opts.conflictLimit;
+    if (opts.hasDeadline())
+        limits.timeLimit = opts.remaining();
+    smt::Model model;
+    CheckResult r = smt::checkSat(tt, assertions, &model, limits);
+    switch (r) {
+      case CheckResult::Unsat:
+        return SynthStatus::Ok;
+      case CheckResult::Unknown:
+        return SynthStatus::Timeout;
+      case CheckResult::Sat:
+        if (cex)
+            extractCounterexample(tt, model, memNames, *cex);
+        return SynthStatus::Unsat; // candidate refuted
+    }
+    owl_panic("unreachable");
+}
+
+SynthStatus
+InstrSynthesizer::synthStep(const ila::Instr &instr,
+                            const std::vector<Counterexample> &cexes,
+                            HoleValues &candidate,
+                            const CegisOptions &opts)
+{
+    TermTable tt;
+
+    // Shared hole variables across every counterexample replay.
+    std::map<std::string, TermRef> hole_vars;
+    for (const oyster::Decl &d : sketch.decls()) {
+        if (d.kind == oyster::DeclKind::Hole)
+            hole_vars[d.name] = tt.freshVar("hole." + d.name, d.width);
+    }
+
+    std::vector<TermRef> assertions;
+    for (Counterexample cex : cexes) {
+        applyCexAliases(alpha, cex);
+        SymbolicEvaluator ev(sketch, tt);
+        for (const auto &[name, var] : hole_vars)
+            ev.setHole(name, var);
+        // Pin every leaf to the counterexample's concrete state.
+        for (const oyster::Decl &d : sketch.decls()) {
+            if (d.kind == oyster::DeclKind::Register) {
+                auto it = cex.regs.find(d.name);
+                BitVec v = it != cex.regs.end() ? it->second
+                                                : BitVec(d.width);
+                ev.setInitialReg(d.name, tt.constant(v));
+            } else if (d.kind == oyster::DeclKind::Input) {
+                for (int t = 1; t <= alpha.cycles(); t++) {
+                    auto it = cex.inputs.find({d.name, t});
+                    BitVec v = it != cex.inputs.end() ? it->second
+                                                      : BitVec(d.width);
+                    ev.setInput(d.name, t, tt.constant(v));
+                }
+            } else if (d.kind == oyster::DeclKind::Memory) {
+                auto it = cex.mems.find(d.name);
+                ev.setConcreteMem(
+                    d.name, it != cex.mems.end()
+                                ? std::map<uint64_t, BitVec>(
+                                      it->second.begin(),
+                                      it->second.end())
+                                : std::map<uint64_t, BitVec>{});
+            }
+        }
+        SymRun run = ev.run(alpha.cycles());
+        SpecCompiler sc(spec, alpha, tt, run, sketch);
+        InstrConditions conds = sc.compileInstr(instr);
+        TermRef lhs = conds.pre;
+        for (TermRef a : conds.assumes)
+            lhs = tt.mkAnd(lhs, a);
+        TermRef rhs = tt.trueTerm();
+        for (TermRef p : conds.posts)
+            rhs = tt.mkAnd(rhs, p);
+        assertions.push_back(tt.mkImplies(lhs, rhs));
+    }
+
+    smt::SolveLimits limits;
+    limits.conflictLimit = opts.conflictLimit;
+    if (opts.hasDeadline())
+        limits.timeLimit = opts.remaining();
+    smt::Model model;
+    CheckResult r = smt::checkSat(tt, assertions, &model, limits);
+    switch (r) {
+      case CheckResult::Unsat:
+        return SynthStatus::Unsat;
+      case CheckResult::Unknown:
+        return SynthStatus::Timeout;
+      case CheckResult::Sat:
+        break;
+    }
+    for (const auto &[name, var] : hole_vars) {
+        const smt::Node &n = tt.node(var);
+        candidate[name] = model.varValue(tt, n.a);
+    }
+    return SynthStatus::Ok;
+}
+
+CegisResult
+InstrSynthesizer::synthesize(const ila::Instr &instr,
+                             const HoleValues *pin,
+                             const CegisOptions &opts)
+{
+    CegisResult result;
+    HoleValues candidate = pin ? *pin : zeroCandidate();
+    // Fill any holes missing from the pin with zeros.
+    for (auto &[name, v] : zeroCandidate())
+        candidate.emplace(name, v);
+
+    std::vector<Counterexample> cexes;
+    for (int iter = 0; iter < opts.maxIterations; iter++) {
+        result.iterations = iter + 1;
+        if (opts.expired()) {
+            result.status = SynthStatus::Timeout;
+            return result;
+        }
+        Counterexample cex;
+        SynthStatus v = verifyCandidate(instr, candidate, &cex, opts);
+        if (v == SynthStatus::Ok) {
+            result.status = SynthStatus::Ok;
+            result.holes = candidate;
+            return result;
+        }
+        if (v == SynthStatus::Timeout) {
+            result.status = SynthStatus::Timeout;
+            return result;
+        }
+        cexes.push_back(std::move(cex));
+        SynthStatus s = synthStep(instr, cexes, candidate, opts);
+        if (s != SynthStatus::Ok) {
+            result.status = s;
+            return result;
+        }
+    }
+    result.status = SynthStatus::IterLimit;
+    return result;
+}
+
+} // namespace owl::synth

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * CEGIS (counterexample-guided inductive synthesis) for control logic
+ * (paper §3.3, Equations (1)/(2)).
+ *
+ * The ∃holes ∀state query of Equation (2) is solved as the classic
+ * guess-and-verify loop that realizes Rosette's `synthesize` on top of
+ * a plain satisfiability oracle:
+ *
+ *   candidate := pin (previous instruction's values) or all-zeros
+ *   loop:
+ *     verify:  holes := candidate (constants fold through the whole
+ *              datapath); SAT(Pre ∧ assumes ∧ ¬Post)?
+ *              UNSAT -> done. SAT -> model is a counterexample s_0.
+ *     synth:   replay every counterexample with concrete state and
+ *              symbolic holes; SAT((Pre ∧ assumes) -> Post for all
+ *              counterexamples)? model -> next candidate.
+ *
+ * Per the paper, hole solutions are concrete bitvector constants per
+ * instruction; the control union (control_union.h) then joins them
+ * into complete control logic.
+ */
+
+#ifndef OWL_CORE_CEGIS_H
+#define OWL_CORE_CEGIS_H
+
+#include <chrono>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/absfunc.h"
+#include "core/spec_compiler.h"
+#include "ila/ila.h"
+#include "oyster/ir.h"
+#include "oyster/symeval.h"
+#include "smt/solver.h"
+
+namespace owl::synth
+{
+
+/** Status of a synthesis attempt. */
+enum class SynthStatus
+{
+    Ok,
+    Unsat,      ///< no control logic exists (sketch/spec mismatch)
+    Timeout,    ///< resource budget exhausted
+    IterLimit,  ///< CEGIS iteration bound hit
+};
+
+const char *synthStatusName(SynthStatus s);
+
+/** Values for every hole, keyed by hole name. */
+using HoleValues = std::map<std::string, BitVec>;
+
+/** A concrete initial state extracted from a failed verification. */
+struct Counterexample
+{
+    std::map<std::string, BitVec> regs;
+    std::map<std::pair<std::string, int>, BitVec> inputs;
+    std::map<std::string, std::map<uint64_t, BitVec>> mems;
+};
+
+/** Knobs for one synthesis run. */
+struct CegisOptions
+{
+    int maxIterations = 64;
+    /** Zero = no deadline. */
+    std::chrono::steady_clock::time_point deadline{};
+    /** Per-SAT-call conflict cap; 0 = unlimited. */
+    uint64_t conflictLimit = 0;
+
+    bool hasDeadline() const
+    {
+        return deadline != std::chrono::steady_clock::time_point{};
+    }
+    bool expired() const
+    {
+        return hasDeadline() &&
+               std::chrono::steady_clock::now() > deadline;
+    }
+    std::chrono::milliseconds remaining() const;
+};
+
+/** Result of synthesizing one instruction's hole constants. */
+struct CegisResult
+{
+    SynthStatus status = SynthStatus::Ok;
+    HoleValues holes;
+    int iterations = 0;
+};
+
+/**
+ * Extract a counterexample from a SAT model: initial registers and
+ * per-cycle inputs by the symbolic evaluator's naming scheme, memory
+ * words from (possibly symbolic-address) base reads.
+ */
+void extractCounterexample(const smt::TermTable &tt,
+                           const smt::Model &model,
+                           const std::map<int, std::string> &mem_names,
+                           Counterexample &cex);
+
+/** Memory-id (declaration index) to name map for a sketch. */
+std::map<int, std::string> memoryNames(const oyster::Design &sketch);
+
+/**
+ * Apply the abstraction function's initial-state register aliases to
+ * a symbolic run: aliased registers share one fresh initial variable.
+ */
+void applyInitAliases(const oyster::Design &sketch,
+                      const AbsFunc &alpha, smt::TermTable &tt,
+                      oyster::SymbolicEvaluator &ev);
+
+/** Replicate aliased initial values inside a counterexample replay. */
+void applyCexAliases(const AbsFunc &alpha, Counterexample &cex);
+
+/**
+ * Per-instruction control synthesis over a datapath sketch.
+ */
+class InstrSynthesizer
+{
+  public:
+    InstrSynthesizer(const oyster::Design &sketch, const ila::Ila &spec,
+                     const AbsFunc &alpha);
+
+    /**
+     * Solve the Equation (2) query for one instruction.
+     *
+     * @param instr the ILA instruction.
+     * @param pin optional hole values to try first (pin-and-relax; see
+     *        DESIGN.md §3).
+     */
+    CegisResult synthesize(const ila::Instr &instr,
+                           const HoleValues *pin,
+                           const CegisOptions &opts);
+
+    /**
+     * Check a completed candidate against one instruction: returns
+     * true when Pre ∧ assumes ∧ ¬Post is unsatisfiable.
+     */
+    SynthStatus verifyCandidate(const ila::Instr &instr,
+                                const HoleValues &candidate,
+                                Counterexample *cex,
+                                const CegisOptions &opts);
+
+  private:
+    const oyster::Design &sketch;
+    const ila::Ila &spec;
+    const AbsFunc &alpha;
+    std::map<int, std::string> memNames; // decl index -> memory name
+
+    SynthStatus synthStep(const ila::Instr &instr,
+                          const std::vector<Counterexample> &cexes,
+                          HoleValues &candidate,
+                          const CegisOptions &opts);
+
+    HoleValues zeroCandidate() const;
+};
+
+} // namespace owl::synth
+
+#endif // OWL_CORE_CEGIS_H

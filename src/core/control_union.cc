@@ -1,0 +1,70 @@
+#include "core/control_union.h"
+
+#include "base/logging.h"
+#include "core/spec_compiler.h"
+#include "oyster/builder.h"
+
+namespace owl::synth
+{
+
+void
+applyControlUnion(oyster::Design &design, const ila::Ila &spec,
+                  const AbsFunc &alpha, const PerInstrResults &results)
+{
+    using oyster::ExprRef;
+
+    // Precondition wires, one per instruction with results.
+    std::map<std::string, std::string> pre_wire; // instr -> wire name
+    for (const auto &[instr_name, values] : results) {
+        const ila::Instr &instr = spec.instr(instr_name);
+        std::string wname = "pre_" + instr_name;
+        design.addWire(wname, 1);
+        ExprRef cond =
+            SpecCompiler::decodeToOyster(spec, alpha, instr, design);
+        design.assign(wname, cond, /*generated=*/true);
+        pre_wire[instr_name] = wname;
+    }
+
+    // LogicGen per hole (Figure 6).
+    for (const std::string &hole : design.holeNames()) {
+        // Group instructions by solved value, first-seen order.
+        std::vector<std::pair<BitVec, std::vector<std::string>>> groups;
+        for (const auto &[instr_name, values] : results) {
+            auto it = values.find(hole);
+            owl_assert(it != values.end(), "no solved value for hole '",
+                       hole, "' in instruction ", instr_name);
+            bool found = false;
+            for (auto &[v, names] : groups) {
+                if (v == it->second) {
+                    names.push_back(instr_name);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                groups.emplace_back(
+                    it->second, std::vector<std::string>{instr_name});
+        }
+        owl_assert(!groups.empty(), "control union with no results");
+
+        // Nested ite; the last group's value is the unconditional
+        // default, exactly as in the paper's LogicGen.
+        ExprRef expr = design.lit(groups.back().first);
+        for (int g = groups.size() - 2; g >= 0; g--) {
+            std::vector<ExprRef> pres;
+            for (const std::string &iname : groups[g].second)
+                pres.push_back(design.var(pre_wire.at(iname)));
+            expr = design.opIte(orAll(design, pres),
+                                design.lit(groups[g].first), expr);
+        }
+        design.convertHoleToWire(hole);
+        design.assign(hole, expr, /*generated=*/true);
+    }
+
+    // Generated statements were appended; re-establish def-before-use
+    // order (also rejects combinational feedback through the control).
+    design.sortStatements();
+    design.validate(/*allow_holes=*/false);
+}
+
+} // namespace owl::synth

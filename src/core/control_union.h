@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The control union ⊔ (paper §3.3.1, Figure 6).
+ *
+ * Joins per-instruction hole constants into complete control logic:
+ * for every hole, group instructions by solved value (first-seen
+ * order), then emit the nested if-then-else
+ *
+ *   hole := if (pre_i1 ∨ pre_i2 ...) then v1
+ *           else if (...) then v2
+ *           ... else v_last
+ *
+ * where pre_j are the instruction preconditions translated from the
+ * ILA decode conditions into datapath-level wires. The generated
+ * statements are flagged `generated` so printers can render just the
+ * Figure 7 view and Table 2 can count generated control LoC.
+ */
+
+#ifndef OWL_CORE_CONTROL_UNION_H
+#define OWL_CORE_CONTROL_UNION_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/absfunc.h"
+#include "core/cegis.h"
+#include "ila/ila.h"
+#include "oyster/ir.h"
+
+namespace owl::synth
+{
+
+/** Per-instruction synthesis results, in solve order. */
+using PerInstrResults =
+    std::vector<std::pair<std::string, HoleValues>>;
+
+/**
+ * Apply ⊔ to a sketch: generates precondition wires and hole
+ * definitions, converts holes to wires, and re-sorts statements so
+ * the completed design is directly simulatable.
+ */
+void applyControlUnion(oyster::Design &design, const ila::Ila &spec,
+                       const AbsFunc &alpha,
+                       const PerInstrResults &results);
+
+} // namespace owl::synth
+
+#endif // OWL_CORE_CONTROL_UNION_H

@@ -1,0 +1,118 @@
+#include "designs/accumulator.h"
+
+#include "oyster/builder.h"
+
+namespace owl::designs
+{
+
+using namespace owl::ila;
+using oyster::ExprRef;
+
+namespace
+{
+
+Ila
+makeSpec()
+{
+    // Transliteration of the §2.3 CreateAccIla listing (val widened to
+    // 8 bits so `acc + val` is well-typed).
+    Ila ila("acc_ila");
+    auto reset = ila.NewBvInput("reset", 1);
+    auto go = ila.NewBvInput("go", 1);
+    auto stop = ila.NewBvInput("stop", 1);
+    auto val = ila.NewBvInput("val", 8);
+    auto acc = ila.NewBvState("acc", 8);
+    auto state = ila.NewBvState("state", 2);
+    auto c1 = [&](uint64_t v) { return BvConst(ila.ctx(), v, 1); };
+    auto c2 = [&](uint64_t v) { return BvConst(ila.ctx(), v, 2); };
+
+    auto &reset_instr = ila.NewInstr("reset_instr");
+    reset_instr.SetDecode(state == c2(accSTOP) && reset == c1(1));
+    reset_instr.SetUpdate(acc, BvConst(ila.ctx(), 0, 8));
+    reset_instr.SetUpdate(state, c2(accRESET));
+
+    auto &go_instr = ila.NewInstr("go_instr");
+    go_instr.SetDecode((state == c2(accRESET) && go == c1(1)) ||
+                       (state == c2(accGO) && stop == c1(0)));
+    go_instr.SetUpdate(acc, acc + val);
+    go_instr.SetUpdate(state, c2(accGO));
+
+    auto &stop_instr = ila.NewInstr("stop_instr");
+    stop_instr.SetDecode(state == c2(accGO) && stop == c1(1));
+    stop_instr.SetUpdate(acc, acc);
+    stop_instr.SetUpdate(state, c2(accSTOP));
+
+    return ila;
+}
+
+oyster::Design
+makeSketch()
+{
+    // The §2.3 datapath pseudocode:
+    //
+    //   state := ??
+    //   with state:
+    //     ?? -> acc := 0
+    //     ?? -> acc := acc + val
+    //     ?? -> acc := acc
+    //   out := acc
+    //
+    // `fsm` is the state-selection wire (a hole), the three `with`
+    // arms compare it against encoding holes, and `st_next` is the
+    // transition target for the architectural state register.
+    oyster::Design d("accumulator");
+    d.addInput("reset", 1);
+    d.addInput("go", 1);
+    d.addInput("stop", 1);
+    d.addInput("val", 8);
+    d.addRegister("acc", 8);
+    d.addRegister("st", 2);
+    d.addOutput("out", 8);
+
+    d.addHole("fsm", 2, {"st", "reset", "go", "stop"});
+    d.addHole("enc_reset", 2, {});
+    d.addHole("enc_go", 2, {});
+    d.addHole("enc_stop", 2, {});
+    d.addHole("st_next", 2, {"st", "reset", "go", "stop"});
+
+    ExprRef acc = d.var("acc");
+    ExprRef upd = muxChain(
+        d,
+        {{d.opEq(d.var("fsm"), d.var("enc_reset")), d.lit(8, 0)},
+         {d.opEq(d.var("fsm"), d.var("enc_go")),
+          d.opAdd(acc, d.var("val"))},
+         {d.opEq(d.var("fsm"), d.var("enc_stop")), acc}},
+        acc);
+    d.assign("acc", upd);
+    d.assign("st", d.var("st_next"));
+    d.assign("out", acc);
+    return d;
+}
+
+synth::AbsFunc
+makeAlpha()
+{
+    synth::AbsFunc a;
+    using synth::Effect;
+    using synth::MapType;
+    a.map("reset", "reset", MapType::Input, {{Effect::Read, 1}});
+    a.map("go", "go", MapType::Input, {{Effect::Read, 1}});
+    a.map("stop", "stop", MapType::Input, {{Effect::Read, 1}});
+    a.map("val", "val", MapType::Input, {{Effect::Read, 1}});
+    a.map("acc", "acc", MapType::Register,
+          {{Effect::Read, 1}, {Effect::Write, 1}});
+    a.map("state", "st", MapType::Register,
+          {{Effect::Read, 1}, {Effect::Write, 1}});
+    a.withCycles(1);
+    return a;
+}
+
+} // namespace
+
+CaseStudy
+makeAccumulator()
+{
+    return CaseStudy(makeSpec(), makeSketch(), makeAlpha());
+}
+
+} // namespace owl::designs

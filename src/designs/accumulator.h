@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The accumulator machine of paper §2.3 — the FSM-style control
+ * example. The specification has three instructions (reset / go /
+ * stop) predicated on the architectural `state`; the datapath sketch
+ * implements the accumulator updates and leaves the FSM state
+ * selection, arm encodings and transition target as holes.
+ */
+
+#ifndef OWL_DESIGNS_ACCUMULATOR_H
+#define OWL_DESIGNS_ACCUMULATOR_H
+
+#include "designs/case_study.h"
+
+namespace owl::designs
+{
+
+/** Spec-level state encodings (§2.3 Figure 3). */
+inline constexpr uint64_t accRESET = 0;
+inline constexpr uint64_t accGO = 1;
+inline constexpr uint64_t accSTOP = 2;
+
+/** Build the accumulator spec, sketch and abstraction function. */
+CaseStudy makeAccumulator();
+
+} // namespace owl::designs
+
+#endif // OWL_DESIGNS_ACCUMULATOR_H

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The AES-128 hardware accelerator (paper §4.3) — the FSM-style
+ * control case study. The ILA models the encryption as three
+ * "instructions" (first / intermediate / final round) decoded by the
+ * architectural round counter; the datapath sketch computes one round
+ * per cycle and leaves the FSM state selection, the per-arm state
+ * encodings, and the arm comparison structure as holes.
+ *
+ * Round convention (documented deviation from the paper's listing,
+ * which uses `(round > 0) & (round < 9)`): FirstRound at round == 0
+ * performs the initial AddRoundKey; IntermediateRound covers rounds
+ * 1..9 (nine full rounds); FinalRound at round == 10 omits
+ * MixColumns. This yields FIPS-197-correct AES-128, validated against
+ * the Appendix B vectors.
+ */
+
+#ifndef OWL_DESIGNS_AES_ACCELERATOR_H
+#define OWL_DESIGNS_AES_ACCELERATOR_H
+
+#include "designs/case_study.h"
+
+namespace owl::designs
+{
+
+/** Build just the ILA specification. */
+ila::Ila makeAesSpec();
+
+/** Build just the datapath sketch (with FSM holes). */
+oyster::Design makeAesSketch();
+
+/** Build the AES accelerator (spec, sketch, α). */
+CaseStudy makeAesAccelerator();
+
+} // namespace owl::designs
+
+#endif // OWL_DESIGNS_AES_ACCELERATOR_H

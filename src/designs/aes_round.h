@@ -1,0 +1,168 @@
+/**
+ * @file
+ * AES-128 round functions written once against a generic expression
+ * builder, instantiated both for ILA expressions (the specification's
+ * CipherUpdate/KeyUpdate functions, paper §4.3) and Oyster expressions
+ * (the accelerator datapath sketch). Building both sides from the same
+ * template keeps them structurally identical, which lets the symbolic
+ * evaluator's hash-consing collapse the shared logic exactly as
+ * Rosette's partial evaluation does in the paper's artifact.
+ *
+ * State layout: 128-bit value, byte i in bits [8i+7 : 8i], i = 4c + r
+ * per FIPS-197 (column-major).
+ *
+ * Builder concept:
+ *   using Expr = ...;
+ *   Expr ext(Expr, int high, int low);
+ *   Expr cat(Expr high, Expr low);
+ *   Expr x_(Expr, Expr);              // xor
+ *   Expr ite(Expr c, Expr t, Expr e);
+ *   Expr c(int width, uint64_t v);    // constant
+ *   Expr shl1(Expr byte);             // 8-bit shift left by one
+ *   Expr sbox(Expr byte);             // S-box lookup
+ *   Expr rcon(Expr idx4);             // round-constant lookup
+ */
+
+#ifndef OWL_DESIGNS_AES_ROUND_H
+#define OWL_DESIGNS_AES_ROUND_H
+
+#include <array>
+#include <vector>
+
+namespace owl::designs::aes
+{
+
+template <typename B>
+using ExprOf = typename B::Expr;
+
+/** Slice byte i (0..15) from a 128-bit state. */
+template <typename B>
+ExprOf<B>
+stByte(B &b, ExprOf<B> st, int i)
+{
+    return b.ext(st, 8 * i + 7, 8 * i);
+}
+
+/** Assemble 16 bytes (index 0 lowest) into a 128-bit state. */
+template <typename B>
+ExprOf<B>
+packBytes(B &b, const std::array<ExprOf<B>, 16> &bytes)
+{
+    ExprOf<B> acc = bytes[0];
+    for (int i = 1; i < 16; i++)
+        acc = b.cat(bytes[i], acc);
+    return acc;
+}
+
+/** xtime: multiply a byte by x in GF(2^8). */
+template <typename B>
+ExprOf<B>
+xtime(B &b, ExprOf<B> byte)
+{
+    auto shifted = b.shl1(byte);
+    auto msb = b.ext(byte, 7, 7);
+    return b.x_(shifted, b.ite(msb, b.c(8, 0x1b), b.c(8, 0x00)));
+}
+
+/** SubBytes over the full state. */
+template <typename B>
+ExprOf<B>
+subBytes(B &b, ExprOf<B> st)
+{
+    std::array<ExprOf<B>, 16> out;
+    for (int i = 0; i < 16; i++)
+        out[i] = b.sbox(stByte(b, st, i));
+    return packBytes(b, out);
+}
+
+/** ShiftRows: out[r + 4c] = in[r + 4((c + r) mod 4)]. */
+template <typename B>
+ExprOf<B>
+shiftRows(B &b, ExprOf<B> st)
+{
+    std::array<ExprOf<B>, 16> out;
+    for (int c = 0; c < 4; c++) {
+        for (int r = 0; r < 4; r++)
+            out[r + 4 * c] = stByte(b, st, r + 4 * ((c + r) % 4));
+    }
+    return packBytes(b, out);
+}
+
+/** MixColumns over the full state. */
+template <typename B>
+ExprOf<B>
+mixColumns(B &b, ExprOf<B> st)
+{
+    std::array<ExprOf<B>, 16> out;
+    for (int c = 0; c < 4; c++) {
+        std::array<ExprOf<B>, 4> a;
+        for (int r = 0; r < 4; r++)
+            a[r] = stByte(b, st, 4 * c + r);
+        auto xt = [&](int i) { return xtime(b, a[i]); };
+        out[4 * c + 0] = b.x_(b.x_(xt(0), xt(1)),
+                              b.x_(a[1], b.x_(a[2], a[3])));
+        out[4 * c + 1] = b.x_(b.x_(a[0], xt(1)),
+                              b.x_(xt(2), b.x_(a[2], a[3])));
+        out[4 * c + 2] = b.x_(b.x_(a[0], a[1]),
+                              b.x_(xt(2), b.x_(xt(3), a[3])));
+        out[4 * c + 3] = b.x_(b.x_(xt(0), a[0]),
+                              b.x_(a[1], b.x_(a[2], xt(3))));
+    }
+    return packBytes(b, out);
+}
+
+/** AddRoundKey: xor with the round key. */
+template <typename B>
+ExprOf<B>
+addRoundKey(B &b, ExprOf<B> st, ExprOf<B> rk)
+{
+    return b.x_(st, rk);
+}
+
+/**
+ * One key-expansion step: derive the round key for `rcon_idx` from
+ * the previous one.
+ */
+template <typename B>
+ExprOf<B>
+keyExpand(B &b, ExprOf<B> rk, ExprOf<B> rcon_idx)
+{
+    // t = SubWord(RotWord(w3)) ^ (rcon, 0, 0, 0).
+    std::array<ExprOf<B>, 4> t = {
+        b.x_(b.sbox(stByte(b, rk, 13)), b.rcon(rcon_idx)),
+        b.sbox(stByte(b, rk, 14)),
+        b.sbox(stByte(b, rk, 15)),
+        b.sbox(stByte(b, rk, 12)),
+    };
+    std::array<ExprOf<B>, 16> out;
+    for (int i = 0; i < 4; i++)
+        out[i] = b.x_(stByte(b, rk, i), t[i]);
+    for (int w = 1; w < 4; w++) {
+        for (int i = 0; i < 4; i++) {
+            out[4 * w + i] =
+                b.x_(stByte(b, rk, 4 * w + i), out[4 * (w - 1) + i]);
+        }
+    }
+    return packBytes(b, out);
+}
+
+/** A full middle round: ARK(MC(SR(SB(st))), rk). */
+template <typename B>
+ExprOf<B>
+cipherUpdateMidRound(B &b, ExprOf<B> st, ExprOf<B> rk)
+{
+    return addRoundKey(b, mixColumns(b, shiftRows(b, subBytes(b, st))),
+                       rk);
+}
+
+/** The final round: ARK(SR(SB(st)), rk) — no MixColumns. */
+template <typename B>
+ExprOf<B>
+cipherUpdateFinalRound(B &b, ExprOf<B> st, ExprOf<B> rk)
+{
+    return addRoundKey(b, shiftRows(b, subBytes(b, st)), rk);
+}
+
+} // namespace owl::designs::aes
+
+#endif // OWL_DESIGNS_AES_ROUND_H

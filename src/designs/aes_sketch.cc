@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The AES-128 accelerator datapath sketch (paper §4.3): a multi-cycle
+ * datapath computing one round per cycle, with FSM-style control left
+ * as holes — the state-selection wire (`state <<= ??`) and the three
+ * arm encodings (`with state == ??`).
+ */
+
+#include "designs/aes_accelerator.h"
+#include "designs/aes_round.h"
+#include "designs/aes_tables.h"
+#include "oyster/builder.h"
+
+namespace owl::designs
+{
+
+using oyster::Design;
+using oyster::ExprRef;
+using oyster::muxChain;
+
+namespace
+{
+
+/** aes_round.h builder over Oyster expressions. */
+struct OysterAesBuilder
+{
+    using Expr = ExprRef;
+    Design &d;
+
+    Expr ext(Expr x, int h, int l) { return d.opExtract(x, h, l); }
+    Expr cat(Expr h, Expr l) { return d.opConcat(h, l); }
+    Expr x_(Expr a, Expr b) { return d.opXor(a, b); }
+    Expr ite(Expr c, Expr t, Expr e) { return d.opIte(c, t, e); }
+    Expr c(int w, uint64_t v) { return d.lit(w, v); }
+    Expr shl1(Expr x) { return d.opShl(x, d.lit(8, 1)); }
+    Expr sbox(Expr i) { return d.opRead("sbox", i); }
+    Expr rcon(Expr i) { return d.opRead("rcon", i); }
+};
+
+} // namespace
+
+oyster::Design
+makeAesSketch()
+{
+    Design d("aes_accelerator");
+    d.addInput("key_in", 128);
+    d.addInput("plaintext", 128);
+    d.addRegister("round", 4);
+    d.addRegister("round_key", 128);
+    d.addRegister("ciphertext", 128);
+    d.addRom("sbox", 8, 8, aesSboxEntries());
+    d.addRom("rcon", 4, 8, aesRconEntries());
+    d.addOutput("ct_out", 128);
+
+    // FSM control holes: the state-selection logic and the per-arm
+    // state encodings.
+    d.addHole("state_sel", 2, {"round"});
+    d.addHole("enc_first", 2, {});
+    d.addHole("enc_mid", 2, {});
+    d.addHole("enc_final", 2, {});
+
+    d.addWire("state", 2);
+    d.assign("state", d.var("state_sel"));
+    d.addWire("in_first", 1);
+    d.assign("in_first", d.opEq(d.var("state"), d.var("enc_first")));
+    d.addWire("in_mid", 1);
+    d.assign("in_mid", d.opEq(d.var("state"), d.var("enc_mid")));
+    d.addWire("in_final", 1);
+    d.assign("in_final", d.opEq(d.var("state"), d.var("enc_final")));
+
+    OysterAesBuilder b{d};
+    ExprRef ct = d.var("ciphertext");
+    ExprRef rk = d.var("round_key");
+    ExprRef round = d.var("round");
+    ExprRef round1 = d.opAdd(round, d.lit(4, 1));
+
+    // Per-arm datapath computation (one AES round per cycle).
+    d.addWire("first_ct", 128);
+    d.assign("first_ct", d.opXor(d.var("plaintext"), d.var("key_in")));
+    d.addWire("first_rk", 128);
+    d.assign("first_rk", aes::keyExpand(b, d.var("key_in"),
+                                        d.lit(4, 1)));
+    d.addWire("mid_ct", 128);
+    d.assign("mid_ct", aes::cipherUpdateMidRound(b, ct, rk));
+    d.addWire("mid_rk", 128);
+    d.assign("mid_rk", aes::keyExpand(b, rk, round1));
+    d.addWire("final_ct", 128);
+    d.assign("final_ct", aes::cipherUpdateFinalRound(b, ct, rk));
+
+    // Conditional state updates, selected by the FSM arms.
+    d.assign("ciphertext",
+             muxChain(d,
+                      {{d.var("in_first"), d.var("first_ct")},
+                       {d.var("in_mid"), d.var("mid_ct")},
+                       {d.var("in_final"), d.var("final_ct")}},
+                      ct));
+    d.assign("round_key",
+             muxChain(d,
+                      {{d.var("in_first"), d.var("first_rk")},
+                       {d.var("in_mid"), d.var("mid_rk")}},
+                      rk));
+    d.assign("round", muxChain(d,
+                               {{d.var("in_first"), d.lit(4, 1)},
+                                {d.var("in_mid"), round1},
+                                {d.var("in_final"), round1}},
+                               round));
+    d.assign("ct_out", ct);
+    return d;
+}
+
+namespace
+{
+
+synth::AbsFunc
+makeAlpha()
+{
+    // §4.3: not pipelined — every effect at time step 1.
+    synth::AbsFunc a;
+    using synth::Effect;
+    using synth::MapType;
+    a.map("key_in", "key_in", MapType::Input, {{Effect::Read, 1}});
+    a.map("plaintext", "plaintext", MapType::Input,
+          {{Effect::Read, 1}});
+    a.map("round", "round", MapType::Register,
+          {{Effect::Read, 1}, {Effect::Write, 1}});
+    a.map("round_key", "round_key", MapType::Register,
+          {{Effect::Read, 1}, {Effect::Write, 1}});
+    a.map("ciphertext", "ciphertext", MapType::Register,
+          {{Effect::Read, 1}, {Effect::Write, 1}});
+    a.withCycles(1);
+    return a;
+}
+
+} // namespace
+
+CaseStudy
+makeAesAccelerator()
+{
+    return CaseStudy(makeAesSpec(), makeAesSketch(), makeAlpha());
+}
+
+} // namespace owl::designs

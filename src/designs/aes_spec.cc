@@ -1,0 +1,82 @@
+/**
+ * @file
+ * ILA specification for the AES-128 accelerator (paper §4.3). The
+ * CipherUpdate/KeyUpdate functions are instantiated from the shared
+ * round templates in aes_round.h; the S-box and round constants are
+ * MemConst lookup tables, compiled to immutable constant tables
+ * rather than uninterpreted functions (paper §5.1).
+ */
+
+#include "designs/aes_accelerator.h"
+#include "designs/aes_round.h"
+#include "designs/aes_tables.h"
+
+namespace owl::designs
+{
+
+using namespace owl::ila;
+
+namespace
+{
+
+/** aes_round.h builder over ILA expressions. */
+struct IlaAesBuilder
+{
+    using Expr = IlaExpr;
+    IlaContext &ctx;
+    IlaExpr sboxMem;
+    IlaExpr rconMem;
+
+    Expr ext(Expr x, int h, int l) { return Extract(x, h, l); }
+    Expr cat(Expr h, Expr l) { return Concat(h, l); }
+    Expr x_(Expr a, Expr b) { return a ^ b; }
+    Expr ite(Expr c, Expr t, Expr e) { return Ite(c, t, e); }
+    Expr c(int w, uint64_t v) { return BvConst(ctx, v, w); }
+    Expr shl1(Expr x) { return Shl(x, c(8, 1)); }
+    Expr sbox(Expr i) { return Load(sboxMem, i); }
+    Expr rcon(Expr i) { return Load(rconMem, i); }
+};
+
+} // namespace
+
+ila::Ila
+makeAesSpec()
+{
+    Ila ila("aes_ila");
+    auto key_in = ila.NewBvInput("key_in", 128);
+    auto plaintext = ila.NewBvInput("plaintext", 128);
+    auto round = ila.NewBvState("round", 4);
+    auto round_key = ila.NewBvState("round_key", 128);
+    auto ciphertext = ila.NewBvState("ciphertext", 128);
+    auto sbox = ila.NewMemConst("aes_sbox", 8, 8, aesSboxEntries());
+    auto rcon = ila.NewMemConst("aes_rcon", 4, 8, aesRconEntries());
+    auto bv = [&](uint64_t v, int w) { return BvConst(ila.ctx(), v, w); };
+
+    IlaAesBuilder b{ila.ctx(), sbox, rcon};
+
+    auto &first = ila.NewInstr("FirstRound");
+    first.SetDecode(round == bv(0, 4));
+    first.SetUpdate(ciphertext, plaintext ^ key_in);
+    first.SetUpdate(round_key,
+                    aes::keyExpand(b, key_in, bv(1, 4)));
+    first.SetUpdate(round, bv(1, 4));
+
+    auto &mid = ila.NewInstr("IntermediateRound");
+    mid.SetDecode(round > bv(0, 4) && round < bv(10, 4));
+    mid.SetUpdate(ciphertext,
+                  aes::cipherUpdateMidRound(b, ciphertext, round_key));
+    mid.SetUpdate(round_key,
+                  aes::keyExpand(b, round_key, round + bv(1, 4)));
+    mid.SetUpdate(round, round + bv(1, 4));
+
+    auto &fin = ila.NewInstr("FinalRound");
+    fin.SetDecode(round == bv(10, 4));
+    fin.SetUpdate(ciphertext,
+                  aes::cipherUpdateFinalRound(b, ciphertext,
+                                              round_key));
+    fin.SetUpdate(round, round + bv(1, 4));
+
+    return ila;
+}
+
+} // namespace owl::designs

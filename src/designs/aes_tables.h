@@ -1,0 +1,45 @@
+/**
+ * @file
+ * AES-128 constant tables (FIPS-197) and an independent software
+ * implementation used as the oracle for the accelerator tests.
+ */
+
+#ifndef OWL_DESIGNS_AES_TABLES_H
+#define OWL_DESIGNS_AES_TABLES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "base/bitvec.h"
+
+namespace owl::designs
+{
+
+/** The AES S-box. */
+extern const uint8_t aesSbox[256];
+/** Round constants rcon[1..10] (index 0 unused). */
+extern const uint8_t aesRcon[11];
+
+/** S-box as 8-bit BitVec entries (for ROMs / MemConst). */
+std::vector<BitVec> aesSboxEntries();
+/** rcon as 8-bit BitVec entries indexed by a 4-bit round number. */
+std::vector<BitVec> aesRconEntries();
+
+/**
+ * Reference software AES-128 block encryption (independent of the
+ * ILA/Oyster machinery; straight FIPS-197).
+ */
+void aesEncryptBlock(const uint8_t key[16], const uint8_t in[16],
+                     uint8_t out[16]);
+
+/**
+ * Pack 16 bytes into a 128-bit vector with byte 0 in bits [7:0] —
+ * the state layout both the ILA spec and the sketch use.
+ */
+BitVec aesPackBlock(const uint8_t bytes[16]);
+/** Inverse of aesPackBlock. */
+void aesUnpackBlock(const BitVec &v, uint8_t bytes[16]);
+
+} // namespace owl::designs
+
+#endif // OWL_DESIGNS_AES_TABLES_H

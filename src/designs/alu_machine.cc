@@ -1,0 +1,133 @@
+#include "designs/alu_machine.h"
+
+#include "oyster/builder.h"
+
+namespace owl::designs
+{
+
+using namespace owl::ila;
+using oyster::ExprRef;
+
+namespace
+{
+
+Ila
+makeSpec()
+{
+    // The §2.2 CreateAluIla listing, with four operations. op == 0 is
+    // a NOP whose only condition is the register-file frame.
+    Ila ila("alu_ila");
+    auto op = ila.NewBvInput("op", 2);
+    auto dest = ila.NewBvInput("dest", 2);
+    auto src1 = ila.NewBvInput("src1", 2);
+    auto src2 = ila.NewBvInput("src2", 2);
+    auto regs = ila.NewMemState("regs", 2, 8);
+    auto rs1_val = Load(regs, src1);
+    auto rs2_val = Load(regs, src2);
+    auto opc = [&](uint64_t v) { return BvConst(ila.ctx(), v, 2); };
+
+    auto &NOP = ila.NewInstr("NOP");
+    NOP.SetDecode(op == opc(0));
+
+    auto &ADD = ila.NewInstr("ADD");
+    ADD.SetDecode(op == opc(1));
+    ADD.SetUpdate(regs, Store(regs, dest, rs1_val + rs2_val));
+
+    auto &XOR = ila.NewInstr("XOR");
+    XOR.SetDecode(op == opc(2));
+    XOR.SetUpdate(regs, Store(regs, dest, rs1_val ^ rs2_val));
+
+    auto &SUB = ila.NewInstr("SUB");
+    SUB.SetDecode(op == opc(3));
+    SUB.SetUpdate(regs, Store(regs, dest, rs1_val - rs2_val));
+
+    return ila;
+}
+
+oyster::Design
+makeSketch()
+{
+    // Figure 2: three stages. Stage 1 reads the register file and the
+    // decoded fields; stage 2 runs the ALU; stage 3 writes back.
+    // Control (alu_op selection and the write enable) is left as
+    // holes, piped alongside the data.
+    oyster::Design d("alu_machine");
+    d.addInput("op", 2);
+    d.addInput("dest", 2);
+    d.addInput("src1", 2);
+    d.addInput("src2", 2);
+    d.addMemory("regfile", 2, 8);
+
+    // Stage 1/2 pipeline registers.
+    d.addRegister("a_reg", 8);
+    d.addRegister("b_reg", 8);
+    d.addRegister("dest1", 2);
+    d.addRegister("aluop_reg", 2);
+    d.addRegister("wen1", 1);
+    // Stage 2/3 pipeline registers.
+    d.addRegister("r_reg", 8);
+    d.addRegister("dest2", 2);
+    d.addRegister("wen2", 1);
+
+    d.addHole("alu_op", 2, {"op"});
+    d.addHole("reg_write", 1, {"op"});
+
+    // Stage 1: register read + control decode.
+    d.assign("a_reg", d.opRead("regfile", d.var("src1")));
+    d.assign("b_reg", d.opRead("regfile", d.var("src2")));
+    d.assign("dest1", d.var("dest"));
+    d.assign("aluop_reg", d.var("alu_op"));
+    d.assign("wen1", d.var("reg_write"));
+
+    // Stage 2: ALU.
+    ExprRef a = d.var("a_reg"), b = d.var("b_reg");
+    ExprRef alu = muxChain(
+        d,
+        {{d.opEq(d.var("aluop_reg"), d.lit(2, aluADD)), d.opAdd(a, b)},
+         {d.opEq(d.var("aluop_reg"), d.lit(2, aluXOR)), d.opXor(a, b)},
+         {d.opEq(d.var("aluop_reg"), d.lit(2, aluAND)), d.opAnd(a, b)}},
+        d.opSub(a, b));
+    d.assign("r_reg", alu);
+    d.assign("dest2", d.var("dest1"));
+    d.assign("wen2", d.var("wen1"));
+
+    // Stage 3: write back.
+    d.memWrite("regfile", d.var("dest2"), d.var("r_reg"),
+               d.var("wen2"));
+
+    // The pipeline-empty assumption wire: with a universally
+    // quantified initial state, in-flight garbage must be assumed
+    // away, exactly like the crypto core's instruction_valid (§4.2).
+    d.addWire("pipe_clear", 1);
+    d.assign("pipe_clear",
+             d.opAnd(d.opNot(d.var("wen1")), d.opNot(d.var("wen2"))));
+    return d;
+}
+
+synth::AbsFunc
+makeAlpha()
+{
+    // §3.2's example abstraction function for the three-stage ALU.
+    synth::AbsFunc a;
+    using synth::Effect;
+    using synth::MapType;
+    a.map("op", "op", MapType::Input, {{Effect::Read, 1}});
+    a.map("src1", "src1", MapType::Input, {{Effect::Read, 1}});
+    a.map("src2", "src2", MapType::Input, {{Effect::Read, 1}});
+    a.map("dest", "dest", MapType::Input, {{Effect::Read, 1}});
+    a.map("regs", "regfile", MapType::Memory,
+          {{Effect::Read, 1}, {Effect::Write, 3}});
+    a.withCycles(3);
+    a.assume("pipe_clear", 1);
+    return a;
+}
+
+} // namespace
+
+CaseStudy
+makeAluMachine()
+{
+    return CaseStudy(makeSpec(), makeSketch(), makeAlpha());
+}
+
+} // namespace owl::designs

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The ALU machine of paper §2.2 — the instruction-decoder control
+ * example, implemented as the three-stage pipeline of Figure 2. The
+ * abstraction function demonstrates multi-cycle read/write timing and
+ * a pipeline-empty assumption (the same mechanism the constant-time
+ * crypto core uses for instruction_valid).
+ */
+
+#ifndef OWL_DESIGNS_ALU_MACHINE_H
+#define OWL_DESIGNS_ALU_MACHINE_H
+
+#include "designs/case_study.h"
+
+namespace owl::designs
+{
+
+/** ALU function encodings used by the sketch's execute stage. */
+inline constexpr uint64_t aluADD = 0;
+inline constexpr uint64_t aluXOR = 1;
+inline constexpr uint64_t aluAND = 2;
+inline constexpr uint64_t aluSUB = 3;
+
+/** Build the three-stage ALU machine (spec, sketch, α). */
+CaseStudy makeAluMachine();
+
+} // namespace owl::designs
+
+#endif // OWL_DESIGNS_ALU_MACHINE_H

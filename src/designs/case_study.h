@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Common container for the paper's case studies: an ILA specification,
+ * a datapath sketch with holes, and the abstraction function binding
+ * them (the three inputs of Figure 4).
+ */
+
+#ifndef OWL_DESIGNS_CASE_STUDY_H
+#define OWL_DESIGNS_CASE_STUDY_H
+
+#include "core/absfunc.h"
+#include "ila/ila.h"
+#include "oyster/ir.h"
+
+namespace owl::designs
+{
+
+/** The three synthesis inputs for one case study. */
+struct CaseStudy
+{
+    ila::Ila spec;
+    oyster::Design sketch;
+    synth::AbsFunc alpha;
+
+    CaseStudy(ila::Ila s, oyster::Design d, synth::AbsFunc a)
+        : spec(std::move(s)), sketch(std::move(d)),
+          alpha(std::move(a))
+    {
+    }
+};
+
+} // namespace owl::designs
+
+#endif // OWL_DESIGNS_CASE_STUDY_H

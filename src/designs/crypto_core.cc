@@ -1,0 +1,353 @@
+#include "designs/crypto_core.h"
+
+#include "designs/riscv_datapath.h"
+#include "oyster/builder.h"
+
+namespace owl::designs
+{
+
+using namespace owl::ila;
+using namespace rvdp;
+using oyster::Design;
+using oyster::ExprRef;
+
+namespace
+{
+
+Ila
+makeSpec()
+{
+    Ila ila("crypto_core_ila");
+    auto pc = ila.NewBvState("pc", 32);
+    auto gpr = ila.NewMemState("GPR", 5, 32);
+    auto mem = ila.NewMemState("mem", 30, 32);
+    auto bv = [&](uint64_t v, int w) { return BvConst(ila.ctx(), v, w); };
+
+    auto inst = Load(mem, Extract(pc, 31, 2));
+    ila.SetFetch(inst);
+    auto opcode = Extract(inst, 6, 0);
+    auto rd = Extract(inst, 11, 7);
+    auto funct3 = Extract(inst, 14, 12);
+    auto rs1 = Extract(inst, 19, 15);
+    auto rs2 = Extract(inst, 24, 20);
+    auto funct7 = Extract(inst, 31, 25);
+    auto imm_i = SExt(Extract(inst, 31, 20), 32);
+    auto imm_s = SExt(
+        Concat(Extract(inst, 31, 25), Extract(inst, 11, 7)), 32);
+    auto imm_u = Concat(Extract(inst, 31, 12), bv(0, 12));
+    auto imm_j = SExt(
+        Concat(Concat(Extract(inst, 31, 31), Extract(inst, 19, 12)),
+               Concat(Extract(inst, 20, 20),
+                      Concat(Extract(inst, 30, 21), bv(0, 1)))),
+        32);
+    auto rs1_val = Load(gpr, rs1);
+    auto rs2_val = Load(gpr, rs2);
+    auto pc4 = pc + bv(4, 32);
+    auto writeRd = [&](const IlaExpr &val) {
+        return Store(gpr, rd, Ite(rd == bv(0, 5), Load(gpr, rd), val));
+    };
+    auto aluI = [&](const std::string &name, uint64_t f3,
+                    const IlaExpr &val) {
+        auto &i = ila.NewInstr(name);
+        i.SetDecode(opcode == bv(0x13, 7) && funct3 == bv(f3, 3));
+        i.SetUpdate(gpr, writeRd(val));
+        i.SetUpdate(pc, pc4);
+    };
+    auto shiftI = [&](const std::string &name, uint64_t f7, uint64_t f3,
+                      const IlaExpr &val) {
+        auto &i = ila.NewInstr(name);
+        i.SetDecode(opcode == bv(0x13, 7) && funct3 == bv(f3, 3) &&
+                    funct7 == bv(f7, 7));
+        i.SetUpdate(gpr, writeRd(val));
+        i.SetUpdate(pc, pc4);
+    };
+    auto aluR = [&](const std::string &name, uint64_t opc, uint64_t f7,
+                    uint64_t f3, const IlaExpr &val) {
+        auto &i = ila.NewInstr(name);
+        i.SetDecode(opcode == bv(opc, 7) && funct3 == bv(f3, 3) &&
+                    funct7 == bv(f7, 7));
+        i.SetUpdate(gpr, writeRd(val));
+        i.SetUpdate(pc, pc4);
+    };
+
+    auto &lui = ila.NewInstr("LUI");
+    lui.SetDecode(opcode == bv(0x37, 7));
+    lui.SetUpdate(gpr, writeRd(imm_u));
+    lui.SetUpdate(pc, pc4);
+
+    auto &jal = ila.NewInstr("JAL");
+    jal.SetDecode(opcode == bv(0x6f, 7));
+    jal.SetUpdate(gpr, writeRd(pc4));
+    jal.SetUpdate(pc, pc + imm_j);
+
+    // Word-only loads/stores (the SHA workload is word-aligned).
+    auto &lw = ila.NewInstr("LW");
+    lw.SetDecode(opcode == bv(0x03, 7) && funct3 == bv(2, 3));
+    lw.SetUpdate(gpr,
+                 writeRd(Load(mem, Extract(rs1_val + imm_i, 31, 2))));
+    lw.SetUpdate(pc, pc4);
+
+    auto &sw = ila.NewInstr("SW");
+    sw.SetDecode(opcode == bv(0x23, 7) && funct3 == bv(2, 3));
+    sw.SetUpdate(mem, Store(mem, Extract(rs1_val + imm_s, 31, 2),
+                            rs2_val));
+    sw.SetUpdate(pc, pc4);
+
+    IlaExpr shamt = ZExt(Extract(inst, 24, 20), 32);
+    aluI("ADDI", 0, rs1_val + imm_i);
+    aluI("XORI", 4, rs1_val ^ imm_i);
+    aluI("ORI", 6, rs1_val | imm_i);
+    aluI("ANDI", 7, rs1_val & imm_i);
+    shiftI("SLLI", 0x00, 1, Shl(rs1_val, shamt));
+    shiftI("SRLI", 0x00, 5, Lshr(rs1_val, shamt));
+    shiftI("RORI", 0x30, 5, Ror(rs1_val, shamt));
+    aluR("ADD", 0x33, 0x00, 0, rs1_val + rs2_val);
+    aluR("SUB", 0x33, 0x20, 0, rs1_val - rs2_val);
+    aluR("XOR", 0x33, 0x00, 4, rs1_val ^ rs2_val);
+    aluR("OR", 0x33, 0x00, 6, rs1_val | rs2_val);
+    aluR("AND", 0x33, 0x00, 7, rs1_val & rs2_val);
+    // Custom conditional move: rd := (rs1 != 0) ? rs2 : rd.
+    aluR("CMOV", 0x0b, 0x00, 0,
+         Ite(rs1_val != bv(0, 32), rs2_val, Load(gpr, rd)));
+
+    return ila;
+}
+
+Design
+makeSketch()
+{
+    // Three stages: IF | ID+EX | MEM+WB. Zbkb-capable ALU for RORI.
+    const RiscvVariant alu_variant = RiscvVariant::RV32I_Zbkb;
+    Design d("crypto_core");
+    d.addRegister("pc", 32);    // architectural pc (retire view)
+    d.addRegister("f_pc", 32);  // speculating fetch pc
+    d.addMemory("i_mem", 30, 32);
+    d.addMemory("d_mem", 30, 32);
+    d.addMemory("rf", 5, 32);
+
+    // IF/EX pipeline registers.
+    d.addRegister("p1_inst", 32);
+    d.addRegister("p1_pc", 32);
+    d.addRegister("p1_v", 1);
+    // EX/MEM pipeline registers.
+    d.addRegister("p2_wbval", 32);
+    d.addRegister("p2_alu", 32);
+    d.addRegister("p2_store", 32);
+    d.addRegister("p2_rd", 5);
+    d.addRegister("p2_mem_read", 1);
+    d.addRegister("p2_mem_write", 1);
+    d.addRegister("p2_reg_write", 1);
+
+    // ---- Stage 2 decode (the control point of this core) ----
+    d.addWire("inst2", 32);
+    d.assign("inst2", d.var("p1_inst"));
+    DecodeFields f = decodeFields(d, d.var("inst2"));
+    d.addWire("opcode", 7);
+    d.assign("opcode", f.opcode);
+    d.addWire("funct3", 3);
+    d.assign("funct3", f.funct3);
+    d.addWire("funct7", 7);
+    d.assign("funct7", f.funct7);
+
+    std::vector<std::string> deps = {"opcode", "funct3", "funct7"};
+    d.addHole("imm_sel", 3, deps);
+    d.addHole("alu_imm", 1, deps);
+    d.addHole("alu_op", 5, deps);
+    d.addHole("cmov_sel", 1, deps);
+    d.addHole("mem_read", 1, deps);
+    d.addHole("mem_write", 1, deps);
+    d.addHole("reg_write", 1, deps);
+    d.addHole("jump", 1, deps);
+
+    d.addWire("rs1_val", 32);
+    d.assign("rs1_val", d.opRead("rf", f.rs1));
+    d.addWire("rs2_val", 32);
+    d.assign("rs2_val", d.opRead("rf", f.rs2));
+    d.addWire("rd_val", 32);
+    d.assign("rd_val", d.opRead("rf", f.rd));
+
+    d.addWire("imm", 32);
+    d.assign("imm", immediateMux(d, f, d.var("imm_sel")));
+    d.addWire("alu_in2", 32);
+    d.assign("alu_in2",
+             d.opIte(d.var("alu_imm"), d.var("imm"), d.var("rs2_val")));
+    d.addWire("alu_out", 32);
+    d.assign("alu_out", alu(d, alu_variant, d.var("alu_op"),
+                            d.var("rs1_val"), d.var("alu_in2")));
+    d.addWire("cmov_res", 32);
+    d.assign("cmov_res",
+             d.opIte(d.opNe(d.var("rs1_val"), d.lit(32, 0)),
+                     d.var("rs2_val"), d.var("rd_val")));
+
+    // pc resolution in stage 2; taken jumps squash the wrong-path
+    // instruction currently in stage 1.
+    d.addWire("pc4_2", 32);
+    d.assign("pc4_2", d.opAdd(d.var("p1_pc"), d.lit(32, 4)));
+    d.addWire("jump_target", 32);
+    d.assign("jump_target", d.opAdd(d.var("p1_pc"), d.var("imm")));
+    d.addWire("squash", 1);
+    d.assign("squash", d.opAnd(d.var("p1_v"), d.var("jump")));
+    d.assign("pc", d.opIte(d.var("p1_v"),
+                           d.opIte(d.var("jump"), d.var("jump_target"),
+                                   d.var("pc4_2")),
+                           d.var("pc")));
+    d.assign("f_pc", d.opIte(d.var("squash"), d.var("jump_target"),
+                             d.opAdd(d.var("f_pc"), d.lit(32, 4))));
+
+    // ---- Stage 1 fetch (latches into p1_*) ----
+    d.addWire("instruction", 32);
+    d.assign("instruction",
+             d.opRead("i_mem", d.opExtract(d.var("f_pc"), 31, 2)));
+    d.assign("p1_inst", d.var("instruction"));
+    d.assign("p1_pc", d.var("f_pc"));
+    d.assign("p1_v", d.opNot(d.var("squash")));
+
+    // ---- EX/MEM latch ----
+    d.assign("p2_wbval",
+             d.opIte(d.var("jump"), d.var("pc4_2"),
+                     d.opIte(d.var("cmov_sel"), d.var("cmov_res"),
+                             d.var("alu_out"))));
+    d.assign("p2_alu", d.var("alu_out"));
+    d.assign("p2_store", d.var("rs2_val"));
+    d.assign("p2_rd", f.rd);
+    d.assign("p2_mem_read", d.var("mem_read"));
+    d.assign("p2_mem_write",
+             d.opAnd(d.var("mem_write"), d.var("p1_v")));
+    d.assign("p2_reg_write",
+             d.opAnd(d.var("reg_write"), d.var("p1_v")));
+
+    // ---- Stage 3: memory + write back ----
+    d.addWire("mem_word_addr", 30);
+    d.assign("mem_word_addr", d.opExtract(d.var("p2_alu"), 31, 2));
+    d.addWire("mem_rdata", 32);
+    d.assign("mem_rdata", d.opRead("d_mem", d.var("mem_word_addr")));
+    d.memWrite("d_mem", d.var("mem_word_addr"), d.var("p2_store"),
+               d.var("p2_mem_write"));
+    d.addWire("wb", 32);
+    d.assign("wb", d.opIte(d.var("p2_mem_read"), d.var("mem_rdata"),
+                           d.var("p2_wbval")));
+    d.memWrite("rf", d.var("p2_rd"), d.var("wb"),
+               d.opAnd(d.var("p2_reg_write"),
+                       d.opNe(d.var("p2_rd"), d.lit(5, 0))));
+
+    // Assumption wires: together these are the `instruction_valid`
+    // story of §4.2 — the analyzed instruction is fetched into an
+    // empty, synchronized pipeline and is not going to be flushed.
+    d.addWire("instruction_valid", 1);
+    d.assign("instruction_valid", d.opNot(d.var("squash")));
+    d.addWire("stage1_bubble", 1);
+    d.assign("stage1_bubble", d.opNot(d.var("p1_v")));
+    d.addWire("stage2_bubble", 1);
+    d.assign("stage2_bubble",
+             d.opAnd(d.opNot(d.var("p2_mem_write")),
+                     d.opNot(d.var("p2_reg_write"))));
+    d.addWire("fetch_sync", 1);
+    d.assign("fetch_sync", d.opEq(d.var("f_pc"), d.var("pc")));
+    return d;
+}
+
+synth::AbsFunc
+makeAlpha()
+{
+    // §4.2's three-stage abstraction function.
+    synth::AbsFunc a;
+    using synth::Effect;
+    using synth::MapType;
+    a.map("pc", "pc", MapType::Register,
+          {{Effect::Read, 1}, {Effect::Write, 2}});
+    a.map("GPR", "rf", MapType::Memory,
+          {{Effect::Read, 2}, {Effect::Write, 3}});
+    a.map("mem", "d_mem", MapType::Memory,
+          {{Effect::Read, 3}, {Effect::Write, 3}});
+    a.mapFetch("mem", "i_mem", {{Effect::Read, 1}}, "inst2");
+    a.withCycles(3);
+    a.assume("instruction_valid", 1);
+    a.assume("stage1_bubble", 1);
+    a.assume("stage2_bubble", 1);
+    // Fetch synchronization: the speculating fetch pc equals the
+    // architectural pc at the start of the window. Expressed as an
+    // initial-state alias so term sharing survives (DESIGN.md §3).
+    a.aliasInit("pc", "f_pc");
+    return a;
+}
+
+} // namespace
+
+CaseStudy
+makeCryptoCore()
+{
+    return CaseStudy(makeSpec(), makeSketch(), makeAlpha());
+}
+
+void
+completeCryptoCoreByHand(oyster::Design &d)
+{
+    using oyster::muxChain;
+    auto ctl = [&](const std::string &name, ExprRef e) {
+        d.convertHoleToWire(name);
+        d.assign(name, e, /*generated=*/true);
+    };
+    auto opIs = [&](uint64_t v) {
+        return d.opEq(d.var("opcode"), d.lit(7, v));
+    };
+    auto f3Is = [&](uint64_t v) {
+        return d.opEq(d.var("funct3"), d.lit(3, v));
+    };
+    auto f7Is = [&](uint64_t v) {
+        return d.opEq(d.var("funct7"), d.lit(7, v));
+    };
+    auto aop = [&](uint64_t v) { return d.lit(5, v); };
+
+    d.addWire("is_lui", 1);
+    d.assign("is_lui", opIs(0x37), true);
+    d.addWire("is_jal", 1);
+    d.assign("is_jal", opIs(0x6f), true);
+    d.addWire("is_lw", 1);
+    d.assign("is_lw", opIs(0x03), true);
+    d.addWire("is_sw", 1);
+    d.assign("is_sw", opIs(0x23), true);
+    d.addWire("is_opimm", 1);
+    d.assign("is_opimm", opIs(0x13), true);
+    d.addWire("is_op", 1);
+    d.assign("is_op", opIs(0x33), true);
+    d.addWire("is_cmov", 1);
+    d.assign("is_cmov", opIs(0x0b), true);
+
+    ctl("imm_sel",
+        muxChain(d,
+                 {{d.var("is_sw"), d.lit(3, rvdp::immS)},
+                  {d.var("is_lui"), d.lit(3, rvdp::immU)},
+                  {d.var("is_jal"), d.lit(3, rvdp::immJ)}},
+                 d.lit(3, rvdp::immI)));
+    ctl("alu_imm",
+        d.opNot(d.opOr(d.var("is_op"), d.var("is_cmov"))));
+    ExprRef imm_alu = muxChain(
+        d,
+        {{f3Is(0), aop(aluADD)},
+         {f3Is(4), aop(aluXOR)},
+         {f3Is(6), aop(aluOR)},
+         {f3Is(7), aop(aluAND)},
+         {f3Is(1), aop(aluSLL)}},
+        d.opIte(f7Is(0x30), aop(aluROR), aop(aluSRL)));
+    ExprRef op_alu = muxChain(
+        d,
+        {{f3Is(0), d.opIte(f7Is(0x20), aop(aluSUB), aop(aluADD))},
+         {f3Is(4), aop(aluXOR)},
+         {f3Is(6), aop(aluOR)}},
+        aop(aluAND));
+    ctl("alu_op", muxChain(d,
+                           {{d.var("is_lui"), aop(aluCOPY2)},
+                            {d.var("is_opimm"), imm_alu},
+                            {d.var("is_op"), op_alu}},
+                           aop(aluADD)));
+    ctl("cmov_sel", d.var("is_cmov"));
+    ctl("mem_read", d.var("is_lw"));
+    ctl("mem_write", d.var("is_sw"));
+    ctl("reg_write", d.opNot(d.var("is_sw")));
+    ctl("jump", d.var("is_jal"));
+
+    d.sortStatements();
+    d.validate(/*allow_holes=*/false);
+}
+
+} // namespace owl::designs

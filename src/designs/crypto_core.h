@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The bespoke constant-time cryptography core (paper §4.2).
+ *
+ * The ISA is the RISC-V subset needed to execute SHA-256 with all
+ * conditional branches removed, plus a custom conditional move:
+ *
+ *   CMOV rd, rs1, rs2:  rd := (rs1 != 0) ? rs2 : rd
+ *
+ * (R-type on the custom-0 opcode 0x0b). Because no instruction's
+ * latency depends on data, programs execute in a number of cycles
+ * independent of their input values — the property §5.2 measures.
+ *
+ * The datapath is a three-stage pipeline: (1) instruction fetch with
+ * a speculating fetch pc, (2) decode + execute (pc resolves here;
+ * taken jumps squash the wrong-path fetch), (3) memory + write back.
+ * The abstraction function assumes, at cycle 1, that the in-flight
+ * pipeline slots hold bubbles and that the fetch pc agrees with the
+ * architectural pc — these wires jointly play the role of the paper's
+ * `instruction_valid` assumption for control hazards.
+ */
+
+#ifndef OWL_DESIGNS_CRYPTO_CORE_H
+#define OWL_DESIGNS_CRYPTO_CORE_H
+
+#include "designs/case_study.h"
+
+namespace owl::designs
+{
+
+/** Number of instructions in the crypto-core ISA. */
+inline constexpr int cryptoIsaInstrCount = 17;
+
+/** Build the constant-time crypto core (spec, sketch, α). */
+CaseStudy makeCryptoCore();
+
+/**
+ * Fill the crypto-core sketch's holes with hand-written control — the
+ * reference the paper compares cycle counts against in §5.2.
+ */
+void completeCryptoCoreByHand(oyster::Design &sketch);
+
+} // namespace owl::designs
+
+#endif // OWL_DESIGNS_CRYPTO_CORE_H

@@ -1,0 +1,208 @@
+#include "designs/riscv_datapath.h"
+
+#include "oyster/builder.h"
+
+namespace owl::designs::rvdp
+{
+
+using oyster::muxChain;
+
+DecodeFields
+decodeFields(Design &d, ExprRef inst)
+{
+    DecodeFields f;
+    f.opcode = d.opExtract(inst, 6, 0);
+    f.rd = d.opExtract(inst, 11, 7);
+    f.funct3 = d.opExtract(inst, 14, 12);
+    f.rs1 = d.opExtract(inst, 19, 15);
+    f.rs2 = d.opExtract(inst, 24, 20);
+    f.funct7 = d.opExtract(inst, 31, 25);
+
+    f.imm_i = d.opSExt(d.opExtract(inst, 31, 20), 32);
+    f.imm_s = d.opSExt(
+        d.opConcat(d.opExtract(inst, 31, 25), d.opExtract(inst, 11, 7)),
+        32);
+    f.imm_b = d.opSExt(
+        d.opConcat(d.opConcat(d.opExtract(inst, 31, 31),
+                              d.opExtract(inst, 7, 7)),
+                   d.opConcat(d.opExtract(inst, 30, 25),
+                              d.opConcat(d.opExtract(inst, 11, 8),
+                                         d.lit(1, 0)))),
+        32);
+    f.imm_u = d.opConcat(d.opExtract(inst, 31, 12), d.lit(12, 0));
+    f.imm_j = d.opSExt(
+        d.opConcat(d.opConcat(d.opExtract(inst, 31, 31),
+                              d.opExtract(inst, 19, 12)),
+                   d.opConcat(d.opExtract(inst, 20, 20),
+                              d.opConcat(d.opExtract(inst, 30, 21),
+                                         d.lit(1, 0)))),
+        32);
+    return f;
+}
+
+ExprRef
+immediateMux(Design &d, const DecodeFields &f, ExprRef imm_sel)
+{
+    auto is = [&](uint64_t v) {
+        return d.opEq(imm_sel, d.lit(3, v));
+    };
+    return muxChain(d,
+                    {{is(immI), f.imm_i},
+                     {is(immS), f.imm_s},
+                     {is(immB), f.imm_b},
+                     {is(immU), f.imm_u}},
+                    f.imm_j);
+}
+
+namespace
+{
+
+/** rev8: byte reversal — mirrors SpecBuilder::rev8. */
+ExprRef
+rev8Expr(Design &d, ExprRef x)
+{
+    return d.opConcat(
+        d.opExtract(x, 7, 0),
+        d.opConcat(d.opExtract(x, 15, 8),
+                   d.opConcat(d.opExtract(x, 23, 16),
+                              d.opExtract(x, 31, 24))));
+}
+
+/** brev8: reverse bits within each byte. */
+ExprRef
+brev8Expr(Design &d, ExprRef x)
+{
+    ExprRef out = d.opExtract(x, 7, 7);
+    bool first = true;
+    for (int byte = 0; byte < 4; byte++) {
+        for (int bit = 0; bit < 8; bit++) {
+            int dst = byte * 8 + (7 - bit);
+            if (first) {
+                out = d.opExtract(x, dst, dst);
+                first = false;
+            } else {
+                out = d.opConcat(d.opExtract(x, dst, dst), out);
+            }
+        }
+    }
+    return out;
+}
+
+ExprRef
+zipExpr(Design &d, ExprRef x)
+{
+    ExprRef out = d.opExtract(x, 0, 0);
+    for (int i = 0; i < 32; i++) {
+        int src = (i % 2 == 0) ? i / 2 : i / 2 + 16;
+        ExprRef bit = d.opExtract(x, src, src);
+        out = (i == 0) ? bit : d.opConcat(bit, out);
+    }
+    return out;
+}
+
+ExprRef
+unzipExpr(Design &d, ExprRef x)
+{
+    ExprRef out = d.opExtract(x, 0, 0);
+    for (int i = 0; i < 32; i++) {
+        int src = (i < 16) ? 2 * i : 2 * (i - 16) + 1;
+        ExprRef bit = d.opExtract(x, src, src);
+        out = (i == 0) ? bit : d.opConcat(bit, out);
+    }
+    return out;
+}
+
+} // namespace
+
+ExprRef
+alu(Design &d, RiscvVariant variant, ExprRef op5, ExprRef a, ExprRef b)
+{
+    ExprRef sh = d.opZExt(d.opExtract(b, 4, 0), 32);
+    auto is = [&](uint64_t v) { return d.opEq(op5, d.lit(5, v)); };
+    std::vector<oyster::CondArm> arms = {
+        {is(aluADD), d.opAdd(a, b)},
+        {is(aluSUB), d.opSub(a, b)},
+        {is(aluSLL), d.opShl(a, sh)},
+        {is(aluSLT), d.opZExt(d.opSlt(a, b), 32)},
+        {is(aluSLTU), d.opZExt(d.opUlt(a, b), 32)},
+        {is(aluXOR), d.opXor(a, b)},
+        {is(aluSRL), d.opLshr(a, sh)},
+        {is(aluSRA), d.opAshr(a, sh)},
+        {is(aluOR), d.opOr(a, b)},
+        {is(aluAND), d.opAnd(a, b)},
+    };
+    if (variant == RiscvVariant::RV32I_Zbkb ||
+        variant == RiscvVariant::RV32I_Zbkc) {
+        arms.push_back({is(aluROL), d.opRol(a, sh)});
+        arms.push_back({is(aluROR), d.opRor(a, sh)});
+        arms.push_back({is(aluANDN), d.opAnd(a, d.opNot(b))});
+        arms.push_back({is(aluORN), d.opOr(a, d.opNot(b))});
+        arms.push_back({is(aluXNOR), d.opNot(d.opXor(a, b))});
+        arms.push_back({is(aluREV8), rev8Expr(d, a)});
+        arms.push_back({is(aluBREV8), brev8Expr(d, a)});
+        arms.push_back({is(aluZIP), zipExpr(d, a)});
+        arms.push_back({is(aluUNZIP), unzipExpr(d, a)});
+        arms.push_back(
+            {is(aluPACK),
+             d.opConcat(d.opExtract(b, 15, 0), d.opExtract(a, 15, 0))});
+        arms.push_back(
+            {is(aluPACKH),
+             d.opZExt(d.opConcat(d.opExtract(b, 7, 0),
+                                 d.opExtract(a, 7, 0)),
+                      32)});
+    }
+    if (variant == RiscvVariant::RV32I_Zbkc) {
+        arms.push_back({is(aluCLMUL), d.opClmul(a, b)});
+        arms.push_back({is(aluCLMULH), d.opClmulh(a, b)});
+    }
+    // COPY2 (LUI) is the default arm.
+    return muxChain(d, arms, b);
+}
+
+ExprRef
+branchTaken(Design &d, ExprRef branch_en, ExprRef branch_cmp,
+            ExprRef branch_neg, ExprRef a, ExprRef b)
+{
+    ExprRef cmp = muxChain(
+        d,
+        {{d.opEq(branch_cmp, d.lit(2, cmpEQ)), d.opEq(a, b)},
+         {d.opEq(branch_cmp, d.lit(2, cmpLT)), d.opSlt(a, b)}},
+        d.opUlt(a, b));
+    return d.opAnd(branch_en, d.opXor(cmp, branch_neg));
+}
+
+ExprRef
+loadValue(Design &d, ExprRef word, ExprRef offset2, ExprRef mask_mode,
+          ExprRef sign_ext)
+{
+    ExprRef off5 = d.opZExt(d.opConcat(offset2, d.lit(3, 0)), 32);
+    ExprRef shifted = d.opLshr(word, off5);
+    ExprRef b = d.opExtract(shifted, 7, 0);
+    ExprRef h = d.opExtract(shifted, 15, 0);
+    ExprRef byte_v = d.opIte(sign_ext, d.opSExt(b, 32),
+                             d.opZExt(b, 32));
+    ExprRef half_v = d.opIte(sign_ext, d.opSExt(h, 32),
+                             d.opZExt(h, 32));
+    return muxChain(
+        d,
+        {{d.opEq(mask_mode, d.lit(2, maskByte)), byte_v},
+         {d.opEq(mask_mode, d.lit(2, maskHalf)), half_v}},
+        shifted);
+}
+
+ExprRef
+storeMerge(Design &d, ExprRef old_word, ExprRef store_val,
+           ExprRef offset2, ExprRef mask_mode)
+{
+    ExprRef off5 = d.opZExt(d.opConcat(offset2, d.lit(3, 0)), 32);
+    ExprRef mask = muxChain(
+        d,
+        {{d.opEq(mask_mode, d.lit(2, maskByte)), d.lit(32, 0xff)},
+         {d.opEq(mask_mode, d.lit(2, maskHalf)), d.lit(32, 0xffff)}},
+        d.lit(BitVec::ones(32)));
+    ExprRef kept = d.opAnd(old_word, d.opNot(d.opShl(mask, off5)));
+    ExprRef field = d.opShl(d.opAnd(store_val, mask), off5);
+    return d.opOr(kept, field);
+}
+
+} // namespace owl::designs::rvdp

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared datapath building blocks for the RISC-V sketches: decode
+ * field extraction, immediate formats, the ALU (base + Zbkb + Zbkc
+ * functional units), branch comparison, and the load/store byte
+ * lane logic. Used by the single-cycle core, the two-stage core and
+ * the constant-time crypto core so the three sketches stay
+ * structurally consistent (and consistent with the ILA spec, which
+ * maximizes term sharing during synthesis).
+ */
+
+#ifndef OWL_DESIGNS_RISCV_DATAPATH_H
+#define OWL_DESIGNS_RISCV_DATAPATH_H
+
+#include "designs/riscv_spec.h"
+#include "oyster/ir.h"
+
+namespace owl::designs::rvdp
+{
+
+using oyster::Design;
+using oyster::ExprRef;
+
+/** ALU function encodings (5-bit alu_op control signal). */
+enum AluOp : uint64_t
+{
+    aluADD = 0,
+    aluSUB,
+    aluSLL,
+    aluSLT,
+    aluSLTU,
+    aluXOR,
+    aluSRL,
+    aluSRA,
+    aluOR,
+    aluAND,
+    aluCOPY2,  ///< pass operand B through (LUI)
+    aluROL,
+    aluROR,
+    aluANDN,
+    aluORN,
+    aluXNOR,
+    aluREV8,
+    aluBREV8,
+    aluZIP,
+    aluUNZIP,
+    aluPACK,
+    aluPACKH,
+    aluCLMUL,
+    aluCLMULH,
+};
+
+/** Immediate-format selector encodings (3-bit imm_sel signal). */
+enum ImmSel : uint64_t
+{
+    immI = 0,
+    immS,
+    immB,
+    immU,
+    immJ,
+};
+
+/** Branch comparison encodings (2-bit branch_cmp signal). */
+enum BranchCmp : uint64_t
+{
+    cmpEQ = 0,
+    cmpLT,
+    cmpLTU,
+};
+
+/** Memory access size encodings (2-bit mask_mode signal). */
+enum MaskMode : uint64_t
+{
+    maskByte = 0,
+    maskHalf,
+    maskWord,
+};
+
+/** Decoded instruction fields. */
+struct DecodeFields
+{
+    ExprRef opcode, rd, funct3, rs1, rs2, funct7;
+    ExprRef imm_i, imm_s, imm_b, imm_u, imm_j;
+};
+
+/** Extract all decode fields and immediates from `inst` (32-bit). */
+DecodeFields decodeFields(Design &d, ExprRef inst);
+
+/** Immediate mux over the five formats. */
+ExprRef immediateMux(Design &d, const DecodeFields &f, ExprRef imm_sel);
+
+/**
+ * The ALU: a mux over the functions enabled by the variant. Operand B
+ * supplies both the second value and (its low 5 bits) the shift
+ * amount.
+ */
+ExprRef alu(Design &d, RiscvVariant variant, ExprRef op5, ExprRef a,
+            ExprRef b);
+
+/** Branch unit: cmp-select + polarity. */
+ExprRef branchTaken(Design &d, ExprRef branch_en, ExprRef branch_cmp,
+                    ExprRef branch_neg, ExprRef a, ExprRef b);
+
+/**
+ * Load lane select: shift the fetched word right by the byte offset
+ * and extend per mask_mode/sign.
+ */
+ExprRef loadValue(Design &d, ExprRef word, ExprRef offset2,
+                  ExprRef mask_mode, ExprRef sign_ext);
+
+/** Store merge: read-modify-write of the masked field. */
+ExprRef storeMerge(Design &d, ExprRef old_word, ExprRef store_val,
+                   ExprRef offset2, ExprRef mask_mode);
+
+} // namespace owl::designs::rvdp
+
+#endif // OWL_DESIGNS_RISCV_DATAPATH_H

@@ -1,0 +1,150 @@
+#include "designs/riscv_reference_control.h"
+
+#include "designs/riscv_datapath.h"
+#include "oyster/builder.h"
+
+namespace owl::designs
+{
+
+using namespace rvdp;
+using oyster::Design;
+using oyster::ExprRef;
+using oyster::muxChain;
+
+void
+completeSingleCycleByHand(oyster::Design &d, RiscvVariant variant)
+{
+    bool zbkb = variant != RiscvVariant::RV32I;
+    bool zbkc = variant == RiscvVariant::RV32I_Zbkc;
+    auto ctl = [&](const std::string &name, ExprRef e) {
+        d.convertHoleToWire(name);
+        d.assign(name, e, /*generated=*/true);
+    };
+    auto opIs = [&](uint64_t v) {
+        return d.opEq(d.var("opcode"), d.lit(7, v));
+    };
+    auto f3Is = [&](uint64_t v) {
+        return d.opEq(d.var("funct3"), d.lit(3, v));
+    };
+    auto f7Is = [&](uint64_t v) {
+        return d.opEq(d.var("funct7"), d.lit(7, v));
+    };
+    auto aop = [&](uint64_t v) { return d.lit(5, v); };
+
+    // Opcode class wires.
+    d.addWire("is_load", 1);
+    d.assign("is_load", opIs(0x03), true);
+    d.addWire("is_store", 1);
+    d.assign("is_store", opIs(0x23), true);
+    d.addWire("is_opimm", 1);
+    d.assign("is_opimm", opIs(0x13), true);
+    d.addWire("is_op", 1);
+    d.assign("is_op", opIs(0x33), true);
+    d.addWire("is_branch", 1);
+    d.assign("is_branch", opIs(0x63), true);
+    d.addWire("is_lui", 1);
+    d.assign("is_lui", opIs(0x37), true);
+    d.addWire("is_auipc", 1);
+    d.assign("is_auipc", opIs(0x17), true);
+    d.addWire("is_jal", 1);
+    d.assign("is_jal", opIs(0x6f), true);
+    d.addWire("is_jalr", 1);
+    d.assign("is_jalr", opIs(0x67), true);
+    d.addWire("imm12", 12);
+    d.assign("imm12", d.opExtract(d.var("instruction"), 31, 20), true);
+
+    ctl("imm_sel",
+        muxChain(d,
+                 {{d.var("is_store"), d.lit(3, immS)},
+                  {d.var("is_branch"), d.lit(3, immB)},
+                  {d.opOr(d.var("is_lui"), d.var("is_auipc")),
+                   d.lit(3, immU)},
+                  {d.var("is_jal"), d.lit(3, immJ)}},
+                 d.lit(3, immI)));
+    ctl("alu_pc", d.var("is_auipc"));
+    ctl("alu_imm",
+        d.opNot(d.opOr(d.var("is_op"), d.var("is_branch"))));
+
+    // ALU function decode.
+    ExprRef f3 = d.var("funct3");
+    ExprRef base_r = muxChain(
+        d,
+        {{f3Is(0), d.opIte(f7Is(0x20), aop(aluSUB), aop(aluADD))},
+         {f3Is(1), aop(aluSLL)},
+         {f3Is(2), aop(aluSLT)},
+         {f3Is(3), aop(aluSLTU)},
+         {f3Is(4), aop(aluXOR)},
+         {f3Is(5), d.opIte(f7Is(0x20), aop(aluSRA), aop(aluSRL))},
+         {f3Is(6), aop(aluOR)}},
+        aop(aluAND));
+    ExprRef op_r = base_r;
+    if (zbkb) {
+        op_r = muxChain(
+            d,
+            {{f7Is(0x30), d.opIte(f3Is(1), aop(aluROL), aop(aluROR))},
+             {d.opAnd(f7Is(0x20), f3Is(4)), aop(aluXNOR)},
+             {d.opAnd(f7Is(0x20), f3Is(6)), aop(aluORN)},
+             {d.opAnd(f7Is(0x20), f3Is(7)), aop(aluANDN)},
+             {f7Is(0x04),
+              d.opIte(f3Is(4), aop(aluPACK), aop(aluPACKH))}},
+            base_r);
+    }
+    if (zbkc) {
+        op_r = d.opIte(f7Is(0x05),
+                       d.opIte(f3Is(1), aop(aluCLMUL), aop(aluCLMULH)),
+                       op_r);
+    }
+    ExprRef shift_i =
+        d.opIte(f7Is(0x20), aop(aluSRA), aop(aluSRL));
+    if (zbkb) {
+        auto imm12Is = [&](uint64_t v) {
+            return d.opEq(d.var("imm12"), d.lit(12, v));
+        };
+        shift_i = muxChain(
+            d,
+            {{f7Is(0x00), aop(aluSRL)},
+             {f7Is(0x20), aop(aluSRA)},
+             {f7Is(0x30), aop(aluROR)},
+             {imm12Is(0x698), aop(aluREV8)},
+             {imm12Is(0x687), aop(aluBREV8)}},
+            aop(aluUNZIP));
+    }
+    ExprRef slli_i = aop(aluSLL);
+    if (zbkb)
+        slli_i = d.opIte(f7Is(0x00), aop(aluSLL), aop(aluZIP));
+    ExprRef op_i = muxChain(
+        d,
+        {{f3Is(0), aop(aluADD)},
+         {f3Is(1), slli_i},
+         {f3Is(2), aop(aluSLT)},
+         {f3Is(3), aop(aluSLTU)},
+         {f3Is(4), aop(aluXOR)},
+         {f3Is(5), shift_i},
+         {f3Is(6), aop(aluOR)}},
+        aop(aluAND));
+    ctl("alu_op", muxChain(d,
+                           {{d.var("is_lui"), aop(aluCOPY2)},
+                            {d.var("is_op"), op_r},
+                            {d.var("is_opimm"), op_i}},
+                           aop(aluADD)));
+
+    ctl("mem_read", d.var("is_load"));
+    ctl("mem_write", d.var("is_store"));
+    ctl("mask_mode", d.opExtract(f3, 1, 0));
+    ctl("mem_sign_ext", d.opNot(d.opExtract(f3, 2, 2)));
+    ctl("reg_write",
+        d.opNot(d.opOr(d.var("is_store"), d.var("is_branch"))));
+    ctl("jump", d.opOr(d.var("is_jal"), d.var("is_jalr")));
+    ctl("jalr_sel", d.var("is_jalr"));
+    ctl("branch_en", d.var("is_branch"));
+    ctl("branch_cmp",
+        d.opIte(d.opNot(d.opExtract(f3, 2, 2)), d.lit(2, cmpEQ),
+                d.opIte(d.opNot(d.opExtract(f3, 1, 1)), d.lit(2, cmpLT),
+                        d.lit(2, cmpLTU))));
+    ctl("branch_neg", d.opExtract(f3, 0, 0));
+
+    d.sortStatements();
+    d.validate(/*allow_holes=*/false);
+}
+
+} // namespace owl::designs

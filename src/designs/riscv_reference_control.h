@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Hand-written reference control logic for the single-cycle RISC-V
+ * core — the baseline the paper compares generated control against in
+ * Table 2 and §5.2. completeSingleCycleByHand() fills the same sketch
+ * holes a synthesis run would, but with compact human-authored
+ * decode logic.
+ */
+
+#ifndef OWL_DESIGNS_RISCV_REFERENCE_CONTROL_H
+#define OWL_DESIGNS_RISCV_REFERENCE_CONTROL_H
+
+#include "designs/riscv_spec.h"
+#include "oyster/ir.h"
+
+namespace owl::designs
+{
+
+/**
+ * Fill the single-cycle sketch's holes with hand-written control
+ * logic. The statements are flagged as control logic so LoC counting
+ * sees the same scope as for generated control.
+ */
+void completeSingleCycleByHand(oyster::Design &sketch,
+                               RiscvVariant variant);
+
+} // namespace owl::designs
+
+#endif // OWL_DESIGNS_RISCV_REFERENCE_CONTROL_H

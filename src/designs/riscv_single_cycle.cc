@@ -1,0 +1,154 @@
+#include "designs/riscv_single_cycle.h"
+
+#include "designs/riscv_datapath.h"
+#include "oyster/builder.h"
+
+namespace owl::designs
+{
+
+using namespace rvdp;
+using oyster::Design;
+using oyster::ExprRef;
+
+namespace
+{
+
+Design
+makeSketch(RiscvVariant variant)
+{
+    Design d(std::string("riscv_single_cycle_") +
+             riscvVariantToken(variant));
+    d.addRegister("pc", 32);
+    d.addMemory("i_mem", 30, 32);
+    d.addMemory("d_mem", 30, 32);
+    d.addMemory("rf", 5, 32);
+
+    // Fetch + decode (paper §4.1.1 sketch):
+    //   instruction = fetch(i_mem, pc)
+    //   opcode, funct3, funct7, imm = decode(instruction)
+    d.addWire("instruction", 32);
+    d.assign("instruction",
+             d.opRead("i_mem", d.opExtract(d.var("pc"), 31, 2)));
+    DecodeFields f = decodeFields(d, d.var("instruction"));
+    d.addWire("opcode", 7);
+    d.assign("opcode", f.opcode);
+    d.addWire("funct3", 3);
+    d.assign("funct3", f.funct3);
+    d.addWire("funct7", 7);
+    d.assign("funct7", f.funct7);
+    d.addWire("rd", 5);
+    d.assign("rd", f.rd);
+
+    // Control points: every signal below is a hole over the decoded
+    // instruction fields.
+    std::vector<std::string> deps = {"opcode", "funct3", "funct7"};
+    d.addHole("imm_sel", 3, deps);
+    d.addHole("alu_pc", 1, deps);    // operand 1: rs1 or pc
+    d.addHole("alu_imm", 1, deps);   // operand 2: rs2 or imm
+    d.addHole("alu_op", 5, deps);
+    d.addHole("mem_read", 1, deps);
+    d.addHole("mem_write", 1, deps);
+    d.addHole("mask_mode", 2, deps);
+    d.addHole("mem_sign_ext", 1, deps);
+    d.addHole("reg_write", 1, deps);
+    d.addHole("jump", 1, deps);
+    d.addHole("jalr_sel", 1, deps);  // target base: pc or rs1
+    d.addHole("branch_en", 1, deps);
+    d.addHole("branch_cmp", 2, deps);
+    d.addHole("branch_neg", 1, deps);
+
+    // Register file read.
+    d.addWire("rs1_val", 32);
+    d.assign("rs1_val", d.opRead("rf", f.rs1));
+    d.addWire("rs2_val", 32);
+    d.assign("rs2_val", d.opRead("rf", f.rs2));
+
+    // Immediate select and ALU.
+    d.addWire("imm", 32);
+    d.assign("imm", immediateMux(d, f, d.var("imm_sel")));
+    d.addWire("alu_in1", 32);
+    d.assign("alu_in1",
+             d.opIte(d.var("alu_pc"), d.var("pc"), d.var("rs1_val")));
+    d.addWire("alu_in2", 32);
+    d.assign("alu_in2",
+             d.opIte(d.var("alu_imm"), d.var("imm"), d.var("rs2_val")));
+    d.addWire("alu_out", 32);
+    d.assign("alu_out", alu(d, variant, d.var("alu_op"),
+                            d.var("alu_in1"), d.var("alu_in2")));
+
+    // Data memory: word-addressed with byte-lane merge.
+    d.addWire("mem_word_addr", 30);
+    d.assign("mem_word_addr", d.opExtract(d.var("alu_out"), 31, 2));
+    d.addWire("mem_offset", 2);
+    d.assign("mem_offset", d.opExtract(d.var("alu_out"), 1, 0));
+    d.addWire("mem_rdata", 32);
+    d.assign("mem_rdata", d.opRead("d_mem", d.var("mem_word_addr")));
+    d.addWire("loaded", 32);
+    d.assign("loaded",
+             loadValue(d, d.var("mem_rdata"), d.var("mem_offset"),
+                       d.var("mask_mode"), d.var("mem_sign_ext")));
+    d.addWire("store_word", 32);
+    d.assign("store_word",
+             storeMerge(d, d.var("mem_rdata"), d.var("rs2_val"),
+                        d.var("mem_offset"), d.var("mask_mode")));
+    d.memWrite("d_mem", d.var("mem_word_addr"), d.var("store_word"),
+               d.var("mem_write"));
+
+    // Branch unit and next-pc.
+    d.addWire("taken", 1);
+    d.assign("taken",
+             branchTaken(d, d.var("branch_en"), d.var("branch_cmp"),
+                         d.var("branch_neg"), d.var("rs1_val"),
+                         d.var("rs2_val")));
+    d.addWire("pc4", 32);
+    d.assign("pc4", d.opAdd(d.var("pc"), d.lit(32, 4)));
+    d.addWire("target", 32);
+    d.assign("target",
+             d.opIte(d.var("jalr_sel"),
+                     d.opAnd(d.opAdd(d.var("rs1_val"), f.imm_i),
+                             d.lit(32, 0xfffffffe)),
+                     d.opAdd(d.var("pc"), d.var("imm"))));
+    d.assign("pc", d.opIte(d.opOr(d.var("jump"), d.var("taken")),
+                           d.var("target"), d.var("pc4")));
+
+    // Register file write back (Figure 7's wb structure: memory data
+    // for loads, pc+4 for jumps, else the ALU result). Writes to x0
+    // are suppressed in the datapath.
+    d.addWire("wb", 32);
+    d.assign("wb", d.opIte(d.var("mem_read"), d.var("loaded"),
+                           d.opIte(d.var("jump"), d.var("pc4"),
+                                   d.var("alu_out"))));
+    d.memWrite("rf", d.var("rd"), d.var("wb"),
+               d.opAnd(d.var("reg_write"),
+                       d.opNe(d.var("rd"), d.lit(5, 0))));
+    return d;
+}
+
+synth::AbsFunc
+makeAlpha()
+{
+    // §4.1.1: no special timing; all effects at time step 1.
+    synth::AbsFunc a;
+    using synth::Effect;
+    using synth::MapType;
+    a.map("pc", "pc", MapType::Register,
+          {{Effect::Read, 1}, {Effect::Write, 1}});
+    a.map("GPR", "rf", MapType::Memory,
+          {{Effect::Read, 1}, {Effect::Write, 1}});
+    a.map("mem", "d_mem", MapType::Memory,
+          {{Effect::Read, 1}, {Effect::Write, 1}});
+    a.mapFetch("mem", "i_mem", {{Effect::Read, 1}}, "instruction");
+    a.withCycles(1);
+    return a;
+}
+
+} // namespace
+
+CaseStudy
+makeRiscvSingleCycle(RiscvVariant variant)
+{
+    return CaseStudy(makeRiscvSpec(variant), makeSketch(variant),
+                     makeAlpha());
+}
+
+} // namespace owl::designs

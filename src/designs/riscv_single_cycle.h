@@ -1,0 +1,23 @@
+/**
+ * @file
+ * The single-cycle embedded-class RISC-V core sketch (paper §4.1.1)
+ * and its abstraction function. The control logic — immediate select,
+ * ALU operand/function select, memory controls, register write, jump
+ * and branch controls — is left as holes over the decoded fields.
+ */
+
+#ifndef OWL_DESIGNS_RISCV_SINGLE_CYCLE_H
+#define OWL_DESIGNS_RISCV_SINGLE_CYCLE_H
+
+#include "designs/case_study.h"
+#include "designs/riscv_spec.h"
+
+namespace owl::designs
+{
+
+/** Build the single-cycle core case study for a variant. */
+CaseStudy makeRiscvSingleCycle(RiscvVariant variant);
+
+} // namespace owl::designs
+
+#endif // OWL_DESIGNS_RISCV_SINGLE_CYCLE_H

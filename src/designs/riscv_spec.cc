@@ -1,0 +1,408 @@
+#include "designs/riscv_spec.h"
+
+#include "base/logging.h"
+
+namespace owl::designs
+{
+
+using namespace owl::ila;
+
+const char *
+riscvVariantName(RiscvVariant v)
+{
+    switch (v) {
+      case RiscvVariant::RV32I: return "RV32I";
+      case RiscvVariant::RV32I_Zbkb: return "RV32I + Zbkb";
+      case RiscvVariant::RV32I_Zbkc: return "RV32I + Zbkc";
+    }
+    return "?";
+}
+
+const char *
+riscvVariantToken(RiscvVariant v)
+{
+    switch (v) {
+      case RiscvVariant::RV32I: return "RV32I";
+      case RiscvVariant::RV32I_Zbkb: return "RV32I_Zbkb";
+      case RiscvVariant::RV32I_Zbkc: return "RV32I_Zbkc";
+    }
+    return "unknown";
+}
+
+int
+riscvVariantInstrCount(RiscvVariant v)
+{
+    switch (v) {
+      case RiscvVariant::RV32I: return 37;
+      case RiscvVariant::RV32I_Zbkb: return 49;
+      case RiscvVariant::RV32I_Zbkc: return 51;
+    }
+    return 0;
+}
+
+namespace
+{
+
+/** Major opcodes. */
+constexpr uint64_t opLOAD = 0x03;
+constexpr uint64_t opOPIMM = 0x13;
+constexpr uint64_t opAUIPC = 0x17;
+constexpr uint64_t opSTORE = 0x23;
+constexpr uint64_t opOP = 0x33;
+constexpr uint64_t opLUI = 0x37;
+constexpr uint64_t opBRANCH = 0x63;
+constexpr uint64_t opJALR = 0x67;
+constexpr uint64_t opJAL = 0x6f;
+
+/** Builder state shared by all instruction definitions. */
+struct SpecBuilder
+{
+    Ila ila;
+    IlaExpr pc, gpr, mem;
+    IlaExpr inst, opcode, funct3, funct7, rd, rs1, rs2;
+    IlaExpr imm_i, imm_s, imm_b, imm_u, imm_j;
+    IlaExpr rs1_val, rs2_val, pc4;
+
+    explicit SpecBuilder(const std::string &name) : ila(name)
+    {
+        pc = ila.NewBvState("pc", 32);
+        gpr = ila.NewMemState("GPR", 5, 32);
+        mem = ila.NewMemState("mem", 30, 32);
+        inst = Load(mem, Extract(pc, 31, 2));
+        ila.SetFetch(inst);
+
+        opcode = Extract(inst, 6, 0);
+        rd = Extract(inst, 11, 7);
+        funct3 = Extract(inst, 14, 12);
+        rs1 = Extract(inst, 19, 15);
+        rs2 = Extract(inst, 24, 20);
+        funct7 = Extract(inst, 31, 25);
+
+        imm_i = SExt(Extract(inst, 31, 20), 32);
+        imm_s = SExt(Concat(Extract(inst, 31, 25),
+                            Extract(inst, 11, 7)),
+                     32);
+        imm_b = SExt(Concat(Concat(Extract(inst, 31, 31),
+                                   Extract(inst, 7, 7)),
+                            Concat(Extract(inst, 30, 25),
+                                   Concat(Extract(inst, 11, 8),
+                                          bv(0, 1)))),
+                     32);
+        imm_u = Concat(Extract(inst, 31, 12), bv(0, 12));
+        imm_j = SExt(Concat(Concat(Extract(inst, 31, 31),
+                                   Extract(inst, 19, 12)),
+                            Concat(Extract(inst, 20, 20),
+                                   Concat(Extract(inst, 30, 21),
+                                          bv(0, 1)))),
+                     32);
+
+        rs1_val = Load(gpr, rs1);
+        rs2_val = Load(gpr, rs2);
+        pc4 = pc + bv(4, 32);
+    }
+
+    IlaExpr bv(uint64_t v, int w) { return BvConst(ila.ctx(), v, w); }
+
+    /** Store to rd, preserving old value when rd == x0. */
+    IlaExpr
+    writeRd(const IlaExpr &val)
+    {
+        return Store(gpr, rd,
+                     Ite(rd == bv(0, 5), Load(gpr, rd), val));
+    }
+
+    IlaExpr
+    decR(uint64_t f7, uint64_t f3)
+    {
+        return opcode == bv(opOP, 7) && funct3 == bv(f3, 3) &&
+               funct7 == bv(f7, 7);
+    }
+
+    IlaExpr
+    decI(uint64_t opc, uint64_t f3)
+    {
+        return opcode == bv(opc, 7) && funct3 == bv(f3, 3);
+    }
+
+    /** OP-IMM decode that also pins the full 12-bit immediate. */
+    IlaExpr
+    decImm12(uint64_t f3, uint64_t imm12)
+    {
+        return decI(opOPIMM, f3) &&
+               Extract(inst, 31, 20) == bv(imm12, 12);
+    }
+
+    /** Register-register op writing rd and advancing pc. */
+    void
+    aluR(const std::string &name, uint64_t f7, uint64_t f3,
+         const IlaExpr &val)
+    {
+        auto &i = ila.NewInstr(name);
+        i.SetDecode(decR(f7, f3));
+        i.SetUpdate(gpr, writeRd(val));
+        i.SetUpdate(pc, pc4);
+    }
+
+    /** Immediate op writing rd and advancing pc. */
+    void
+    aluI(const std::string &name, uint64_t f3, const IlaExpr &val)
+    {
+        auto &i = ila.NewInstr(name);
+        i.SetDecode(decI(opOPIMM, f3));
+        i.SetUpdate(gpr, writeRd(val));
+        i.SetUpdate(pc, pc4);
+    }
+
+    /** Shift-immediate style op with funct7 discrimination. */
+    void
+    shiftI(const std::string &name, uint64_t f7, uint64_t f3,
+           const IlaExpr &val)
+    {
+        auto &i = ila.NewInstr(name);
+        i.SetDecode(decI(opOPIMM, f3) && funct7 == bv(f7, 7));
+        i.SetUpdate(gpr, writeRd(val));
+        i.SetUpdate(pc, pc4);
+    }
+
+    void
+    branch(const std::string &name, uint64_t f3, const IlaExpr &taken)
+    {
+        auto &i = ila.NewInstr(name);
+        i.SetDecode(decI(opBRANCH, f3));
+        i.SetUpdate(pc, Ite(taken, pc + imm_b, pc4));
+    }
+
+    /** The canonical load path shared with the datapath sketch. */
+    IlaExpr
+    loadShifted()
+    {
+        IlaExpr addr = rs1_val + imm_i;
+        IlaExpr word = Load(mem, Extract(addr, 31, 2));
+        IlaExpr off5 = Concat(Extract(addr, 1, 0), bv(0, 3));
+        return Lshr(word, ZExt(off5, 32));
+    }
+
+    void
+    load(const std::string &name, uint64_t f3, const IlaExpr &val)
+    {
+        auto &i = ila.NewInstr(name);
+        i.SetDecode(decI(opLOAD, f3));
+        i.SetUpdate(gpr, writeRd(val));
+        i.SetUpdate(pc, pc4);
+    }
+
+    /** Read-modify-write store of the masked field. */
+    void
+    store(const std::string &name, uint64_t f3, uint64_t mask)
+    {
+        auto &i = ila.NewInstr(name);
+        i.SetDecode(decI(opSTORE, f3));
+        IlaExpr addr = rs1_val + imm_s;
+        IlaExpr waddr = Extract(addr, 31, 2);
+        IlaExpr off5 = ZExt(Concat(Extract(addr, 1, 0), bv(0, 3)), 32);
+        IlaExpr old = Load(mem, waddr);
+        IlaExpr m = bv(mask, 32);
+        IlaExpr kept = old & !Shl(m, off5);
+        IlaExpr field = Shl(rs2_val & m, off5);
+        i.SetUpdate(mem, Store(mem, waddr, kept | field));
+        i.SetUpdate(pc, pc4);
+    }
+
+    /** Zbkb bit permutations, written identically in the sketch. */
+    IlaExpr
+    rev8(const IlaExpr &x)
+    {
+        return Concat(Extract(x, 7, 0),
+                      Concat(Extract(x, 15, 8),
+                             Concat(Extract(x, 23, 16),
+                                    Extract(x, 31, 24))));
+    }
+
+    IlaExpr
+    brev8(const IlaExpr &x)
+    {
+        IlaExpr out = Extract(x, 0, 0);
+        // Build {b0[0..7], b1[0..7], ...}: reverse bits within bytes.
+        for (int byte = 0; byte < 4; byte++) {
+            for (int bit = 0; bit < 8; bit++) {
+                int src = byte * 8 + bit;
+                int dst = byte * 8 + (7 - bit);
+                if (byte == 0 && bit == 0)
+                    out = Extract(x, dst, dst);
+                else
+                    out = Concat(Extract(x, dst, dst), out);
+                (void)src;
+            }
+        }
+        return out;
+    }
+
+    IlaExpr
+    zip(const IlaExpr &x)
+    {
+        // rd[2i] = rs1[i], rd[2i+1] = rs1[i+16]; build msb-first.
+        IlaExpr out = Extract(x, 0, 0);
+        for (int i = 0; i < 32; i++) {
+            int src = (i % 2 == 0) ? i / 2 : i / 2 + 16;
+            if (i == 0)
+                out = Extract(x, src, src);
+            else
+                out = Concat(Extract(x, src, src), out);
+        }
+        return out;
+    }
+
+    IlaExpr
+    unzip(const IlaExpr &x)
+    {
+        // rd[i] = rs1[2i] (i<16), rd[16+i] = rs1[2i+1].
+        IlaExpr out = Extract(x, 0, 0);
+        for (int i = 0; i < 32; i++) {
+            int src = (i < 16) ? 2 * i : 2 * (i - 16) + 1;
+            if (i == 0)
+                out = Extract(x, src, src);
+            else
+                out = Concat(Extract(x, src, src), out);
+        }
+        return out;
+    }
+};
+
+void
+addBase(SpecBuilder &b)
+{
+    auto bv = [&](uint64_t v, int w) { return b.bv(v, w); };
+    Ila &ila = b.ila;
+
+    // ---- U-type / jumps ----
+    auto &lui = ila.NewInstr("LUI");
+    lui.SetDecode(b.opcode == bv(opLUI, 7));
+    lui.SetUpdate(b.gpr, b.writeRd(b.imm_u));
+    lui.SetUpdate(b.pc, b.pc4);
+
+    auto &auipc = ila.NewInstr("AUIPC");
+    auipc.SetDecode(b.opcode == bv(opAUIPC, 7));
+    auipc.SetUpdate(b.gpr, b.writeRd(b.pc + b.imm_u));
+    auipc.SetUpdate(b.pc, b.pc4);
+
+    auto &jal = ila.NewInstr("JAL");
+    jal.SetDecode(b.opcode == bv(opJAL, 7));
+    jal.SetUpdate(b.gpr, b.writeRd(b.pc4));
+    jal.SetUpdate(b.pc, b.pc + b.imm_j);
+
+    auto &jalr = ila.NewInstr("JALR");
+    jalr.SetDecode(b.decI(opJALR, 0));
+    jalr.SetUpdate(b.gpr, b.writeRd(b.pc4));
+    jalr.SetUpdate(b.pc,
+                   (b.rs1_val + b.imm_i) & bv(0xfffffffe, 32));
+
+    // ---- branches ----
+    b.branch("BEQ", 0, b.rs1_val == b.rs2_val);
+    b.branch("BNE", 1, b.rs1_val != b.rs2_val);
+    b.branch("BLT", 4, Slt(b.rs1_val, b.rs2_val));
+    b.branch("BGE", 5, !Slt(b.rs1_val, b.rs2_val));
+    b.branch("BLTU", 6, b.rs1_val < b.rs2_val);
+    b.branch("BGEU", 7, !(b.rs1_val < b.rs2_val));
+
+    // ---- loads ----
+    IlaExpr lsh = b.loadShifted();
+    b.load("LB", 0, SExt(Extract(lsh, 7, 0), 32));
+    b.load("LH", 1, SExt(Extract(lsh, 15, 0), 32));
+    b.load("LW", 2, lsh);
+    b.load("LBU", 4, ZExt(Extract(lsh, 7, 0), 32));
+    b.load("LHU", 5, ZExt(Extract(lsh, 15, 0), 32));
+
+    // ---- stores ----
+    b.store("SB", 0, 0xff);
+    b.store("SH", 1, 0xffff);
+    b.store("SW", 2, 0xffffffff);
+
+    // ---- OP-IMM ----
+    IlaExpr shamt = ZExt(Extract(b.inst, 24, 20), 32);
+    b.aluI("ADDI", 0, b.rs1_val + b.imm_i);
+    b.aluI("SLTI", 2,
+           ZExt(Slt(b.rs1_val, b.imm_i), 32));
+    b.aluI("SLTIU", 3, ZExt(b.rs1_val < b.imm_i, 32));
+    b.aluI("XORI", 4, b.rs1_val ^ b.imm_i);
+    b.aluI("ORI", 6, b.rs1_val | b.imm_i);
+    b.aluI("ANDI", 7, b.rs1_val & b.imm_i);
+    b.shiftI("SLLI", 0x00, 1, Shl(b.rs1_val, shamt));
+    b.shiftI("SRLI", 0x00, 5, Lshr(b.rs1_val, shamt));
+    b.shiftI("SRAI", 0x20, 5, Ashr(b.rs1_val, shamt));
+
+    // ---- OP ----
+    IlaExpr sh5 = ZExt(Extract(b.rs2_val, 4, 0), 32);
+    b.aluR("ADD", 0x00, 0, b.rs1_val + b.rs2_val);
+    b.aluR("SUB", 0x20, 0, b.rs1_val - b.rs2_val);
+    b.aluR("SLL", 0x00, 1, Shl(b.rs1_val, sh5));
+    b.aluR("SLT", 0x00, 2,
+           ZExt(Slt(b.rs1_val, b.rs2_val), 32));
+    b.aluR("SLTU", 0x00, 3, ZExt(b.rs1_val < b.rs2_val, 32));
+    b.aluR("XOR", 0x00, 4, b.rs1_val ^ b.rs2_val);
+    b.aluR("SRL", 0x00, 5, Lshr(b.rs1_val, sh5));
+    b.aluR("SRA", 0x20, 5, Ashr(b.rs1_val, sh5));
+    b.aluR("OR", 0x00, 6, b.rs1_val | b.rs2_val);
+    b.aluR("AND", 0x00, 7, b.rs1_val & b.rs2_val);
+}
+
+void
+addZbkb(SpecBuilder &b)
+{
+    Ila &ila = b.ila;
+    IlaExpr sh5 = ZExt(Extract(b.rs2_val, 4, 0), 32);
+    IlaExpr shamt = ZExt(Extract(b.inst, 24, 20), 32);
+
+    b.aluR("ROL", 0x30, 1, Rol(b.rs1_val, sh5));
+    b.aluR("ROR", 0x30, 5, Ror(b.rs1_val, sh5));
+    b.shiftI("RORI", 0x30, 5, Ror(b.rs1_val, shamt));
+    b.aluR("ANDN", 0x20, 7, b.rs1_val & !b.rs2_val);
+    b.aluR("ORN", 0x20, 6, b.rs1_val | !b.rs2_val);
+    b.aluR("XNOR", 0x20, 4, !(b.rs1_val ^ b.rs2_val));
+    b.aluR("PACK", 0x04, 4,
+           Concat(Extract(b.rs2_val, 15, 0),
+                  Extract(b.rs1_val, 15, 0)));
+    b.aluR("PACKH", 0x04, 7,
+           ZExt(Concat(Extract(b.rs2_val, 7, 0),
+                       Extract(b.rs1_val, 7, 0)),
+                32));
+
+    auto imm12Instr = [&](const std::string &name, uint64_t f3,
+                          uint64_t imm12, const IlaExpr &val) {
+        auto &i = ila.NewInstr(name);
+        i.SetDecode(b.decImm12(f3, imm12));
+        i.SetUpdate(b.gpr, b.writeRd(val));
+        i.SetUpdate(b.pc, b.pc4);
+    };
+    imm12Instr("REV8", 5, 0x698, b.rev8(b.rs1_val));
+    imm12Instr("BREV8", 5, 0x687, b.brev8(b.rs1_val));
+    imm12Instr("ZIP", 1, 0x08f, b.zip(b.rs1_val));
+    imm12Instr("UNZIP", 5, 0x08f, b.unzip(b.rs1_val));
+}
+
+void
+addZbkc(SpecBuilder &b)
+{
+    b.aluR("CLMUL", 0x05, 1, Clmul(b.rs1_val, b.rs2_val));
+    b.aluR("CLMULH", 0x05, 3, Clmulh(b.rs1_val, b.rs2_val));
+}
+
+} // namespace
+
+ila::Ila
+makeRiscvSpec(RiscvVariant variant)
+{
+    SpecBuilder b(std::string("riscv_") + riscvVariantToken(variant));
+    addBase(b);
+    if (variant == RiscvVariant::RV32I_Zbkb ||
+        variant == RiscvVariant::RV32I_Zbkc) {
+        addZbkb(b);
+    }
+    if (variant == RiscvVariant::RV32I_Zbkc)
+        addZbkc(b);
+    owl_assert(static_cast<int>(b.ila.instrs().size()) ==
+               riscvVariantInstrCount(variant),
+               "instruction count mismatch");
+    return std::move(b.ila);
+}
+
+} // namespace owl::designs

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * ILA specifications for the embedded-class RISC-V core (paper §4.1).
+ *
+ * RV32I base: 37 instructions (the full base set minus ecall, ebreak
+ * and fence — the target cores implement neither exceptions nor
+ * memory ordering, exactly as in the paper).
+ *
+ * Zbkb: 12 bit-manipulation instructions for cryptography — rol, ror,
+ * rori, andn, orn, xnor, rev8, brev8 (rev.b), zip, unzip, pack, packh.
+ *
+ * Zbkc: clmul, clmulh (carry-less multiply).
+ *
+ * Architectural state: pc (32), GPR (32 x 32, with x0 hardwired to
+ * zero in the usual store-old-value-on-rd==0 formulation), and a
+ * unified word-addressed memory `mem` (30-bit address, 32-bit data)
+ * covering both instructions and data; the abstraction function maps
+ * it to the separate i_mem/d_mem blocks of the datapath sketches.
+ */
+
+#ifndef OWL_DESIGNS_RISCV_SPEC_H
+#define OWL_DESIGNS_RISCV_SPEC_H
+
+#include "ila/ila.h"
+
+namespace owl::designs
+{
+
+/** Which ISA variant to build (extensions are cumulative). */
+enum class RiscvVariant
+{
+    RV32I,       ///< base integer set (37 instructions)
+    RV32I_Zbkb,  ///< base + 12 bit-manipulation instructions
+    RV32I_Zbkc,  ///< base + Zbkb + clmul/clmulh
+};
+
+const char *riscvVariantName(RiscvVariant v);
+
+/** Identifier-safe variant token (for design/module names). */
+const char *riscvVariantToken(RiscvVariant v);
+
+/** Number of instructions in a variant. */
+int riscvVariantInstrCount(RiscvVariant v);
+
+/** Build the ILA specification for a variant. */
+ila::Ila makeRiscvSpec(RiscvVariant variant);
+
+} // namespace owl::designs
+
+#endif // OWL_DESIGNS_RISCV_SPEC_H

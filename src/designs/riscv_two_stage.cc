@@ -1,0 +1,174 @@
+#include "designs/riscv_two_stage.h"
+
+#include "designs/riscv_datapath.h"
+#include "oyster/builder.h"
+
+namespace owl::designs
+{
+
+using namespace rvdp;
+using oyster::Design;
+using oyster::ExprRef;
+
+namespace
+{
+
+Design
+makeSketch(RiscvVariant variant)
+{
+    Design d(std::string("riscv_two_stage_") +
+             riscvVariantToken(variant));
+    d.addRegister("pc", 32);
+    d.addMemory("i_mem", 30, 32);
+    d.addMemory("d_mem", 30, 32);
+    d.addMemory("rf", 5, 32);
+
+    // Stage 1/2 pipeline registers: data and piped control.
+    d.addRegister("p_alu_out", 32);
+    d.addRegister("p_store_data", 32);
+    d.addRegister("p_rd", 5);
+    d.addRegister("p_pc4", 32);
+    d.addRegister("p_mem_read", 1);
+    d.addRegister("p_mem_write", 1);
+    d.addRegister("p_mask_mode", 2);
+    d.addRegister("p_mem_sign_ext", 1);
+    d.addRegister("p_reg_write", 1);
+    d.addRegister("p_jump", 1);
+
+    // ---- Stage 1: fetch, decode, execute, branch, pc update ----
+    d.addWire("instruction", 32);
+    d.assign("instruction",
+             d.opRead("i_mem", d.opExtract(d.var("pc"), 31, 2)));
+    DecodeFields f = decodeFields(d, d.var("instruction"));
+    d.addWire("opcode", 7);
+    d.assign("opcode", f.opcode);
+    d.addWire("funct3", 3);
+    d.assign("funct3", f.funct3);
+    d.addWire("funct7", 7);
+    d.assign("funct7", f.funct7);
+
+    std::vector<std::string> deps = {"opcode", "funct3", "funct7"};
+    d.addHole("imm_sel", 3, deps);
+    d.addHole("alu_pc", 1, deps);
+    d.addHole("alu_imm", 1, deps);
+    d.addHole("alu_op", 5, deps);
+    d.addHole("mem_read", 1, deps);
+    d.addHole("mem_write", 1, deps);
+    d.addHole("mask_mode", 2, deps);
+    d.addHole("mem_sign_ext", 1, deps);
+    d.addHole("reg_write", 1, deps);
+    d.addHole("jump", 1, deps);
+    d.addHole("jalr_sel", 1, deps);
+    d.addHole("branch_en", 1, deps);
+    d.addHole("branch_cmp", 2, deps);
+    d.addHole("branch_neg", 1, deps);
+
+    d.addWire("rs1_val", 32);
+    d.assign("rs1_val", d.opRead("rf", f.rs1));
+    d.addWire("rs2_val", 32);
+    d.assign("rs2_val", d.opRead("rf", f.rs2));
+    d.addWire("imm", 32);
+    d.assign("imm", immediateMux(d, f, d.var("imm_sel")));
+    d.addWire("alu_in1", 32);
+    d.assign("alu_in1",
+             d.opIte(d.var("alu_pc"), d.var("pc"), d.var("rs1_val")));
+    d.addWire("alu_in2", 32);
+    d.assign("alu_in2",
+             d.opIte(d.var("alu_imm"), d.var("imm"), d.var("rs2_val")));
+    d.addWire("alu_out", 32);
+    d.assign("alu_out", alu(d, variant, d.var("alu_op"),
+                            d.var("alu_in1"), d.var("alu_in2")));
+
+    d.addWire("taken", 1);
+    d.assign("taken",
+             branchTaken(d, d.var("branch_en"), d.var("branch_cmp"),
+                         d.var("branch_neg"), d.var("rs1_val"),
+                         d.var("rs2_val")));
+    d.addWire("pc4", 32);
+    d.assign("pc4", d.opAdd(d.var("pc"), d.lit(32, 4)));
+    d.addWire("target", 32);
+    d.assign("target",
+             d.opIte(d.var("jalr_sel"),
+                     d.opAnd(d.opAdd(d.var("rs1_val"), f.imm_i),
+                             d.lit(32, 0xfffffffe)),
+                     d.opAdd(d.var("pc"), d.var("imm"))));
+    d.assign("pc", d.opIte(d.opOr(d.var("jump"), d.var("taken")),
+                           d.var("target"), d.var("pc4")));
+
+    // Latch into stage 2.
+    d.assign("p_alu_out", d.var("alu_out"));
+    d.assign("p_store_data", d.var("rs2_val"));
+    d.assign("p_rd", f.rd);
+    d.assign("p_pc4", d.var("pc4"));
+    d.assign("p_mem_read", d.var("mem_read"));
+    d.assign("p_mem_write", d.var("mem_write"));
+    d.assign("p_mask_mode", d.var("mask_mode"));
+    d.assign("p_mem_sign_ext", d.var("mem_sign_ext"));
+    d.assign("p_reg_write", d.var("reg_write"));
+    d.assign("p_jump", d.var("jump"));
+
+    // ---- Stage 2: memory access and write back ----
+    d.addWire("mem_word_addr", 30);
+    d.assign("mem_word_addr", d.opExtract(d.var("p_alu_out"), 31, 2));
+    d.addWire("mem_offset", 2);
+    d.assign("mem_offset", d.opExtract(d.var("p_alu_out"), 1, 0));
+    d.addWire("mem_rdata", 32);
+    d.assign("mem_rdata", d.opRead("d_mem", d.var("mem_word_addr")));
+    d.addWire("loaded", 32);
+    d.assign("loaded",
+             loadValue(d, d.var("mem_rdata"), d.var("mem_offset"),
+                       d.var("p_mask_mode"), d.var("p_mem_sign_ext")));
+    d.addWire("store_word", 32);
+    d.assign("store_word",
+             storeMerge(d, d.var("mem_rdata"), d.var("p_store_data"),
+                        d.var("mem_offset"), d.var("p_mask_mode")));
+    d.memWrite("d_mem", d.var("mem_word_addr"), d.var("store_word"),
+               d.var("p_mem_write"));
+
+    d.addWire("wb", 32);
+    d.assign("wb", d.opIte(d.var("p_mem_read"), d.var("loaded"),
+                           d.opIte(d.var("p_jump"), d.var("p_pc4"),
+                                   d.var("p_alu_out"))));
+    d.memWrite("rf", d.var("p_rd"), d.var("wb"),
+               d.opAnd(d.var("p_reg_write"),
+                       d.opNe(d.var("p_rd"), d.lit(5, 0))));
+
+    // Pipeline-empty assumption: the in-flight slot holds a bubble
+    // when the analyzed instruction is fetched.
+    d.addWire("pipe_clear", 1);
+    d.assign("pipe_clear", d.opAnd(d.opNot(d.var("p_mem_write")),
+                                   d.opNot(d.var("p_reg_write"))));
+    return d;
+}
+
+synth::AbsFunc
+makeAlpha()
+{
+    // §4.1.2: timing strengthened for the pipeline. pc resolves in
+    // stage 1; the register file is read in stage 1 and written in
+    // stage 2; data memory is accessed in stage 2.
+    synth::AbsFunc a;
+    using synth::Effect;
+    using synth::MapType;
+    a.map("pc", "pc", MapType::Register,
+          {{Effect::Read, 1}, {Effect::Write, 1}});
+    a.map("GPR", "rf", MapType::Memory,
+          {{Effect::Read, 1}, {Effect::Write, 2}});
+    a.map("mem", "d_mem", MapType::Memory,
+          {{Effect::Read, 2}, {Effect::Write, 2}});
+    a.mapFetch("mem", "i_mem", {{Effect::Read, 1}}, "instruction");
+    a.withCycles(2);
+    a.assume("pipe_clear", 1);
+    return a;
+}
+
+} // namespace
+
+CaseStudy
+makeRiscvTwoStage(RiscvVariant variant)
+{
+    return CaseStudy(makeRiscvSpec(variant), makeSketch(variant),
+                     makeAlpha());
+}
+
+} // namespace owl::designs

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The two-stage pipelined RISC-V core (paper §4.1.2, "similar to
+ * Ibex"). Stage 1: fetch, decode, execute and branch resolution
+ * (including the pc update); stage 2: memory access and write back.
+ * The specification and holes are identical to the single-cycle core;
+ * only the datapath and the abstraction function's timing change —
+ * exactly the design-iteration story the paper tells.
+ *
+ * The register file is read in stage 1 and written in stage 2 with no
+ * forwarding (a software-interlocked pipeline): the per-instruction
+ * correctness property synthesized here is the one the paper checks;
+ * back-to-back dependent instructions need a bubble, as the tests do.
+ */
+
+#ifndef OWL_DESIGNS_RISCV_TWO_STAGE_H
+#define OWL_DESIGNS_RISCV_TWO_STAGE_H
+
+#include "designs/case_study.h"
+#include "designs/riscv_spec.h"
+
+namespace owl::designs
+{
+
+/** Build the two-stage core case study for a variant. */
+CaseStudy makeRiscvTwoStage(RiscvVariant variant);
+
+} // namespace owl::designs
+
+#endif // OWL_DESIGNS_RISCV_TWO_STAGE_H

@@ -1,0 +1,378 @@
+#include "ila/expr.h"
+
+#include "base/logging.h"
+
+namespace owl::ila
+{
+
+int
+IlaContext::stateIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < registry.size(); i++) {
+        if (registry[i].name == name)
+            return i;
+    }
+    owl_fatal("unknown ILA state '", name, "'");
+}
+
+int32_t
+IlaContext::push(IlaNode n)
+{
+    pool.push_back(std::move(n));
+    return pool.size() - 1;
+}
+
+IlaExpr
+IlaContext::makeConst(const BitVec &v)
+{
+    IlaNode n;
+    n.op = IlaOp::Const;
+    n.width = v.width();
+    n.cval = v;
+    return IlaExpr(this, push(std::move(n)));
+}
+
+int
+IlaContext::registerState(StateInfo info)
+{
+    for (const StateInfo &s : registry) {
+        if (s.name == info.name)
+            owl_fatal("duplicate ILA state '", info.name, "'");
+    }
+    registry.push_back(std::move(info));
+    return registry.size() - 1;
+}
+
+IlaExpr
+IlaContext::makeStateRef(int state_idx)
+{
+    const StateInfo &s = registry[state_idx];
+    IlaNode n;
+    n.op = s.kind == StateKind::Input ? IlaOp::InputVar
+                                      : IlaOp::StateVar;
+    n.width = s.width;
+    n.isMem = s.kind == StateKind::MemState ||
+              s.kind == StateKind::MemConst;
+    n.a = state_idx;
+    return IlaExpr(this, push(std::move(n)));
+}
+
+IlaExpr
+IlaContext::makeUnop(IlaOp op, const IlaExpr &a)
+{
+    owl_assert(!a.isMem(), "unary op on memory-sorted expression");
+    IlaNode n;
+    n.op = op;
+    n.width = a.width();
+    n.kids = {a.idx()};
+    return IlaExpr(this, push(std::move(n)));
+}
+
+IlaExpr
+IlaContext::makeBinop(IlaOp op, const IlaExpr &a, const IlaExpr &b,
+                      bool same_width, int out_width)
+{
+    owl_assert(!a.isMem() && !b.isMem(),
+               "binary op on memory-sorted expression");
+    if (same_width && a.width() != b.width())
+        owl_fatal("ILA width mismatch: ", a.width(), " vs ", b.width());
+    IlaNode n;
+    n.op = op;
+    n.width = out_width > 0 ? out_width : a.width();
+    n.kids = {a.idx(), b.idx()};
+    return IlaExpr(this, push(std::move(n)));
+}
+
+IlaExpr
+IlaContext::makeIte(const IlaExpr &c, const IlaExpr &t, const IlaExpr &e)
+{
+    owl_assert(c.width() == 1 && !c.isMem(),
+               "ite condition must be 1-bit");
+    owl_assert(t.isMem() == e.isMem(), "ite branch sort mismatch");
+    owl_assert(t.width() == e.width(), "ite branch width mismatch");
+    IlaNode n;
+    n.op = IlaOp::Ite;
+    n.width = t.width();
+    n.isMem = t.isMem();
+    n.kids = {c.idx(), t.idx(), e.idx()};
+    return IlaExpr(this, push(std::move(n)));
+}
+
+IlaExpr
+IlaContext::makeExtract(const IlaExpr &x, int high, int low)
+{
+    owl_assert(!x.isMem(), "extract of memory");
+    owl_assert(low >= 0 && high >= low && high < x.width(),
+               "bad ILA extract [", high, ":", low, "]");
+    IlaNode n;
+    n.op = IlaOp::Extract;
+    n.width = high - low + 1;
+    n.a = high;
+    n.b = low;
+    n.kids = {x.idx()};
+    return IlaExpr(this, push(std::move(n)));
+}
+
+IlaExpr
+IlaContext::makeConcat(const IlaExpr &h, const IlaExpr &l)
+{
+    owl_assert(!h.isMem() && !l.isMem(), "concat of memory");
+    IlaNode n;
+    n.op = IlaOp::Concat;
+    n.width = h.width() + l.width();
+    n.kids = {h.idx(), l.idx()};
+    return IlaExpr(this, push(std::move(n)));
+}
+
+IlaExpr
+IlaContext::makeExt(IlaOp op, const IlaExpr &x, int width)
+{
+    owl_assert(!x.isMem(), "extension of memory");
+    owl_assert(width >= x.width(), "extension to smaller width");
+    IlaNode n;
+    n.op = op;
+    n.width = width;
+    n.kids = {x.idx()};
+    return IlaExpr(this, push(std::move(n)));
+}
+
+IlaExpr
+IlaContext::makeLoad(const IlaExpr &mem, const IlaExpr &addr)
+{
+    owl_assert(mem.isMem(), "Load of non-memory expression");
+    owl_assert(!addr.isMem(), "Load address must be a bitvector");
+    IlaNode n;
+    n.op = IlaOp::Load;
+    n.width = mem.width();  // data width
+    n.kids = {mem.idx(), addr.idx()};
+    return IlaExpr(this, push(std::move(n)));
+}
+
+IlaExpr
+IlaContext::makeStore(const IlaExpr &mem, const IlaExpr &addr,
+                      const IlaExpr &data)
+{
+    owl_assert(mem.isMem(), "Store of non-memory expression");
+    owl_assert(data.width() == mem.width(),
+               "Store data width mismatch");
+    IlaNode n;
+    n.op = IlaOp::Store;
+    n.width = mem.width();
+    n.isMem = true;
+    n.kids = {mem.idx(), addr.idx(), data.idx()};
+    return IlaExpr(this, push(std::move(n)));
+}
+
+// ---- IlaExpr members ----------------------------------------------------
+
+int
+IlaExpr::width() const
+{
+    return ctx_->node(idx_).width;
+}
+
+bool
+IlaExpr::isMem() const
+{
+    return ctx_->node(idx_).isMem;
+}
+
+IlaExpr
+IlaExpr::operator+(const IlaExpr &o) const
+{
+    return ctx_->makeBinop(IlaOp::Add, *this, o, true, 0);
+}
+
+IlaExpr
+IlaExpr::operator-(const IlaExpr &o) const
+{
+    return ctx_->makeBinop(IlaOp::Sub, *this, o, true, 0);
+}
+
+IlaExpr
+IlaExpr::operator&(const IlaExpr &o) const
+{
+    return ctx_->makeBinop(IlaOp::And, *this, o, true, 0);
+}
+
+IlaExpr
+IlaExpr::operator|(const IlaExpr &o) const
+{
+    return ctx_->makeBinop(IlaOp::Or, *this, o, true, 0);
+}
+
+IlaExpr
+IlaExpr::operator^(const IlaExpr &o) const
+{
+    return ctx_->makeBinop(IlaOp::Xor, *this, o, true, 0);
+}
+
+IlaExpr
+IlaExpr::operator==(const IlaExpr &o) const
+{
+    return ctx_->makeBinop(IlaOp::Eq, *this, o, true, 1);
+}
+
+IlaExpr
+IlaExpr::operator!=(const IlaExpr &o) const
+{
+    return !(*this == o);
+}
+
+IlaExpr
+IlaExpr::operator<(const IlaExpr &o) const
+{
+    return ctx_->makeBinop(IlaOp::Ult, *this, o, true, 1);
+}
+
+IlaExpr
+IlaExpr::operator<=(const IlaExpr &o) const
+{
+    return ctx_->makeBinop(IlaOp::Ule, *this, o, true, 1);
+}
+
+IlaExpr
+IlaExpr::operator>(const IlaExpr &o) const
+{
+    return o < *this;
+}
+
+IlaExpr
+IlaExpr::operator>=(const IlaExpr &o) const
+{
+    return o <= *this;
+}
+
+IlaExpr
+IlaExpr::operator!() const
+{
+    return ctx_->makeUnop(IlaOp::Not, *this);
+}
+
+IlaExpr
+IlaExpr::operator&&(const IlaExpr &o) const
+{
+    owl_assert(width() == 1 && o.width() == 1,
+               "logical and needs 1-bit operands");
+    return ctx_->makeBinop(IlaOp::And, *this, o, true, 1);
+}
+
+IlaExpr
+IlaExpr::operator||(const IlaExpr &o) const
+{
+    owl_assert(width() == 1 && o.width() == 1,
+               "logical or needs 1-bit operands");
+    return ctx_->makeBinop(IlaOp::Or, *this, o, true, 1);
+}
+
+// ---- free functions -----------------------------------------------------
+
+IlaExpr
+BvConst(IlaContext &ctx, uint64_t value, int width)
+{
+    return ctx.makeConst(BitVec(width, value));
+}
+
+IlaExpr
+Load(const IlaExpr &mem, const IlaExpr &addr)
+{
+    return mem.ctx()->makeLoad(mem, addr);
+}
+
+IlaExpr
+Store(const IlaExpr &mem, const IlaExpr &addr, const IlaExpr &data)
+{
+    return mem.ctx()->makeStore(mem, addr, data);
+}
+
+IlaExpr
+Ite(const IlaExpr &c, const IlaExpr &t, const IlaExpr &e)
+{
+    return c.ctx()->makeIte(c, t, e);
+}
+
+IlaExpr
+Extract(const IlaExpr &x, int high, int low)
+{
+    return x.ctx()->makeExtract(x, high, low);
+}
+
+IlaExpr
+Concat(const IlaExpr &high, const IlaExpr &low)
+{
+    return high.ctx()->makeConcat(high, low);
+}
+
+IlaExpr
+ZExt(const IlaExpr &x, int width)
+{
+    return x.ctx()->makeExt(IlaOp::ZExt, x, width);
+}
+
+IlaExpr
+SExt(const IlaExpr &x, int width)
+{
+    return x.ctx()->makeExt(IlaOp::SExt, x, width);
+}
+
+IlaExpr
+Shl(const IlaExpr &x, const IlaExpr &amount)
+{
+    return x.ctx()->makeBinop(IlaOp::Shl, x, amount, false, x.width());
+}
+
+IlaExpr
+Lshr(const IlaExpr &x, const IlaExpr &amount)
+{
+    return x.ctx()->makeBinop(IlaOp::Lshr, x, amount, false, x.width());
+}
+
+IlaExpr
+Ashr(const IlaExpr &x, const IlaExpr &amount)
+{
+    return x.ctx()->makeBinop(IlaOp::Ashr, x, amount, false, x.width());
+}
+
+IlaExpr
+Rol(const IlaExpr &x, const IlaExpr &amount)
+{
+    return x.ctx()->makeBinop(IlaOp::Rol, x, amount, false, x.width());
+}
+
+IlaExpr
+Ror(const IlaExpr &x, const IlaExpr &amount)
+{
+    return x.ctx()->makeBinop(IlaOp::Ror, x, amount, false, x.width());
+}
+
+IlaExpr
+Clmul(const IlaExpr &x, const IlaExpr &y)
+{
+    return x.ctx()->makeBinop(IlaOp::Clmul, x, y, true, 0);
+}
+
+IlaExpr
+Clmulh(const IlaExpr &x, const IlaExpr &y)
+{
+    return x.ctx()->makeBinop(IlaOp::Clmulh, x, y, true, 0);
+}
+
+IlaExpr
+Mul(const IlaExpr &x, const IlaExpr &y)
+{
+    return x.ctx()->makeBinop(IlaOp::Mul, x, y, true, 0);
+}
+
+IlaExpr
+Slt(const IlaExpr &x, const IlaExpr &y)
+{
+    return x.ctx()->makeBinop(IlaOp::Slt, x, y, true, 1);
+}
+
+IlaExpr
+Sle(const IlaExpr &x, const IlaExpr &y)
+{
+    return x.ctx()->makeBinop(IlaOp::Sle, x, y, true, 1);
+}
+
+} // namespace owl::ila

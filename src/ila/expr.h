@@ -1,0 +1,187 @@
+/**
+ * @file
+ * ILA expression AST (paper §2.1, §5.1 Figure 8).
+ *
+ * This mirrors the ilang C++ API the paper's listings use: an Ila owns
+ * states and instructions; expressions are built with overloaded
+ * operators and free functions (Load, Store, Ite, Extract, ...).
+ * Memory-sorted expressions are state variables, Store chains, or
+ * MemConst tables (read-only lookup tables like the AES S-box).
+ */
+
+#ifndef OWL_ILA_EXPR_H
+#define OWL_ILA_EXPR_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/bitvec.h"
+
+namespace owl::ila
+{
+
+class IlaContext;
+
+/** Expression operators. */
+enum class IlaOp : uint8_t
+{
+    Const,
+    StateVar,  ///< a = state index
+    InputVar,  ///< a = state index (inputs share the registry)
+    Not,
+    And,
+    Or,
+    Xor,
+    Neg,
+    Add,
+    Sub,
+    Mul,
+    Clmul,
+    Clmulh,
+    Eq,
+    Ult,
+    Ule,
+    Slt,
+    Sle,
+    Ite,
+    Extract,  ///< a = high, b = low
+    Concat,
+    ZExt,
+    SExt,
+    Shl,
+    Lshr,
+    Ashr,
+    Rol,
+    Ror,
+    Load,     ///< kids: {mem, addr}
+    Store,    ///< kids: {mem, addr, data}; memory-sorted
+};
+
+/** Kinds of registered ILA state. */
+enum class StateKind
+{
+    Input,
+    BvState,
+    MemState,
+    MemConst,
+};
+
+/** Registry entry for a state variable / input / memory. */
+struct StateInfo
+{
+    std::string name;
+    StateKind kind;
+    int width = 0;      ///< data width (bv width for scalars)
+    int addrWidth = 0;  ///< memories only
+    std::vector<BitVec> constContents;  ///< MemConst only
+};
+
+/** An ILA expression node. */
+struct IlaNode
+{
+    IlaOp op;
+    int width;       ///< bitvector width; memories use data width
+    bool isMem = false;
+    int a = 0, b = 0;
+    BitVec cval{1};
+    std::vector<int32_t> kids;
+};
+
+/**
+ * Handle to an ILA expression. Copyable; owned by an IlaContext.
+ * Overloaded operators build new expressions, so paper listings like
+ * `op == BvConst(1, 2)` and `acc + val` transliterate directly.
+ */
+class IlaExpr
+{
+  public:
+    IlaExpr() = default;
+    IlaExpr(IlaContext *ctx, int32_t idx) : ctx_(ctx), idx_(idx) {}
+
+    bool valid() const { return ctx_ != nullptr; }
+    IlaContext *ctx() const { return ctx_; }
+    int32_t idx() const { return idx_; }
+
+    int width() const;
+    bool isMem() const;
+
+    // Operator sugar mirroring ilang.
+    IlaExpr operator+(const IlaExpr &o) const;
+    IlaExpr operator-(const IlaExpr &o) const;
+    IlaExpr operator&(const IlaExpr &o) const;
+    IlaExpr operator|(const IlaExpr &o) const;
+    IlaExpr operator^(const IlaExpr &o) const;
+    IlaExpr operator==(const IlaExpr &o) const;
+    IlaExpr operator!=(const IlaExpr &o) const;
+    IlaExpr operator<(const IlaExpr &o) const;   ///< unsigned
+    IlaExpr operator<=(const IlaExpr &o) const;  ///< unsigned
+    IlaExpr operator>(const IlaExpr &o) const;   ///< unsigned
+    IlaExpr operator>=(const IlaExpr &o) const;  ///< unsigned
+    IlaExpr operator!() const;  ///< bitwise not (1-bit: logical not)
+    IlaExpr operator&&(const IlaExpr &o) const;  ///< 1-bit and
+    IlaExpr operator||(const IlaExpr &o) const;  ///< 1-bit or
+
+  private:
+    IlaContext *ctx_ = nullptr;
+    int32_t idx_ = -1;
+};
+
+// Free constructors, mirroring ilang's API surface.
+IlaExpr BvConst(IlaContext &ctx, uint64_t value, int width);
+IlaExpr Load(const IlaExpr &mem, const IlaExpr &addr);
+IlaExpr Store(const IlaExpr &mem, const IlaExpr &addr,
+              const IlaExpr &data);
+IlaExpr Ite(const IlaExpr &c, const IlaExpr &t, const IlaExpr &e);
+IlaExpr Extract(const IlaExpr &x, int high, int low);
+IlaExpr Concat(const IlaExpr &high, const IlaExpr &low);
+IlaExpr ZExt(const IlaExpr &x, int width);
+IlaExpr SExt(const IlaExpr &x, int width);
+IlaExpr Shl(const IlaExpr &x, const IlaExpr &amount);
+IlaExpr Lshr(const IlaExpr &x, const IlaExpr &amount);
+IlaExpr Ashr(const IlaExpr &x, const IlaExpr &amount);
+IlaExpr Rol(const IlaExpr &x, const IlaExpr &amount);
+IlaExpr Ror(const IlaExpr &x, const IlaExpr &amount);
+IlaExpr Clmul(const IlaExpr &x, const IlaExpr &y);
+IlaExpr Clmulh(const IlaExpr &x, const IlaExpr &y);
+IlaExpr Mul(const IlaExpr &x, const IlaExpr &y);
+IlaExpr Slt(const IlaExpr &x, const IlaExpr &y);
+IlaExpr Sle(const IlaExpr &x, const IlaExpr &y);
+
+/**
+ * The expression pool and state registry shared by one Ila model.
+ */
+class IlaContext
+{
+  public:
+    const IlaNode &node(int32_t idx) const { return pool[idx]; }
+    const std::vector<StateInfo> &states() const { return registry; }
+    const StateInfo &state(int idx) const { return registry[idx]; }
+    int stateIndex(const std::string &name) const;
+
+    // Internal factory methods used by Ila and the free functions.
+    IlaExpr makeConst(const BitVec &v);
+    IlaExpr makeStateRef(int state_idx);
+    int registerState(StateInfo info);
+    IlaExpr makeUnop(IlaOp op, const IlaExpr &a);
+    IlaExpr makeBinop(IlaOp op, const IlaExpr &a, const IlaExpr &b,
+                      bool same_width, int out_width);
+    IlaExpr makeIte(const IlaExpr &c, const IlaExpr &t,
+                    const IlaExpr &e);
+    IlaExpr makeExtract(const IlaExpr &x, int high, int low);
+    IlaExpr makeConcat(const IlaExpr &h, const IlaExpr &l);
+    IlaExpr makeExt(IlaOp op, const IlaExpr &x, int width);
+    IlaExpr makeLoad(const IlaExpr &mem, const IlaExpr &addr);
+    IlaExpr makeStore(const IlaExpr &mem, const IlaExpr &addr,
+                      const IlaExpr &data);
+
+  private:
+    std::vector<IlaNode> pool;
+    std::vector<StateInfo> registry;
+
+    int32_t push(IlaNode n);
+};
+
+} // namespace owl::ila
+
+#endif // OWL_ILA_EXPR_H

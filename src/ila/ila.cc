@@ -1,0 +1,137 @@
+#include "ila/ila.h"
+
+#include "base/logging.h"
+
+namespace owl::ila
+{
+
+void
+Instr::SetDecode(const IlaExpr &cond)
+{
+    owl_assert(cond.width() == 1, "decode condition must be 1-bit");
+    if (decodeExpr.valid())
+        owl_fatal("instruction '", instrName,
+                  "' already has a decode condition");
+    decodeExpr = cond;
+}
+
+void
+Instr::SetUpdate(const IlaExpr &state, const IlaExpr &value)
+{
+    const IlaNode &n = state.ctx()->node(state.idx());
+    if (n.op != IlaOp::StateVar)
+        owl_fatal("SetUpdate target must be a state variable");
+    if (state.isMem() != value.isMem())
+        owl_fatal("SetUpdate sort mismatch for instruction '",
+                  instrName, "'");
+    if (state.width() != value.width())
+        owl_fatal("SetUpdate width mismatch for instruction '",
+                  instrName, "'");
+    for (const Update &u : updateList) {
+        if (u.stateIdx == n.a)
+            owl_fatal("instruction '", instrName,
+                      "' updates the same state twice");
+    }
+    updateList.push_back(Update{n.a, value});
+}
+
+const IlaExpr *
+Instr::updateFor(int state_idx) const
+{
+    for (const Update &u : updateList) {
+        if (u.stateIdx == state_idx)
+            return &u.value;
+    }
+    return nullptr;
+}
+
+Ila::Ila(std::string name)
+    : modelName(std::move(name)), context(std::make_unique<IlaContext>())
+{
+}
+
+IlaExpr
+Ila::NewBvInput(const std::string &name, int width)
+{
+    StateInfo s;
+    s.name = name;
+    s.kind = StateKind::Input;
+    s.width = width;
+    return context->makeStateRef(context->registerState(std::move(s)));
+}
+
+IlaExpr
+Ila::NewBvState(const std::string &name, int width)
+{
+    StateInfo s;
+    s.name = name;
+    s.kind = StateKind::BvState;
+    s.width = width;
+    return context->makeStateRef(context->registerState(std::move(s)));
+}
+
+IlaExpr
+Ila::NewMemState(const std::string &name, int addr_width, int data_width)
+{
+    StateInfo s;
+    s.name = name;
+    s.kind = StateKind::MemState;
+    s.width = data_width;
+    s.addrWidth = addr_width;
+    return context->makeStateRef(context->registerState(std::move(s)));
+}
+
+IlaExpr
+Ila::NewMemConst(const std::string &name, int addr_width, int data_width,
+                 std::vector<BitVec> contents)
+{
+    StateInfo s;
+    s.name = name;
+    s.kind = StateKind::MemConst;
+    s.width = data_width;
+    s.addrWidth = addr_width;
+    s.constContents = std::move(contents);
+    return context->makeStateRef(context->registerState(std::move(s)));
+}
+
+IlaExpr
+Ila::state(const std::string &name)
+{
+    return context->makeStateRef(context->stateIndex(name));
+}
+
+void
+Ila::SetFetch(const IlaExpr &fetch)
+{
+    owl_assert(!fetch.isMem(), "fetch must be a bitvector expression");
+    fetchExpr = fetch;
+}
+
+Instr &
+Ila::NewInstr(const std::string &name)
+{
+    for (const auto &i : instrList) {
+        if (i->name() == name)
+            owl_fatal("duplicate instruction '", name, "'");
+    }
+    instrList.push_back(std::make_unique<Instr>(name));
+    return *instrList.back();
+}
+
+Instr &
+Ila::instr(const std::string &name)
+{
+    for (const auto &i : instrList) {
+        if (i->name() == name)
+            return *i;
+    }
+    owl_fatal("unknown instruction '", name, "'");
+}
+
+const Instr &
+Ila::instr(const std::string &name) const
+{
+    return const_cast<Ila *>(this)->instr(name);
+}
+
+} // namespace owl::ila

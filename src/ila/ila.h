@@ -1,0 +1,125 @@
+/**
+ * @file
+ * The Ila model container (paper §2.1): states, inputs, a fetch
+ * function and a set of instructions, each with decode (precondition)
+ * and update (postcondition) functions. Mirrors the ilang API used in
+ * the paper's listings:
+ *
+ *   ilang::Ila ila("alu_ila");
+ *   auto op = ila.NewBvInput("op", 2);
+ *   auto regs = ila.NewMemState("regs", 2, 8);
+ *   auto ADD = ila.NewInstr("ADD");
+ *   ADD.SetDecode(op == BvConst(1, 2));
+ *   ADD.SetUpdate(regs, Store(regs, dest, res));
+ */
+
+#ifndef OWL_ILA_ILA_H
+#define OWL_ILA_ILA_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ila/expr.h"
+
+namespace owl::ila
+{
+
+/** One state update: which state, and its new value expression. */
+struct Update
+{
+    int stateIdx;
+    IlaExpr value;
+};
+
+/**
+ * An ILA instruction: a decode condition plus state updates.
+ */
+class Instr
+{
+  public:
+    explicit Instr(std::string name) : instrName(std::move(name)) {}
+
+    const std::string &name() const { return instrName; }
+
+    /** Set the decode (enabling) condition; 1-bit expression. */
+    void SetDecode(const IlaExpr &cond);
+
+    /** Add a state update. `state` must be a state reference. */
+    void SetUpdate(const IlaExpr &state, const IlaExpr &value);
+
+    const IlaExpr &decode() const { return decodeExpr; }
+    bool hasDecode() const { return decodeExpr.valid(); }
+    const std::vector<Update> &updates() const { return updateList; }
+
+    /** The update for a state, if any. */
+    const IlaExpr *updateFor(int state_idx) const;
+
+  private:
+    std::string instrName;
+    IlaExpr decodeExpr;
+    std::vector<Update> updateList;
+};
+
+/**
+ * An ILA model: the architectural specification consumed by control
+ * logic synthesis.
+ */
+class Ila
+{
+  public:
+    explicit Ila(std::string name);
+
+    const std::string &name() const { return modelName; }
+    IlaContext &ctx() { return *context; }
+    const IlaContext &ctx() const { return *context; }
+
+    /** Declare a bitvector input. */
+    IlaExpr NewBvInput(const std::string &name, int width);
+    /** Declare a bitvector architectural state. */
+    IlaExpr NewBvState(const std::string &name, int width);
+    /** Declare a memory architectural state. */
+    IlaExpr NewMemState(const std::string &name, int addr_width,
+                        int data_width);
+    /** Declare a read-only constant memory (lookup table). */
+    IlaExpr NewMemConst(const std::string &name, int addr_width,
+                        int data_width, std::vector<BitVec> contents);
+
+    /** Reference an already-declared state by name. */
+    IlaExpr state(const std::string &name);
+
+    /**
+     * Set the fetch function: the expression producing the current
+     * instruction word (e.g. Load(mem, pc)). Optional for models
+     * whose decode conditions only reference inputs and states.
+     */
+    void SetFetch(const IlaExpr &fetch);
+    bool hasFetch() const { return fetchExpr.valid(); }
+    const IlaExpr &fetch() const { return fetchExpr; }
+
+    /** Create a new instruction. */
+    Instr &NewInstr(const std::string &name);
+
+    const std::vector<std::unique_ptr<Instr>> &instrs() const
+    {
+        return instrList;
+    }
+    Instr &instr(const std::string &name);
+    const Instr &instr(const std::string &name) const;
+
+    /** All registered states/inputs/memconsts. */
+    const std::vector<StateInfo> &states() const
+    {
+        return context->states();
+    }
+
+  private:
+    std::string modelName;
+    std::unique_ptr<IlaContext> context;
+    std::vector<std::unique_ptr<Instr>> instrList;
+    IlaExpr fetchExpr;
+};
+
+} // namespace owl::ila
+
+#endif // OWL_ILA_ILA_H

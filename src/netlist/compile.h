@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Oyster-to-gates compilation (the PyRTL-compiler substitute for
+ * Table 2). The compiler is deliberately naive — ripple-carry adders,
+ * mux trees, no common-subexpression elimination — so that the
+ * optimizer's contribution (optimize.h) is measurable, mirroring the
+ * paper's unoptimized-vs-Yosys comparison.
+ */
+
+#ifndef OWL_NETLIST_COMPILE_H
+#define OWL_NETLIST_COMPILE_H
+
+#include "netlist/netlist.h"
+#include "oyster/ir.h"
+
+namespace owl::netlist
+{
+
+/** Compile a completed (hole-free) design to a gate-level netlist. */
+Netlist compile(const oyster::Design &design);
+
+} // namespace owl::netlist
+
+#endif // OWL_NETLIST_COMPILE_H

@@ -1,0 +1,53 @@
+#include "netlist/netlist.h"
+
+namespace owl::netlist
+{
+
+int32_t
+Netlist::addGate(GateOp op, int32_t a, int32_t b)
+{
+    gates.push_back(Gate{op, a, b, false, {}});
+    return static_cast<int32_t>(gates.size() - 1);
+}
+
+int
+Netlist::gateCount() const
+{
+    int n = 0;
+    for (const Gate &g : gates) {
+        switch (g.op) {
+          case GateOp::And:
+          case GateOp::Or:
+          case GateOp::Xor:
+          case GateOp::Not:
+          case GateOp::Dff:
+            n++;
+            break;
+          default:
+            break;
+        }
+    }
+    return n;
+}
+
+std::map<std::string, int>
+Netlist::gateHistogram() const
+{
+    std::map<std::string, int> h;
+    for (const Gate &g : gates) {
+        switch (g.op) {
+          case GateOp::And: h["and"]++; break;
+          case GateOp::Or: h["or"]++; break;
+          case GateOp::Xor: h["xor"]++; break;
+          case GateOp::Not: h["not"]++; break;
+          case GateOp::Dff: h["dff"]++; break;
+          case GateOp::Const0:
+          case GateOp::Const1: h["const"]++; break;
+          case GateOp::Input: h["input"]++; break;
+          case GateOp::MemData: h["memdata"]++; break;
+        }
+    }
+    return h;
+}
+
+} // namespace owl::netlist

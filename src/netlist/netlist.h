@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Gate-level netlists (the Table 2 substrate).
+ *
+ * Completed Oyster designs compile to netlists of 2-input AND/OR/XOR
+ * gates, inverters and D flip-flops; memories stay behind read/write
+ * ports (as macro blocks, the way the PyRTL compiler treats
+ * MemBlocks), with their address/data/enable logic synthesized to
+ * gates. The optimizer (optimize.h) plays the role of the paper's
+ * Yosys pass.
+ */
+
+#ifndef OWL_NETLIST_NETLIST_H
+#define OWL_NETLIST_NETLIST_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/bitvec.h"
+
+namespace owl::netlist
+{
+
+/** Gate kinds. Const/Input/MemData are sources, not counted as gates. */
+enum class GateOp : uint8_t
+{
+    Const0,
+    Const1,
+    Input,    ///< primary input bit
+    MemData,  ///< memory read-port data bit (macro block output)
+    And,
+    Or,
+    Xor,
+    Not,
+    Dff,      ///< a = D input (patched after build); keeps init state
+};
+
+/** One gate; a/b are fanin gate ids. */
+struct Gate
+{
+    GateOp op;
+    int32_t a = -1;
+    int32_t b = -1;
+    bool init = false;       ///< Dff reset value
+    std::string name;        ///< debug label for sources/Dffs
+};
+
+/** A named bundle of gate ids (a port). */
+using Bus = std::vector<int32_t>;
+
+/** A memory read port: address in, data bits out (MemData gates). */
+struct ReadPort
+{
+    std::string mem;
+    Bus addr;
+    Bus data;
+};
+
+/** A memory write port: address/data/enable logic feeding the macro. */
+struct WritePort
+{
+    std::string mem;
+    Bus addr;
+    Bus data;
+    int32_t enable = -1;
+};
+
+/**
+ * The netlist: gates plus port structure.
+ */
+class Netlist
+{
+  public:
+    std::vector<Gate> gates;
+    std::map<std::string, Bus> inputs;
+    std::map<std::string, Bus> outputs;
+    /** Dff gate ids per register, lsb first. */
+    std::map<std::string, Bus> registers;
+    std::vector<ReadPort> readPorts;
+    std::vector<WritePort> writePorts;
+
+    int32_t addGate(GateOp op, int32_t a = -1, int32_t b = -1);
+
+    /**
+     * Number of logic gates (And/Or/Xor/Not/Dff) — the Table 2
+     * "netlist size" metric. Sources and memory macros excluded.
+     */
+    int gateCount() const;
+
+    /** Counts per gate kind, for the ablation bench. */
+    std::map<std::string, int> gateHistogram() const;
+};
+
+} // namespace owl::netlist
+
+#endif // OWL_NETLIST_NETLIST_H

@@ -1,0 +1,297 @@
+#include "netlist/optimize.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/logging.h"
+
+namespace owl::netlist
+{
+
+namespace
+{
+
+bool
+isConst(const Netlist &nl, int32_t g, bool value)
+{
+    GateOp op = nl.gates[g].op;
+    return value ? op == GateOp::Const1 : op == GateOp::Const0;
+}
+
+/**
+ * One rewrite + CSE sweep. Returns the replacement map and updates
+ * stats; `changed` reports whether anything was simplified.
+ */
+bool
+sweep(Netlist &nl, const PassConfig &cfg, OptStats &stats)
+{
+    size_t n = nl.gates.size();
+    std::vector<int32_t> rep(n);
+    std::unordered_map<uint64_t, int32_t> cse;
+    bool changed = false;
+
+    // Structural key for CSE; commutative ops get sorted fanins.
+    auto key = [](GateOp op, int32_t a, int32_t b) {
+        if ((op == GateOp::And || op == GateOp::Or ||
+             op == GateOp::Xor) &&
+            a > b) {
+            std::swap(a, b);
+        }
+        return (static_cast<uint64_t>(op) << 56) ^
+               (static_cast<uint64_t>(static_cast<uint32_t>(a))
+                << 28) ^
+               static_cast<uint32_t>(b);
+    };
+
+    // "x == not y" detection for absorption rules.
+    auto isNotOf = [&](int32_t x, int32_t y) {
+        return nl.gates[x].op == GateOp::Not && nl.gates[x].a == y;
+    };
+
+    for (size_t i = 0; i < n; i++) {
+        Gate &g = nl.gates[i];
+        int32_t me = static_cast<int32_t>(i);
+        switch (g.op) {
+          case GateOp::Const0:
+          case GateOp::Const1:
+          case GateOp::Input:
+          case GateOp::MemData:
+          case GateOp::Dff:
+            rep[i] = me;
+            continue;
+          default:
+            break;
+        }
+        int32_t a = g.a >= 0 ? rep[g.a] : -1;
+        int32_t b = g.b >= 0 ? rep[g.b] : -1;
+        int32_t out = -1;
+
+        if (cfg.rewrite) {
+            switch (g.op) {
+              case GateOp::Not:
+                if (isConst(nl, a, false))
+                    out = 1; // Const1 is always gate id 1
+                else if (isConst(nl, a, true))
+                    out = 0;
+                else if (nl.gates[a].op == GateOp::Not)
+                    out = nl.gates[a].a;
+                break;
+              case GateOp::And:
+                if (isConst(nl, a, false) || isConst(nl, b, false))
+                    out = 0;
+                else if (isConst(nl, a, true))
+                    out = b;
+                else if (isConst(nl, b, true))
+                    out = a;
+                else if (a == b)
+                    out = a;
+                else if (isNotOf(a, b) || isNotOf(b, a))
+                    out = 0;
+                break;
+              case GateOp::Or:
+                if (isConst(nl, a, true) || isConst(nl, b, true))
+                    out = 1;
+                else if (isConst(nl, a, false))
+                    out = b;
+                else if (isConst(nl, b, false))
+                    out = a;
+                else if (a == b)
+                    out = a;
+                else if (isNotOf(a, b) || isNotOf(b, a))
+                    out = 1;
+                break;
+              case GateOp::Xor:
+                if (isConst(nl, a, false))
+                    out = b;
+                else if (isConst(nl, b, false))
+                    out = a;
+                else if (a == b)
+                    out = 0;
+                else if (isConst(nl, a, true) &&
+                         isConst(nl, b, true))
+                    out = 0;
+                break;
+              default:
+                break;
+            }
+            if (out >= 0)
+                stats.constFolded++;
+        }
+
+        if (out < 0 && g.op == GateOp::Xor &&
+            (isConst(nl, a, true) || isConst(nl, b, true)) &&
+            cfg.rewrite) {
+            // xor with 1 -> Not of the other operand.
+            int32_t other = isConst(nl, a, true) ? b : a;
+            g.op = GateOp::Not;
+            g.a = other;
+            g.b = -1;
+            a = other;
+            b = -1;
+            changed = true;
+        }
+
+        if (out < 0) {
+            if (a != g.a || b != g.b) {
+                g.a = a;
+                g.b = b;
+                changed = true;
+            }
+            if (cfg.cse) {
+                uint64_t k = key(g.op, g.a, g.b);
+                auto [it, inserted] = cse.try_emplace(k, me);
+                if (!inserted && nl.gates[it->second].op == g.op) {
+                    out = it->second;
+                    stats.cseMerged++;
+                }
+            }
+        }
+
+        if (out >= 0 && out != me) {
+            rep[i] = out;
+            changed = true;
+        } else {
+            rep[i] = me;
+        }
+    }
+
+    // Remap Dff D-inputs (may point forward), port and output buses.
+    auto remap = [&](int32_t &x) {
+        if (x >= 0)
+            x = rep[x];
+    };
+    for (Gate &g : nl.gates) {
+        if (g.op == GateOp::Dff)
+            remap(g.a);
+    }
+    for (auto &[name, bus] : nl.outputs)
+        for (auto &x : bus)
+            remap(x);
+    for (auto &rp : nl.readPorts)
+        for (auto &x : rp.addr)
+            remap(x);
+    for (auto &wp : nl.writePorts) {
+        for (auto &x : wp.addr)
+            remap(x);
+        for (auto &x : wp.data)
+            remap(x);
+        remap(wp.enable);
+    }
+    return changed;
+}
+
+/** Remove gates unreachable from any root; compacts ids. */
+int
+deadCodeElim(Netlist &nl)
+{
+    size_t n = nl.gates.size();
+    std::vector<bool> live(n, false);
+    std::vector<int32_t> stack;
+    auto mark = [&](int32_t g) {
+        if (g >= 0 && !live[g]) {
+            live[g] = true;
+            stack.push_back(g);
+        }
+    };
+    mark(0);
+    mark(1);
+    for (auto &[name, bus] : nl.outputs)
+        for (int32_t g : bus)
+            mark(g);
+    for (auto &[name, bus] : nl.registers)
+        for (int32_t g : bus)
+            mark(g);
+    for (auto &rp : nl.readPorts) {
+        for (int32_t g : rp.addr)
+            mark(g);
+        for (int32_t g : rp.data)
+            mark(g);
+    }
+    for (auto &wp : nl.writePorts) {
+        for (int32_t g : wp.addr)
+            mark(g);
+        for (int32_t g : wp.data)
+            mark(g);
+        mark(wp.enable);
+    }
+    for (auto &[name, bus] : nl.inputs)
+        for (int32_t g : bus)
+            mark(g);
+    while (!stack.empty()) {
+        int32_t g = stack.back();
+        stack.pop_back();
+        mark(nl.gates[g].a);
+        mark(nl.gates[g].b);
+    }
+
+    std::vector<int32_t> newid(n, -1);
+    std::vector<Gate> out;
+    int removed = 0;
+    for (size_t i = 0; i < n; i++) {
+        if (live[i]) {
+            newid[i] = out.size();
+            out.push_back(nl.gates[i]);
+        } else {
+            removed++;
+        }
+    }
+    auto remap = [&](int32_t &x) {
+        if (x >= 0)
+            x = newid[x];
+    };
+    for (Gate &g : out) {
+        remap(g.a);
+        remap(g.b);
+    }
+    nl.gates = std::move(out);
+    for (auto &[name, bus] : nl.inputs)
+        for (auto &x : bus)
+            remap(x);
+    for (auto &[name, bus] : nl.outputs)
+        for (auto &x : bus)
+            remap(x);
+    for (auto &[name, bus] : nl.registers)
+        for (auto &x : bus)
+            remap(x);
+    for (auto &rp : nl.readPorts) {
+        for (auto &x : rp.addr)
+            remap(x);
+        for (auto &x : rp.data)
+            remap(x);
+    }
+    for (auto &wp : nl.writePorts) {
+        for (auto &x : wp.addr)
+            remap(x);
+        for (auto &x : wp.data)
+            remap(x);
+        remap(wp.enable);
+    }
+    return removed;
+}
+
+} // namespace
+
+OptStats
+optimize(Netlist &nl, const PassConfig &cfg)
+{
+    OptStats stats;
+    stats.gatesBefore = nl.gateCount();
+    for (int iter = 0; iter < cfg.maxIterations; iter++) {
+        stats.iterations = iter + 1;
+        bool changed = sweep(nl, cfg, stats);
+        if (cfg.dce)
+            stats.deadRemoved += deadCodeElim(nl);
+        if (!changed)
+            break;
+    }
+    stats.gatesAfter = nl.gateCount();
+    return stats;
+}
+
+OptStats
+optimize(Netlist &nl)
+{
+    return optimize(nl, PassConfig{});
+}
+
+} // namespace owl::netlist

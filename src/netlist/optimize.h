@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Netlist optimization passes — the Yosys-substitute for Table 2's
+ * "Netlist Size (Optimized)" column. Local boolean rewrites, constant
+ * propagation, structural hashing (CSE) and dead-gate elimination are
+ * iterated to a fixpoint.
+ */
+
+#ifndef OWL_NETLIST_OPTIMIZE_H
+#define OWL_NETLIST_OPTIMIZE_H
+
+#include "netlist/netlist.h"
+
+namespace owl::netlist
+{
+
+/** Statistics from one optimize() run. */
+struct OptStats
+{
+    int gatesBefore = 0;
+    int gatesAfter = 0;
+    int iterations = 0;
+    int constFolded = 0;
+    int cseMerged = 0;
+    int deadRemoved = 0;
+};
+
+/** Optimize in place; returns pass statistics. */
+OptStats optimize(Netlist &nl);
+
+/** Run only selected passes (for the pass-ablation bench). */
+struct PassConfig
+{
+    bool rewrite = true;  ///< local boolean rewrites + constant prop
+    bool cse = true;      ///< structural hashing
+    bool dce = true;      ///< dead-gate elimination
+    int maxIterations = 16;
+};
+
+OptStats optimize(Netlist &nl, const PassConfig &config);
+
+} // namespace owl::netlist
+
+#endif // OWL_NETLIST_OPTIMIZE_H

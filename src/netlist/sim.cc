@@ -1,0 +1,151 @@
+#include "netlist/sim.h"
+
+#include "base/logging.h"
+
+namespace owl::netlist
+{
+
+NetlistSim::NetlistSim(const Netlist &nl) : nl(nl)
+{
+    for (size_t p = 0; p < nl.readPorts.size(); p++) {
+        const ReadPort &rp = nl.readPorts[p];
+        for (size_t b = 0; b < rp.data.size(); b++)
+            memDataBits[rp.data[b]] = {static_cast<int>(p),
+                                       static_cast<int>(b)};
+    }
+    reset();
+}
+
+void
+NetlistSim::reset()
+{
+    value.assign(nl.gates.size(), false);
+    ffState.assign(nl.gates.size(), false);
+    mems.clear();
+    for (size_t i = 0; i < nl.gates.size(); i++) {
+        if (nl.gates[i].op == GateOp::Dff)
+            ffState[i] = nl.gates[i].init;
+    }
+}
+
+uint64_t
+NetlistSim::busValue(const Bus &bus) const
+{
+    uint64_t v = 0;
+    for (size_t i = 0; i < bus.size(); i++) {
+        if (value[bus[i]])
+            v |= 1ULL << i;
+    }
+    return v;
+}
+
+void
+NetlistSim::step(const std::map<std::string, BitVec> &inputs)
+{
+    // Drive inputs.
+    std::unordered_map<int32_t, bool> input_vals;
+    for (const auto &[name, bus] : nl.inputs) {
+        auto it = inputs.find(name);
+        for (size_t i = 0; i < bus.size(); i++) {
+            bool bit = it != inputs.end() &&
+                       static_cast<int>(i) < it->second.width() &&
+                       it->second.getBit(i);
+            input_vals[bus[i]] = bit;
+        }
+    }
+
+    // Combinational pass in id order (fanins of non-Dff gates always
+    // have smaller ids; Dffs read their committed state).
+    for (size_t i = 0; i < nl.gates.size(); i++) {
+        const Gate &g = nl.gates[i];
+        switch (g.op) {
+          case GateOp::Const0: value[i] = false; break;
+          case GateOp::Const1: value[i] = true; break;
+          case GateOp::Input: value[i] = input_vals[i]; break;
+          case GateOp::Dff: value[i] = ffState[i]; break;
+          case GateOp::And: value[i] = value[g.a] && value[g.b]; break;
+          case GateOp::Or: value[i] = value[g.a] || value[g.b]; break;
+          case GateOp::Xor: value[i] = value[g.a] != value[g.b]; break;
+          case GateOp::Not: value[i] = !value[g.a]; break;
+          case GateOp::MemData: {
+            auto [port, bit] = memDataBits.at(i);
+            const ReadPort &rp = nl.readPorts[port];
+            uint64_t addr = busValue(rp.addr);
+            auto mit = mems.find(rp.mem);
+            uint64_t word = 0;
+            if (mit != mems.end()) {
+                auto wit = mit->second.find(addr);
+                if (wit != mit->second.end())
+                    word = wit->second;
+            }
+            value[i] = (word >> bit) & 1;
+            break;
+          }
+        }
+    }
+
+    // Commit flip-flops and memory writes.
+    std::vector<bool> next = ffState;
+    for (size_t i = 0; i < nl.gates.size(); i++) {
+        if (nl.gates[i].op == GateOp::Dff)
+            next[i] = value[nl.gates[i].a];
+    }
+    for (const WritePort &wp : nl.writePorts) {
+        if (value[wp.enable]) {
+            uint64_t addr = busValue(wp.addr);
+            mems[wp.mem][addr] = busValue(wp.data);
+        }
+    }
+    ffState = std::move(next);
+}
+
+BitVec
+NetlistSim::reg(const std::string &name) const
+{
+    const Bus &bus = nl.registers.at(name);
+    BitVec v(bus.size());
+    for (size_t i = 0; i < bus.size(); i++)
+        v.setBit(i, ffState[bus[i]]);
+    return v;
+}
+
+void
+NetlistSim::setReg(const std::string &name, const BitVec &v)
+{
+    const Bus &bus = nl.registers.at(name);
+    for (size_t i = 0; i < bus.size(); i++)
+        ffState[bus[i]] = v.getBit(i);
+}
+
+BitVec
+NetlistSim::output(const std::string &name) const
+{
+    const Bus &bus = nl.outputs.at(name);
+    BitVec v(bus.size());
+    for (size_t i = 0; i < bus.size(); i++)
+        v.setBit(i, value[bus[i]]);
+    return v;
+}
+
+BitVec
+NetlistSim::memWord(const std::string &mem, uint64_t addr,
+                    int width) const
+{
+    auto mit = mems.find(mem);
+    uint64_t word = 0;
+    if (mit != mems.end()) {
+        auto wit = mit->second.find(addr);
+        if (wit != mit->second.end())
+            word = wit->second;
+    }
+    return BitVec(width, word);
+}
+
+void
+NetlistSim::setMemWord(const std::string &mem, uint64_t addr,
+                       const BitVec &v)
+{
+    mems[mem][addr] = v.toUint64();
+}
+
+} // namespace owl::netlist

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Cycle-accurate netlist simulator, used to check that compiled (and
+ * optimized) netlists remain behaviourally equivalent to the Oyster
+ * interpreter.
+ */
+
+#ifndef OWL_NETLIST_SIM_H
+#define OWL_NETLIST_SIM_H
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "netlist/netlist.h"
+
+namespace owl::netlist
+{
+
+/**
+ * Event-free two-phase simulator: evaluate all combinational gates in
+ * topological (id) order, then commit flip-flops and memory writes.
+ */
+class NetlistSim
+{
+  public:
+    explicit NetlistSim(const Netlist &nl);
+
+    void reset();
+
+    /** Simulate one cycle with the given input values. */
+    void step(const std::map<std::string, BitVec> &inputs = {});
+
+    /** Register value (committed). */
+    BitVec reg(const std::string &name) const;
+    /** Output value during the last step. */
+    BitVec output(const std::string &name) const;
+    /** Memory word. */
+    BitVec memWord(const std::string &mem, uint64_t addr,
+                   int width) const;
+    void setMemWord(const std::string &mem, uint64_t addr,
+                    const BitVec &v);
+    void setReg(const std::string &name, const BitVec &v);
+
+  private:
+    const Netlist &nl;
+    std::vector<bool> value;     ///< per-gate value this cycle
+    std::vector<bool> ffState;   ///< per-gate Dff state
+    std::map<std::string,
+             std::unordered_map<uint64_t, uint64_t>> mems;
+    /** gate id -> (read port index, bit). */
+    std::unordered_map<int32_t, std::pair<int, int>> memDataBits;
+
+    uint64_t busValue(const Bus &bus) const;
+};
+
+} // namespace owl::netlist
+
+#endif // OWL_NETLIST_SIM_H

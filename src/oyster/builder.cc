@@ -1,0 +1,49 @@
+#include "oyster/builder.h"
+
+#include "base/logging.h"
+
+namespace owl::oyster
+{
+
+ExprRef
+muxChain(Design &d, const std::vector<CondArm> &arms, ExprRef otherwise)
+{
+    ExprRef result = otherwise;
+    for (auto it = arms.rbegin(); it != arms.rend(); ++it)
+        result = d.opIte(it->first, it->second, result);
+    return result;
+}
+
+ExprRef
+orAll(Design &d, const std::vector<ExprRef> &xs)
+{
+    if (xs.empty())
+        return d.lit(1, 0);
+    ExprRef acc = xs[0];
+    for (size_t i = 1; i < xs.size(); i++)
+        acc = d.opOr(acc, xs[i]);
+    return acc;
+}
+
+ExprRef
+andAll(Design &d, const std::vector<ExprRef> &xs)
+{
+    if (xs.empty())
+        return d.lit(1, 1);
+    ExprRef acc = xs[0];
+    for (size_t i = 1; i < xs.size(); i++)
+        acc = d.opAnd(acc, xs[i]);
+    return acc;
+}
+
+ExprRef
+concatAll(Design &d, const std::vector<ExprRef> &parts)
+{
+    owl_assert(!parts.empty(), "concatAll needs at least one part");
+    ExprRef acc = parts[0];
+    for (size_t i = 1; i < parts.size(); i++)
+        acc = d.opConcat(acc, parts[i]);
+    return acc;
+}
+
+} // namespace owl::oyster

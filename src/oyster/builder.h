@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Convenience helpers for authoring Oyster designs — the moral
+ * equivalent of PyRTL's `conditional_assignment` sugar used in the
+ * paper's datapath sketches.
+ */
+
+#ifndef OWL_OYSTER_BUILDER_H
+#define OWL_OYSTER_BUILDER_H
+
+#include <utility>
+#include <vector>
+
+#include "oyster/ir.h"
+
+namespace owl::oyster
+{
+
+/** One arm of a conditional assignment: condition and value. */
+using CondArm = std::pair<ExprRef, ExprRef>;
+
+/**
+ * Build the nested if-then-else for a PyRTL-style `with
+ * conditional_assignment` block: first matching arm wins, otherwise
+ * the default.
+ */
+ExprRef muxChain(Design &d, const std::vector<CondArm> &arms,
+                 ExprRef otherwise);
+
+/** OR-reduce a list of 1-bit expressions (false for empty). */
+ExprRef orAll(Design &d, const std::vector<ExprRef> &xs);
+
+/** AND-reduce a list of 1-bit expressions (true for empty). */
+ExprRef andAll(Design &d, const std::vector<ExprRef> &xs);
+
+/** Concatenate msb-first. */
+ExprRef concatAll(Design &d, const std::vector<ExprRef> &parts);
+
+} // namespace owl::oyster
+
+#endif // OWL_OYSTER_BUILDER_H

@@ -1,0 +1,206 @@
+#include "oyster/interp.h"
+
+#include "base/logging.h"
+
+namespace owl::oyster
+{
+
+namespace
+{
+
+uint64_t
+shiftAmount(const BitVec &v)
+{
+    for (int i = 64; i < v.width(); i++) {
+        if (v.getBit(i))
+            return UINT64_MAX;
+    }
+    return v.toUint64();
+}
+
+} // namespace
+
+Interpreter::Interpreter(const Design &design) : design(design)
+{
+    design.validate(/*allow_holes=*/false);
+    reset();
+}
+
+void
+Interpreter::reset()
+{
+    regs.clear();
+    mems.clear();
+    lastWires.clear();
+    cycleCount = 0;
+    for (const Decl &d : design.decls()) {
+        if (d.kind == DeclKind::Register)
+            regs.emplace(d.name, d.resetValue);
+    }
+}
+
+const BitVec &
+Interpreter::reg(const std::string &name) const
+{
+    auto it = regs.find(name);
+    if (it == regs.end())
+        owl_fatal("unknown register '", name, "'");
+    return it->second;
+}
+
+void
+Interpreter::setReg(const std::string &name, const BitVec &v)
+{
+    auto it = regs.find(name);
+    if (it == regs.end())
+        owl_fatal("unknown register '", name, "'");
+    owl_assert(v.width() == it->second.width(),
+               "setReg width mismatch for '", name, "'");
+    it->second = v;
+}
+
+BitVec
+Interpreter::memWord(const std::string &mem, uint64_t addr) const
+{
+    const Decl &d = design.decl(mem);
+    if (d.kind == DeclKind::Rom) {
+        if (addr < d.romContents.size())
+            return d.romContents[addr];
+        return BitVec(d.width);
+    }
+    if (d.kind != DeclKind::Memory)
+        owl_fatal("'", mem, "' is not a memory");
+    auto mit = mems.find(mem);
+    if (mit != mems.end()) {
+        auto it = mit->second.find(addr);
+        if (it != mit->second.end())
+            return it->second;
+    }
+    return BitVec(d.width);
+}
+
+void
+Interpreter::setMemWord(const std::string &mem, uint64_t addr,
+                        const BitVec &v)
+{
+    const Decl &d = design.decl(mem);
+    if (d.kind != DeclKind::Memory)
+        owl_fatal("cannot write to '", mem, "'");
+    owl_assert(v.width() == d.width, "setMemWord width mismatch");
+    mems[mem][addr] = v;
+}
+
+const BitVec &
+Interpreter::lastValue(const std::string &name) const
+{
+    auto it = lastWires.find(name);
+    if (it == lastWires.end())
+        owl_fatal("no recorded value for '", name,
+                  "' (not evaluated yet?)");
+    return it->second;
+}
+
+BitVec
+Interpreter::eval(ExprRef r,
+                  const std::unordered_map<std::string, BitVec> &env) const
+{
+    const Expr &e = design.expr(r);
+    auto kid = [&](int i) { return eval(e.kids[i], env); };
+    switch (e.op) {
+      case ExOp::Var: {
+        auto it = env.find(e.name);
+        if (it == env.end())
+            owl_fatal("use of '", e.name, "' before definition");
+        return it->second;
+      }
+      case ExOp::Const: return e.cval;
+      case ExOp::Not: return ~kid(0);
+      case ExOp::And: return kid(0) & kid(1);
+      case ExOp::Or: return kid(0) | kid(1);
+      case ExOp::Xor: return kid(0) ^ kid(1);
+      case ExOp::Neg: return kid(0).neg();
+      case ExOp::Add: return kid(0) + kid(1);
+      case ExOp::Sub: return kid(0) - kid(1);
+      case ExOp::Mul: return kid(0) * kid(1);
+      case ExOp::Clmul: return kid(0).clmul(kid(1));
+      case ExOp::Clmulh: return kid(0).clmulh(kid(1));
+      case ExOp::Eq: return BitVec(1, kid(0) == kid(1));
+      case ExOp::Ne: return BitVec(1, kid(0) != kid(1));
+      case ExOp::Ult: return BitVec(1, kid(0).ult(kid(1)));
+      case ExOp::Ule: return BitVec(1, kid(0).ule(kid(1)));
+      case ExOp::Slt: return BitVec(1, kid(0).slt(kid(1)));
+      case ExOp::Sle: return BitVec(1, kid(0).sle(kid(1)));
+      case ExOp::Ite: return kid(0).isZero() ? kid(2) : kid(1);
+      case ExOp::Extract: return kid(0).extract(e.a, e.b);
+      case ExOp::Concat: return kid(0).concat(kid(1));
+      case ExOp::ZExt: return kid(0).zext(e.width);
+      case ExOp::SExt: return kid(0).sext(e.width);
+      case ExOp::Shl: return kid(0).shl(shiftAmount(kid(1)));
+      case ExOp::Lshr: return kid(0).lshr(shiftAmount(kid(1)));
+      case ExOp::Ashr: return kid(0).ashr(shiftAmount(kid(1)));
+      case ExOp::Rol: return kid(0).rol(shiftAmount(kid(1)));
+      case ExOp::Ror: return kid(0).ror(shiftAmount(kid(1)));
+      case ExOp::Read: {
+        BitVec addr = kid(0);
+        return memWord(e.name, addr.toUint64());
+      }
+    }
+    owl_panic("unhandled Oyster expression op");
+}
+
+void
+Interpreter::step(const InputMap &inputs)
+{
+    std::unordered_map<std::string, BitVec> env;
+    // Inputs and current register values are visible from the start.
+    for (const Decl &d : design.decls()) {
+        if (d.kind == DeclKind::Input) {
+            auto it = inputs.find(d.name);
+            if (it != inputs.end()) {
+                owl_assert(it->second.width() == d.width,
+                           "input '", d.name, "' width mismatch");
+                env.emplace(d.name, it->second);
+            } else {
+                env.emplace(d.name, BitVec(d.width));
+            }
+        } else if (d.kind == DeclKind::Register) {
+            env.emplace(d.name, regs.at(d.name));
+        }
+    }
+
+    // Pending next-cycle updates.
+    std::unordered_map<std::string, BitVec> reg_next;
+    std::vector<std::tuple<std::string, uint64_t, BitVec>> writes;
+
+    for (const Stmt &s : design.stmts()) {
+        if (s.kind == Stmt::Assign) {
+            BitVec v = eval(s.value, env);
+            const Decl &d = design.decl(s.target);
+            if (d.kind == DeclKind::Register) {
+                reg_next.insert_or_assign(s.target, v);
+            } else {
+                env.insert_or_assign(s.target, v);
+            }
+        } else {
+            BitVec en = eval(s.enable, env);
+            if (!en.isZero()) {
+                BitVec addr = eval(s.addr, env);
+                BitVec data = eval(s.data, env);
+                writes.emplace_back(s.mem, addr.toUint64(), data);
+            }
+        }
+    }
+
+    // Commit.
+    for (auto &[name, v] : reg_next)
+        regs.at(name) = v;
+    for (auto &[mem, addr, data] : writes)
+        mems[mem][addr] = data;
+
+    lastWires.clear();
+    for (auto &[name, v] : env)
+        lastWires.emplace(name, v);
+    cycleCount++;
+}
+
+} // namespace owl::oyster

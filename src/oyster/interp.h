@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The concrete Oyster interpreter — a cycle-accurate simulator for
+ * synchronous designs (paper §3.1). Registers and memory writes take
+ * effect at the next cycle; wires and outputs are recomputed every
+ * cycle in statement order.
+ *
+ * The symbolic evaluator (symeval.h) is the lifted twin of this
+ * interpreter; differential tests keep the two in agreement.
+ */
+
+#ifndef OWL_OYSTER_INTERP_H
+#define OWL_OYSTER_INTERP_H
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "oyster/ir.h"
+
+namespace owl::oyster
+{
+
+/** Input values for one simulated cycle, by input name. */
+using InputMap = std::map<std::string, BitVec>;
+
+/**
+ * Cycle-accurate simulator for a hole-free Oyster design.
+ */
+class Interpreter
+{
+  public:
+    explicit Interpreter(const Design &design);
+
+    /** Reset registers to their reset values and clear memories. */
+    void reset();
+
+    /**
+     * Simulate one clock cycle with the given input values (missing
+     * inputs read as zero). Returns after commit: registers and
+     * memories hold their next-cycle values.
+     */
+    void step(const InputMap &inputs = {});
+
+    /** Current value of a register (start-of-next-cycle state). */
+    const BitVec &reg(const std::string &name) const;
+    /** Set a register directly (e.g. to preload a PC). */
+    void setReg(const std::string &name, const BitVec &v);
+
+    /** Read a memory word (zero if never written/preloaded). */
+    BitVec memWord(const std::string &mem, uint64_t addr) const;
+    /** Preload one memory word (e.g. a program image). */
+    void setMemWord(const std::string &mem, uint64_t addr,
+                    const BitVec &v);
+
+    /** Value a wire/output/input had during the last step(). */
+    const BitVec &lastValue(const std::string &name) const;
+
+    /** Number of step() calls since the last reset(). */
+    uint64_t cycles() const { return cycleCount; }
+
+  private:
+    const Design &design;
+    std::unordered_map<std::string, BitVec> regs;
+    std::unordered_map<std::string,
+                       std::unordered_map<uint64_t, BitVec>> mems;
+    std::unordered_map<std::string, BitVec> lastWires;
+    uint64_t cycleCount = 0;
+
+    BitVec eval(ExprRef r,
+                const std::unordered_map<std::string, BitVec> &env) const;
+};
+
+} // namespace owl::oyster
+
+#endif // OWL_OYSTER_INTERP_H

@@ -1,0 +1,503 @@
+#include "oyster/ir.h"
+
+#include <functional>
+#include <unordered_set>
+
+#include "base/logging.h"
+
+namespace owl::oyster
+{
+
+const char *
+declKindName(DeclKind k)
+{
+    switch (k) {
+      case DeclKind::Input: return "input";
+      case DeclKind::Output: return "output";
+      case DeclKind::Register: return "register";
+      case DeclKind::Memory: return "memory";
+      case DeclKind::Rom: return "rom";
+      case DeclKind::Hole: return "hole";
+      case DeclKind::Wire: return "wire";
+    }
+    return "?";
+}
+
+void
+Design::addDecl(Decl d)
+{
+    if (declIndex.count(d.name))
+        owl_fatal("duplicate declaration '", d.name, "' in design ",
+                  designName);
+    owl_assert(d.width >= 1, "declaration '", d.name,
+               "' must have positive width");
+    declIndex[d.name] = declList.size();
+    declList.push_back(std::move(d));
+}
+
+void
+Design::addInput(const std::string &name, int width)
+{
+    Decl d;
+    d.kind = DeclKind::Input;
+    d.name = name;
+    d.width = width;
+    addDecl(std::move(d));
+}
+
+void
+Design::addOutput(const std::string &name, int width)
+{
+    Decl d;
+    d.kind = DeclKind::Output;
+    d.name = name;
+    d.width = width;
+    addDecl(std::move(d));
+}
+
+void
+Design::addRegister(const std::string &name, int width, BitVec reset_value)
+{
+    Decl d;
+    d.kind = DeclKind::Register;
+    d.name = name;
+    d.width = width;
+    if (reset_value.width() != width)
+        reset_value = BitVec(width, reset_value.toUint64());
+    d.resetValue = reset_value;
+    addDecl(std::move(d));
+}
+
+void
+Design::addMemory(const std::string &name, int addr_width, int data_width)
+{
+    Decl d;
+    d.kind = DeclKind::Memory;
+    d.name = name;
+    d.width = data_width;
+    d.addrWidth = addr_width;
+    addDecl(std::move(d));
+}
+
+void
+Design::addRom(const std::string &name, int addr_width, int data_width,
+               std::vector<BitVec> contents)
+{
+    Decl d;
+    d.kind = DeclKind::Rom;
+    d.name = name;
+    d.width = data_width;
+    d.addrWidth = addr_width;
+    for (const BitVec &v : contents) {
+        owl_assert(v.width() == data_width, "ROM '", name,
+                   "' entry width mismatch");
+    }
+    d.romContents = std::move(contents);
+    addDecl(std::move(d));
+}
+
+void
+Design::addHole(const std::string &name, int width,
+                std::vector<std::string> deps)
+{
+    Decl d;
+    d.kind = DeclKind::Hole;
+    d.name = name;
+    d.width = width;
+    d.holeDeps = std::move(deps);
+    addDecl(std::move(d));
+}
+
+void
+Design::addWire(const std::string &name, int width)
+{
+    Decl d;
+    d.kind = DeclKind::Wire;
+    d.name = name;
+    d.width = width;
+    addDecl(std::move(d));
+}
+
+bool
+Design::hasDecl(const std::string &name) const
+{
+    return declIndex.count(name) != 0;
+}
+
+const Decl &
+Design::decl(const std::string &name) const
+{
+    auto it = declIndex.find(name);
+    if (it == declIndex.end())
+        owl_fatal("unknown declaration '", name, "' in design ",
+                  designName);
+    return declList[it->second];
+}
+
+std::vector<std::string>
+Design::holeNames() const
+{
+    std::vector<std::string> out;
+    for (const Decl &d : declList) {
+        if (d.kind == DeclKind::Hole)
+            out.push_back(d.name);
+    }
+    return out;
+}
+
+ExprRef
+Design::push(Expr e)
+{
+    exprPool.push_back(std::move(e));
+    return ExprRef{static_cast<int32_t>(exprPool.size() - 1)};
+}
+
+ExprRef
+Design::var(const std::string &name)
+{
+    const Decl &d = decl(name);
+    if (d.kind == DeclKind::Memory || d.kind == DeclKind::Rom)
+        owl_fatal("memory '", name, "' used as a scalar value");
+    Expr e;
+    e.op = ExOp::Var;
+    e.width = d.width;
+    e.name = name;
+    return push(std::move(e));
+}
+
+ExprRef
+Design::lit(const BitVec &v)
+{
+    Expr e;
+    e.op = ExOp::Const;
+    e.width = v.width();
+    e.cval = v;
+    return push(std::move(e));
+}
+
+ExprRef
+Design::binop(ExOp op, ExprRef a, ExprRef b, bool same_width,
+              int out_width)
+{
+    if (same_width && exprWidth(a) != exprWidth(b)) {
+        owl_fatal("width mismatch in Oyster expression: ", exprWidth(a),
+                  " vs ", exprWidth(b));
+    }
+    Expr e;
+    e.op = op;
+    e.width = out_width > 0 ? out_width : exprWidth(a);
+    e.kids = {a, b};
+    return push(std::move(e));
+}
+
+ExprRef Design::opNot(ExprRef a)
+{
+    Expr e;
+    e.op = ExOp::Not;
+    e.width = exprWidth(a);
+    e.kids = {a};
+    return push(std::move(e));
+}
+
+ExprRef Design::opAnd(ExprRef a, ExprRef b)
+{ return binop(ExOp::And, a, b, true, 0); }
+ExprRef Design::opOr(ExprRef a, ExprRef b)
+{ return binop(ExOp::Or, a, b, true, 0); }
+ExprRef Design::opXor(ExprRef a, ExprRef b)
+{ return binop(ExOp::Xor, a, b, true, 0); }
+
+ExprRef Design::opNeg(ExprRef a)
+{
+    Expr e;
+    e.op = ExOp::Neg;
+    e.width = exprWidth(a);
+    e.kids = {a};
+    return push(std::move(e));
+}
+
+ExprRef Design::opAdd(ExprRef a, ExprRef b)
+{ return binop(ExOp::Add, a, b, true, 0); }
+ExprRef Design::opSub(ExprRef a, ExprRef b)
+{ return binop(ExOp::Sub, a, b, true, 0); }
+ExprRef Design::opMul(ExprRef a, ExprRef b)
+{ return binop(ExOp::Mul, a, b, true, 0); }
+ExprRef Design::opClmul(ExprRef a, ExprRef b)
+{ return binop(ExOp::Clmul, a, b, true, 0); }
+ExprRef Design::opClmulh(ExprRef a, ExprRef b)
+{ return binop(ExOp::Clmulh, a, b, true, 0); }
+ExprRef Design::opEq(ExprRef a, ExprRef b)
+{ return binop(ExOp::Eq, a, b, true, 1); }
+ExprRef Design::opNe(ExprRef a, ExprRef b)
+{ return binop(ExOp::Ne, a, b, true, 1); }
+ExprRef Design::opUlt(ExprRef a, ExprRef b)
+{ return binop(ExOp::Ult, a, b, true, 1); }
+ExprRef Design::opUle(ExprRef a, ExprRef b)
+{ return binop(ExOp::Ule, a, b, true, 1); }
+ExprRef Design::opSlt(ExprRef a, ExprRef b)
+{ return binop(ExOp::Slt, a, b, true, 1); }
+ExprRef Design::opSle(ExprRef a, ExprRef b)
+{ return binop(ExOp::Sle, a, b, true, 1); }
+
+ExprRef
+Design::opIte(ExprRef c, ExprRef t, ExprRef e)
+{
+    if (exprWidth(c) != 1)
+        owl_fatal("ite condition must be 1 bit wide");
+    if (exprWidth(t) != exprWidth(e))
+        owl_fatal("ite branch width mismatch: ", exprWidth(t), " vs ",
+                  exprWidth(e));
+    Expr x;
+    x.op = ExOp::Ite;
+    x.width = exprWidth(t);
+    x.kids = {c, t, e};
+    return push(std::move(x));
+}
+
+ExprRef
+Design::opExtract(ExprRef a, int high, int low)
+{
+    if (!(low >= 0 && high >= low && high < exprWidth(a)))
+        owl_fatal("bad extract [", high, ":", low, "] of ",
+                  exprWidth(a), "-bit expression");
+    Expr e;
+    e.op = ExOp::Extract;
+    e.width = high - low + 1;
+    e.a = high;
+    e.b = low;
+    e.kids = {a};
+    return push(std::move(e));
+}
+
+ExprRef
+Design::opConcat(ExprRef high, ExprRef low)
+{
+    Expr e;
+    e.op = ExOp::Concat;
+    e.width = exprWidth(high) + exprWidth(low);
+    e.kids = {high, low};
+    return push(std::move(e));
+}
+
+ExprRef
+Design::opZExt(ExprRef a, int width)
+{
+    if (width < exprWidth(a))
+        owl_fatal("zext to smaller width");
+    Expr e;
+    e.op = ExOp::ZExt;
+    e.width = width;
+    e.kids = {a};
+    return push(std::move(e));
+}
+
+ExprRef
+Design::opSExt(ExprRef a, int width)
+{
+    if (width < exprWidth(a))
+        owl_fatal("sext to smaller width");
+    Expr e;
+    e.op = ExOp::SExt;
+    e.width = width;
+    e.kids = {a};
+    return push(std::move(e));
+}
+
+ExprRef Design::opShl(ExprRef a, ExprRef amount)
+{ return binop(ExOp::Shl, a, amount, false, exprWidth(a)); }
+ExprRef Design::opLshr(ExprRef a, ExprRef amount)
+{ return binop(ExOp::Lshr, a, amount, false, exprWidth(a)); }
+ExprRef Design::opAshr(ExprRef a, ExprRef amount)
+{ return binop(ExOp::Ashr, a, amount, false, exprWidth(a)); }
+ExprRef Design::opRol(ExprRef a, ExprRef amount)
+{ return binop(ExOp::Rol, a, amount, false, exprWidth(a)); }
+ExprRef Design::opRor(ExprRef a, ExprRef amount)
+{ return binop(ExOp::Ror, a, amount, false, exprWidth(a)); }
+
+ExprRef
+Design::opRead(const std::string &mem, ExprRef addr)
+{
+    const Decl &d = decl(mem);
+    if (d.kind != DeclKind::Memory && d.kind != DeclKind::Rom)
+        owl_fatal("read of non-memory '", mem, "'");
+    if (exprWidth(addr) != d.addrWidth)
+        owl_fatal("read address width ", exprWidth(addr),
+                  " does not match memory '", mem, "' address width ",
+                  d.addrWidth);
+    Expr e;
+    e.op = ExOp::Read;
+    e.width = d.width;
+    e.name = mem;
+    e.kids = {addr};
+    return push(std::move(e));
+}
+
+void
+Design::assign(const std::string &target, ExprRef value, bool generated)
+{
+    const Decl &d = decl(target);
+    switch (d.kind) {
+      case DeclKind::Wire:
+      case DeclKind::Output:
+      case DeclKind::Register:
+      case DeclKind::Hole:
+        break;
+      default:
+        owl_fatal("cannot assign to ", declKindName(d.kind), " '",
+                  target, "'");
+    }
+    if (d.width != exprWidth(value))
+        owl_fatal("assignment width mismatch for '", target, "': ",
+                  d.width, " vs ", exprWidth(value));
+    Stmt s;
+    s.kind = Stmt::Assign;
+    s.target = target;
+    s.value = value;
+    s.generated = generated;
+    stmtList.push_back(std::move(s));
+}
+
+void
+Design::memWrite(const std::string &mem, ExprRef addr, ExprRef data,
+                 ExprRef enable, bool generated)
+{
+    const Decl &d = decl(mem);
+    if (d.kind != DeclKind::Memory)
+        owl_fatal("write to non-memory '", mem, "'");
+    if (exprWidth(addr) != d.addrWidth)
+        owl_fatal("write address width mismatch for '", mem, "'");
+    if (exprWidth(data) != d.width)
+        owl_fatal("write data width mismatch for '", mem, "'");
+    if (exprWidth(enable) != 1)
+        owl_fatal("write enable must be 1 bit wide");
+    Stmt s;
+    s.kind = Stmt::MemWrite;
+    s.mem = mem;
+    s.addr = addr;
+    s.data = data;
+    s.enable = enable;
+    s.generated = generated;
+    stmtList.push_back(std::move(s));
+}
+
+void
+Design::convertHoleToWire(const std::string &name)
+{
+    auto it = declIndex.find(name);
+    if (it == declIndex.end())
+        owl_fatal("unknown hole '", name, "'");
+    Decl &d = declList[it->second];
+    if (d.kind != DeclKind::Hole)
+        owl_fatal("'", name, "' is not a hole");
+    d.kind = DeclKind::Wire;
+}
+
+void
+Design::sortStatements()
+{
+    // Combinational defs: assignments to wires/outputs/holes. Register
+    // assignments and memory writes are sequential sinks.
+    std::unordered_map<std::string, size_t> def_stmt;
+    for (size_t i = 0; i < stmtList.size(); i++) {
+        const Stmt &s = stmtList[i];
+        if (s.kind != Stmt::Assign)
+            continue;
+        DeclKind k = decl(s.target).kind;
+        if (k == DeclKind::Wire || k == DeclKind::Output ||
+            k == DeclKind::Hole) {
+            def_stmt[s.target] = i;
+        }
+    }
+
+    // Collect per-statement dependencies on combinational defs.
+    auto collect_uses = [&](ExprRef root, std::vector<size_t> &deps) {
+        std::vector<ExprRef> stack{root};
+        while (!stack.empty()) {
+            const Expr &e = exprPool[stack.back().idx];
+            stack.pop_back();
+            if (e.op == ExOp::Var) {
+                auto it = def_stmt.find(e.name);
+                if (it != def_stmt.end())
+                    deps.push_back(it->second);
+            }
+            for (ExprRef k : e.kids)
+                stack.push_back(k);
+        }
+    };
+    size_t n = stmtList.size();
+    std::vector<std::vector<size_t>> deps(n);
+    for (size_t i = 0; i < n; i++) {
+        const Stmt &s = stmtList[i];
+        if (s.kind == Stmt::Assign) {
+            collect_uses(s.value, deps[i]);
+        } else {
+            collect_uses(s.addr, deps[i]);
+            collect_uses(s.data, deps[i]);
+            collect_uses(s.enable, deps[i]);
+        }
+    }
+
+    // Depth-first post-order; detects combinational cycles.
+    std::vector<int> state(n, 0); // 0 unvisited, 1 in-progress, 2 done
+    std::vector<size_t> order;
+    std::function<void(size_t)> visit = [&](size_t i) {
+        if (state[i] == 2)
+            return;
+        if (state[i] == 1)
+            owl_fatal("combinational cycle through statement for '",
+                      stmtList[i].kind == Stmt::Assign
+                          ? stmtList[i].target
+                          : stmtList[i].mem,
+                      "' in design ", designName);
+        state[i] = 1;
+        for (size_t d : deps[i])
+            visit(d);
+        state[i] = 2;
+        order.push_back(i);
+    };
+    for (size_t i = 0; i < n; i++)
+        visit(i);
+
+    std::vector<Stmt> sorted;
+    sorted.reserve(n);
+    for (size_t i : order)
+        sorted.push_back(std::move(stmtList[i]));
+    stmtList = std::move(sorted);
+}
+
+bool
+Design::hasHoles() const
+{
+    for (const Decl &d : declList) {
+        if (d.kind == DeclKind::Hole)
+            return true;
+    }
+    return false;
+}
+
+void
+Design::validate(bool allow_holes) const
+{
+    if (!allow_holes && hasHoles())
+        owl_fatal("design ", designName, " still contains holes");
+
+    std::unordered_set<std::string> assigned;
+    for (const Stmt &s : stmtList) {
+        if (s.kind != Stmt::Assign)
+            continue;
+        if (!assigned.insert(s.target).second)
+            owl_fatal("multiple assignments to '", s.target,
+                      "' in design ", designName);
+    }
+    // Wires and outputs must be assigned; holes must not be.
+    for (const Decl &d : declList) {
+        if ((d.kind == DeclKind::Wire || d.kind == DeclKind::Output) &&
+            !assigned.count(d.name)) {
+            owl_fatal("unassigned ", declKindName(d.kind), " '", d.name,
+                      "' in design ", designName);
+        }
+        if (d.kind == DeclKind::Hole && assigned.count(d.name))
+            owl_fatal("hole '", d.name, "' must not be assigned");
+    }
+}
+
+} // namespace owl::oyster

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * The Oyster intermediate representation (paper §3.1, Figure 5).
+ *
+ * An Oyster design is (1) a set of declarations — inputs, outputs,
+ * registers, memories, ROMs and holes — and (2) an ordered list of
+ * statements: combinational assignments and guarded memory writes.
+ * Designs are synchronous with one implicit clock: register
+ * assignments and memory writes take effect at the next cycle.
+ *
+ * Beyond the paper's minimal grammar we implement the "many common
+ * bitvector operations" it alludes to (shifts, rotates, carry-less
+ * multiply, comparisons, sign/zero extension) plus ROMs, which model
+ * ILA MemConst lookup tables (the AES S-box).
+ *
+ * The hole declaration marks a control point: a wire whose defining
+ * logic is left to the synthesizer. A hole lists the wires its
+ * eventual implementation may read (mirroring the sketch syntax
+ * `alu_op <<= ??(opcode, funct3, funct7)` from the paper).
+ */
+
+#ifndef OWL_OYSTER_IR_H
+#define OWL_OYSTER_IR_H
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/bitvec.h"
+
+namespace owl::oyster
+{
+
+/** Declaration kinds, per the Figure 5 grammar plus wires and ROMs. */
+enum class DeclKind
+{
+    Input,
+    Output,
+    Register,
+    Memory,
+    Rom,   ///< read-only memory with constant contents (ILA MemConst)
+    Hole,  ///< control point to be filled by synthesis
+    Wire,  ///< named combinational value
+};
+
+const char *declKindName(DeclKind k);
+
+/** A declaration. */
+struct Decl
+{
+    DeclKind kind;
+    std::string name;
+    int width = 1;           ///< data width
+    int addrWidth = 0;       ///< memories and ROMs only
+    BitVec resetValue{1};    ///< registers: value after reset
+    std::vector<BitVec> romContents;  ///< ROMs only
+    /** Holes: names of wires the synthesized logic may depend on. */
+    std::vector<std::string> holeDeps;
+};
+
+/** Expression operators (superset of Figure 5's expression grammar). */
+enum class ExOp : uint8_t
+{
+    Var,      ///< reference to any declared name
+    Const,
+    Not,
+    And,
+    Or,
+    Xor,
+    Neg,
+    Add,
+    Sub,
+    Mul,
+    Clmul,
+    Clmulh,
+    Eq,       ///< 1-bit result
+    Ne,
+    Ult,
+    Ule,
+    Slt,
+    Sle,
+    Ite,      ///< kids: cond, then, else
+    Extract,  ///< a=high, b=low
+    Concat,
+    ZExt,
+    SExt,
+    Shl,
+    Lshr,
+    Ashr,
+    Rol,
+    Ror,
+    Read,     ///< kids: addr; name = memory/ROM
+};
+
+/** Reference to an expression in a Design's pool. */
+struct ExprRef
+{
+    int32_t idx = -1;
+    bool valid() const { return idx >= 0; }
+    bool operator==(const ExprRef &o) const = default;
+};
+
+/** An expression node in a Design's pool. */
+struct Expr
+{
+    ExOp op;
+    int width;
+    std::string name;  ///< Var: decl name; Read: memory name
+    BitVec cval{1};    ///< Const only
+    int a = 0, b = 0;  ///< Extract: high/low
+    std::vector<ExprRef> kids;
+};
+
+/** Statement kinds: assignment or guarded memory write (Figure 5). */
+struct Stmt
+{
+    enum Kind { Assign, MemWrite } kind;
+    // Assign
+    std::string target;  ///< wire, output, register or hole name
+    ExprRef value;
+    // MemWrite
+    std::string mem;
+    ExprRef addr, data, enable;
+    /** True for statements produced by control logic synthesis. */
+    bool generated = false;
+};
+
+/**
+ * An Oyster design: declarations plus an ordered statement list.
+ * Expressions live in a per-design pool; the factory methods perform
+ * width checking (Oyster has no implicit coercion).
+ */
+class Design
+{
+  public:
+    explicit Design(std::string name) : designName(std::move(name)) {}
+
+    const std::string &name() const { return designName; }
+
+    // ---- declarations ----
+    void addInput(const std::string &name, int width);
+    void addOutput(const std::string &name, int width);
+    void addRegister(const std::string &name, int width,
+                     BitVec reset_value = BitVec(1));
+    void addMemory(const std::string &name, int addr_width,
+                   int data_width);
+    void addRom(const std::string &name, int addr_width, int data_width,
+                std::vector<BitVec> contents);
+    void addHole(const std::string &name, int width,
+                 std::vector<std::string> deps);
+    void addWire(const std::string &name, int width);
+
+    bool hasDecl(const std::string &name) const;
+    const Decl &decl(const std::string &name) const;
+    const std::vector<Decl> &decls() const { return declList; }
+    /** Names of all hole declarations, in declaration order. */
+    std::vector<std::string> holeNames() const;
+
+    // ---- expressions ----
+    ExprRef var(const std::string &name);
+    ExprRef lit(const BitVec &v);
+    ExprRef lit(int width, uint64_t v) { return lit(BitVec(width, v)); }
+    ExprRef opNot(ExprRef a);
+    ExprRef opAnd(ExprRef a, ExprRef b);
+    ExprRef opOr(ExprRef a, ExprRef b);
+    ExprRef opXor(ExprRef a, ExprRef b);
+    ExprRef opNeg(ExprRef a);
+    ExprRef opAdd(ExprRef a, ExprRef b);
+    ExprRef opSub(ExprRef a, ExprRef b);
+    ExprRef opMul(ExprRef a, ExprRef b);
+    ExprRef opClmul(ExprRef a, ExprRef b);
+    ExprRef opClmulh(ExprRef a, ExprRef b);
+    ExprRef opEq(ExprRef a, ExprRef b);
+    ExprRef opNe(ExprRef a, ExprRef b);
+    ExprRef opUlt(ExprRef a, ExprRef b);
+    ExprRef opUle(ExprRef a, ExprRef b);
+    ExprRef opSlt(ExprRef a, ExprRef b);
+    ExprRef opSle(ExprRef a, ExprRef b);
+    ExprRef opIte(ExprRef c, ExprRef t, ExprRef e);
+    ExprRef opExtract(ExprRef a, int high, int low);
+    ExprRef opConcat(ExprRef high, ExprRef low);
+    ExprRef opZExt(ExprRef a, int width);
+    ExprRef opSExt(ExprRef a, int width);
+    ExprRef opShl(ExprRef a, ExprRef amount);
+    ExprRef opLshr(ExprRef a, ExprRef amount);
+    ExprRef opAshr(ExprRef a, ExprRef amount);
+    ExprRef opRol(ExprRef a, ExprRef amount);
+    ExprRef opRor(ExprRef a, ExprRef amount);
+    ExprRef opRead(const std::string &mem, ExprRef addr);
+
+    const Expr &expr(ExprRef r) const { return exprPool[r.idx]; }
+    int exprWidth(ExprRef r) const { return exprPool[r.idx].width; }
+
+    // ---- statements ----
+    /** target := value. Target must be wire/output/register/hole. */
+    void assign(const std::string &target, ExprRef value,
+                bool generated = false);
+    /** write mem addr data enable. */
+    void memWrite(const std::string &mem, ExprRef addr, ExprRef data,
+                  ExprRef enable, bool generated = false);
+
+    const std::vector<Stmt> &stmts() const { return stmtList; }
+
+    /**
+     * Sanity-check the design: every wire/output/register assigned at
+     * most once, every referenced name declared, widths consistent.
+     * Throws FatalError on violations.
+     */
+    void validate(bool allow_holes = true) const;
+
+    /** True if any hole declarations remain. */
+    bool hasHoles() const;
+
+    /**
+     * Turn a hole into an ordinary wire so synthesized control logic
+     * can be assigned to it (used by the control union).
+     */
+    void convertHoleToWire(const std::string &name);
+
+    /**
+     * Topologically sort statements by combinational def-use order so
+     * spliced-in generated control logic evaluates before its uses.
+     * Fails on combinational cycles — which also enforces the
+     * "no feedback in control logic" half of the paper's instruction
+     * independence property (§3.3.1).
+     */
+    void sortStatements();
+
+  private:
+    std::string designName;
+    std::vector<Decl> declList;
+    std::unordered_map<std::string, size_t> declIndex;
+    std::vector<Expr> exprPool;
+    std::vector<Stmt> stmtList;
+
+    void addDecl(Decl d);
+    ExprRef push(Expr e);
+    ExprRef binop(ExOp op, ExprRef a, ExprRef b, bool same_width,
+                  int out_width);
+};
+
+} // namespace owl::oyster
+
+#endif // OWL_OYSTER_IR_H

@@ -1,0 +1,427 @@
+#include "oyster/parser.h"
+
+#include <cctype>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace owl::oyster
+{
+
+namespace
+{
+
+/** Token kinds for the expression sublanguage. */
+struct Token
+{
+    enum Kind
+    {
+        Ident,
+        Number,   ///< plain integer
+        BvConst,  ///< w'hhex
+        Punct,    ///< one of ( ) [ ] { } , :
+        Op,       ///< operator symbol
+        Assign,   ///< :=
+        End,
+    } kind;
+    std::string text;
+    int intValue = 0;
+    BitVec bvValue{1};
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &s) : s(s) {}
+
+    Token
+    next()
+    {
+        skipSpace();
+        if (pos >= s.size())
+            return {Token::End, "", 0, BitVec(1)};
+        char c = s[pos];
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+            return identifier();
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            return number();
+        return punctOrOp();
+    }
+
+    Token
+    peek()
+    {
+        size_t save = pos;
+        Token t = next();
+        pos = save;
+        return t;
+    }
+
+    bool atEnd()
+    {
+        skipSpace();
+        return pos >= s.size();
+    }
+
+  private:
+    const std::string &s;
+    size_t pos = 0;
+
+    void
+    skipSpace()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos]))) {
+            pos++;
+        }
+        if (pos < s.size() && s[pos] == '#') {
+            while (pos < s.size() && s[pos] != '\n')
+                pos++;
+            skipSpace();
+        }
+    }
+
+    Token
+    identifier()
+    {
+        size_t start = pos;
+        while (pos < s.size() &&
+               (std::isalnum(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '_' || s[pos] == '.')) {
+            pos++;
+        }
+        return {Token::Ident, s.substr(start, pos - start), 0,
+                BitVec(1)};
+    }
+
+    Token
+    number()
+    {
+        size_t start = pos;
+        while (pos < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[pos]))) {
+            pos++;
+        }
+        int value = std::stoi(s.substr(start, pos - start));
+        // Bitvector literal: <width>'h<hex>
+        if (pos + 1 < s.size() && s[pos] == '\'' &&
+            (s[pos + 1] == 'h' || s[pos + 1] == 'H')) {
+            pos += 2;
+            size_t hs = pos;
+            while (pos < s.size() &&
+                   std::isxdigit(static_cast<unsigned char>(s[pos]))) {
+                pos++;
+            }
+            BitVec v = BitVec::fromHex(value, s.substr(hs, pos - hs));
+            return {Token::BvConst, "", value, v};
+        }
+        return {Token::Number, s.substr(start, pos - start), value,
+                BitVec(1)};
+    }
+
+    Token
+    punctOrOp()
+    {
+        // Longest-match multi-character operators first.
+        static const char *ops[] = {":=",  "==", "!=", "<=u", "<=s",
+                                    "<u",  "<s", ">>>", "<<",  ">>",
+                                    "&",   "|",  "^",  "+",   "-",
+                                    "*",   "~"};
+        for (const char *op : ops) {
+            size_t n = strlen(op);
+            if (s.compare(pos, n, op) == 0) {
+                pos += n;
+                if (strcmp(op, ":=") == 0)
+                    return {Token::Assign, op, 0, BitVec(1)};
+                return {Token::Op, op, 0, BitVec(1)};
+            }
+        }
+        char c = s[pos++];
+        return {Token::Punct, std::string(1, c), 0, BitVec(1)};
+    }
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : lex(text) {}
+
+    Design
+    run()
+    {
+        expectIdent("design");
+        Token name = expect(Token::Ident);
+        Design d(name.text);
+        while (!lex.atEnd())
+            statement(d);
+        return d;
+    }
+
+  private:
+    Lexer lex;
+
+    [[noreturn]] void
+    fail(const std::string &msg, const Token &t)
+    {
+        owl_fatal("oyster parse error: ", msg, " (near '", t.text,
+                  "')");
+    }
+
+    Token
+    expect(Token::Kind kind)
+    {
+        Token t = lex.next();
+        if (t.kind != kind)
+            fail("unexpected token", t);
+        return t;
+    }
+
+    void
+    expectIdent(const std::string &word)
+    {
+        Token t = lex.next();
+        if (t.kind != Token::Ident || t.text != word)
+            fail("expected '" + word + "'", t);
+    }
+
+    void
+    expectPunct(char c)
+    {
+        Token t = lex.next();
+        if (t.kind != Token::Punct || t.text[0] != c)
+            fail(std::string("expected '") + c + "'", t);
+    }
+
+    int
+    expectNumber()
+    {
+        return expect(Token::Number).intValue;
+    }
+
+    void
+    statement(Design &d)
+    {
+        Token head = expect(Token::Ident);
+        const std::string &w = head.text;
+        if (w == "input" || w == "output" || w == "wire" ||
+            w == "register" || w == "memory" || w == "rom" ||
+            w == "hole") {
+            declaration(d, w);
+            return;
+        }
+        if (w == "write") {
+            Token mem = expect(Token::Ident);
+            ExprRef addr = expr(d);
+            ExprRef data = expr(d);
+            ExprRef enable = expr(d);
+            d.memWrite(mem.text, addr, data, enable);
+            return;
+        }
+        // Assignment: <target> := <expr>
+        expect(Token::Assign);
+        d.assign(w, expr(d));
+    }
+
+    void
+    declaration(Design &d, const std::string &kind)
+    {
+        Token name = expect(Token::Ident);
+        int width = expectNumber();
+        if (kind == "input") {
+            d.addInput(name.text, width);
+        } else if (kind == "output") {
+            d.addOutput(name.text, width);
+        } else if (kind == "wire") {
+            d.addWire(name.text, width);
+        } else if (kind == "register") {
+            BitVec reset(width);
+            if (lex.peek().kind == Token::Ident &&
+                lex.peek().text == "reset") {
+                lex.next();
+                Token v = expect(Token::BvConst);
+                reset = v.bvValue;
+            }
+            d.addRegister(name.text, width, reset);
+        } else if (kind == "memory" || kind == "rom") {
+            expectIdent("addr");
+            int aw = expectNumber();
+            if (kind == "memory") {
+                d.addMemory(name.text, aw, width);
+                return;
+            }
+            expectIdent("contents");
+            expectPunct('(');
+            std::vector<BitVec> contents;
+            while (true) {
+                Token t = lex.peek();
+                if (t.kind == Token::Punct && t.text == ")") {
+                    lex.next();
+                    break;
+                }
+                Token e = expect(Token::BvConst);
+                contents.push_back(e.bvValue);
+            }
+            d.addRom(name.text, aw, width, std::move(contents));
+        } else if (kind == "hole") {
+            std::vector<std::string> deps;
+            if (lex.peek().kind == Token::Ident &&
+                lex.peek().text == "deps") {
+                lex.next();
+                expectPunct('(');
+                while (true) {
+                    Token t = lex.next();
+                    if (t.kind == Token::Punct && t.text == ")")
+                        break;
+                    if (t.kind == Token::Punct && t.text == ",")
+                        continue;
+                    deps.push_back(t.text);
+                }
+            }
+            d.addHole(name.text, width, std::move(deps));
+        }
+    }
+
+    ExprRef
+    binFromOp(Design &d, const std::string &op, ExprRef a, ExprRef b)
+    {
+        if (op == "&") return d.opAnd(a, b);
+        if (op == "|") return d.opOr(a, b);
+        if (op == "^") return d.opXor(a, b);
+        if (op == "+") return d.opAdd(a, b);
+        if (op == "-") return d.opSub(a, b);
+        if (op == "*") return d.opMul(a, b);
+        if (op == "==") return d.opEq(a, b);
+        if (op == "!=") return d.opNe(a, b);
+        if (op == "<u") return d.opUlt(a, b);
+        if (op == "<=u") return d.opUle(a, b);
+        if (op == "<s") return d.opSlt(a, b);
+        if (op == "<=s") return d.opSle(a, b);
+        if (op == "<<") return d.opShl(a, b);
+        if (op == ">>>") return d.opAshr(a, b);
+        if (op == ">>") return d.opLshr(a, b);
+        owl_fatal("oyster parse error: unknown operator '", op, "'");
+    }
+
+    /** Parse a (possibly postfixed) expression. */
+    ExprRef
+    expr(Design &d)
+    {
+        ExprRef e = primary(d);
+        // Postfix extract: e[h:l] (may repeat).
+        while (true) {
+            Token t = lex.peek();
+            if (t.kind == Token::Punct && t.text == "[") {
+                lex.next();
+                int high = expectNumber();
+                expectPunct(':');
+                int low = expectNumber();
+                expectPunct(']');
+                e = d.opExtract(e, high, low);
+                continue;
+            }
+            break;
+        }
+        return e;
+    }
+
+    ExprRef
+    primary(Design &d)
+    {
+        Token t = lex.next();
+        if (t.kind == Token::BvConst)
+            return d.lit(t.bvValue);
+        if (t.kind == Token::Op && t.text == "~")
+            return d.opNot(primaryWithPostfix(d));
+        if (t.kind == Token::Op && t.text == "-")
+            return d.opNeg(primaryWithPostfix(d));
+        if (t.kind == Token::Punct && t.text == "(") {
+            ExprRef a = expr(d);
+            Token op = expect(Token::Op);
+            ExprRef b = expr(d);
+            expectPunct(')');
+            return binFromOp(d, op.text, a, b);
+        }
+        if (t.kind == Token::Punct && t.text == "{") {
+            ExprRef hi = expr(d);
+            expectPunct(',');
+            ExprRef lo = expr(d);
+            expectPunct('}');
+            return d.opConcat(hi, lo);
+        }
+        if (t.kind == Token::Ident) {
+            const std::string &w = t.text;
+            if (w == "if") {
+                ExprRef c = expr(d);
+                expectIdent("then");
+                ExprRef a = expr(d);
+                expectIdent("else");
+                ExprRef b = expr(d);
+                return d.opIte(c, a, b);
+            }
+            if (w == "read") {
+                Token mem = expect(Token::Ident);
+                return d.opRead(mem.text, expr(d));
+            }
+            if (w == "zext" || w == "sext") {
+                expectPunct('(');
+                ExprRef a = expr(d);
+                expectPunct(',');
+                int width = expectNumber();
+                expectPunct(')');
+                return w == "zext" ? d.opZExt(a, width)
+                                   : d.opSExt(a, width);
+            }
+            if (w == "rol" || w == "ror" || w == "clmul" ||
+                w == "clmulh") {
+                expectPunct('(');
+                ExprRef a = expr(d);
+                expectPunct(',');
+                ExprRef b = expr(d);
+                expectPunct(')');
+                if (w == "rol")
+                    return d.opRol(a, b);
+                if (w == "ror")
+                    return d.opRor(a, b);
+                if (w == "clmul")
+                    return d.opClmul(a, b);
+                return d.opClmulh(a, b);
+            }
+            return d.var(w);
+        }
+        fail("unexpected token in expression", t);
+    }
+
+    /** Primary plus its postfix extracts (for unary operands). */
+    ExprRef
+    primaryWithPostfix(Design &d)
+    {
+        ExprRef e = primary(d);
+        while (true) {
+            Token t = lex.peek();
+            if (t.kind == Token::Punct && t.text == "[") {
+                lex.next();
+                int high = expectNumber();
+                expectPunct(':');
+                int low = expectNumber();
+                expectPunct(']');
+                e = d.opExtract(e, high, low);
+                continue;
+            }
+            break;
+        }
+        return e;
+    }
+};
+
+} // namespace
+
+Design
+parseOyster(const std::string &text)
+{
+    Parser p(text);
+    return p.run();
+}
+
+} // namespace owl::oyster

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Parser for the Oyster concrete syntax emitted by printOyster().
+ *
+ * This gives the toolchain a file-based frontend: datapath sketches
+ * can be written (or generated) as text and loaded for synthesis,
+ * completing the "HDL in, HDL out" story of Figure 4. Round trips
+ * with the printer are exact: parse(print(d)) prints identically.
+ *
+ * Grammar (lines; `#` starts a comment):
+ *
+ *   design <name>
+ *   input <name> <width>
+ *   output <name> <width>
+ *   register <name> <width> [reset <w>'h<hex>]
+ *   memory <name> <width> addr <awidth>
+ *   rom <name> <width> addr <awidth> contents(<hex> <hex> ...)
+ *   hole <name> <width> [deps(a, b, ...)]
+ *   wire <name> <width>
+ *   <target> := <expr>
+ *   write <mem> <expr> <expr> <expr>
+ *
+ * Expressions use the printer's fully parenthesized form:
+ *   <w>'h<hex> | ident | ~e | -e | (e OP e) | if e then e else e
+ *   | e[h:l] | {e, e} | zext(e, w) | sext(e, w) | rol(e, e)
+ *   | ror(e, e) | clmul(e, e) | clmulh(e, e) | read <mem> <expr>
+ */
+
+#ifndef OWL_OYSTER_PARSER_H
+#define OWL_OYSTER_PARSER_H
+
+#include <string>
+
+#include "oyster/ir.h"
+
+namespace owl::oyster
+{
+
+/** Parse a design from Oyster text. Throws FatalError on bad input. */
+Design parseOyster(const std::string &text);
+
+} // namespace owl::oyster
+
+#endif // OWL_OYSTER_PARSER_H

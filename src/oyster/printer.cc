@@ -1,0 +1,314 @@
+#include "oyster/printer.h"
+
+#include <functional>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <unordered_map>
+
+#include "base/logging.h"
+
+namespace owl::oyster
+{
+
+namespace
+{
+
+const char *
+exOpSymbol(ExOp op)
+{
+    switch (op) {
+      case ExOp::And: return "&";
+      case ExOp::Or: return "|";
+      case ExOp::Xor: return "^";
+      case ExOp::Add: return "+";
+      case ExOp::Sub: return "-";
+      case ExOp::Mul: return "*";
+      case ExOp::Eq: return "==";
+      case ExOp::Ne: return "!=";
+      case ExOp::Ult: return "<u";
+      case ExOp::Ule: return "<=u";
+      case ExOp::Slt: return "<s";
+      case ExOp::Sle: return "<=s";
+      case ExOp::Shl: return "<<";
+      case ExOp::Lshr: return ">>";
+      case ExOp::Ashr: return ">>>";
+      default: return nullptr;
+    }
+}
+
+} // namespace
+
+std::string
+exprToString(const Design &d, ExprRef r)
+{
+    const Expr &e = d.expr(r);
+    std::ostringstream os;
+    auto kid = [&](int i) { return exprToString(d, e.kids[i]); };
+    if (const char *sym = exOpSymbol(e.op)) {
+        os << "(" << kid(0) << " " << sym << " " << kid(1) << ")";
+        return os.str();
+    }
+    switch (e.op) {
+      case ExOp::Var:
+        os << e.name;
+        break;
+      case ExOp::Const:
+        os << e.cval.toString();
+        break;
+      case ExOp::Not:
+        os << "~" << kid(0);
+        break;
+      case ExOp::Neg:
+        os << "-" << kid(0);
+        break;
+      case ExOp::Clmul:
+        os << "clmul(" << kid(0) << ", " << kid(1) << ")";
+        break;
+      case ExOp::Clmulh:
+        os << "clmulh(" << kid(0) << ", " << kid(1) << ")";
+        break;
+      case ExOp::Ite:
+        os << "if " << kid(0) << " then " << kid(1) << " else "
+           << kid(2);
+        break;
+      case ExOp::Extract:
+        os << kid(0) << "[" << e.a << ":" << e.b << "]";
+        break;
+      case ExOp::Concat:
+        os << "{" << kid(0) << ", " << kid(1) << "}";
+        break;
+      case ExOp::ZExt:
+        os << "zext(" << kid(0) << ", " << e.width << ")";
+        break;
+      case ExOp::SExt:
+        os << "sext(" << kid(0) << ", " << e.width << ")";
+        break;
+      case ExOp::Rol:
+        os << "rol(" << kid(0) << ", " << kid(1) << ")";
+        break;
+      case ExOp::Ror:
+        os << "ror(" << kid(0) << ", " << kid(1) << ")";
+        break;
+      case ExOp::Read:
+        os << "read " << e.name << " " << kid(0);
+        break;
+      default:
+        owl_panic("unhandled op in printer");
+    }
+    return os.str();
+}
+
+std::string
+printOyster(const Design &d)
+{
+    std::ostringstream os;
+    os << "design " << d.name() << "\n";
+    for (const Decl &dc : d.decls()) {
+        os << "  " << declKindName(dc.kind) << " " << dc.name << " "
+           << dc.width;
+        if (dc.kind == DeclKind::Memory || dc.kind == DeclKind::Rom)
+            os << " addr " << dc.addrWidth;
+        if (dc.kind == DeclKind::Register && !dc.resetValue.isZero())
+            os << " reset " << dc.resetValue.toString();
+        if (dc.kind == DeclKind::Rom) {
+            os << " contents(";
+            for (size_t i = 0; i < dc.romContents.size(); i++)
+                os << (i ? " " : "") << dc.romContents[i].toString();
+            os << ")";
+        }
+        if (dc.kind == DeclKind::Hole && !dc.holeDeps.empty()) {
+            os << " deps(";
+            for (size_t i = 0; i < dc.holeDeps.size(); i++)
+                os << (i ? ", " : "") << dc.holeDeps[i];
+            os << ")";
+        }
+        os << "\n";
+    }
+    for (const Stmt &s : d.stmts()) {
+        if (s.kind == Stmt::Assign) {
+            os << "  " << s.target << " := "
+               << exprToString(d, s.value) << "\n";
+        } else {
+            os << "  write " << s.mem << " "
+               << exprToString(d, s.addr) << " "
+               << exprToString(d, s.data) << " "
+               << exprToString(d, s.enable) << "\n";
+        }
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/**
+ * Print one assignment in PyRTL style. Ite chains become
+ * `with cond:` blocks with conditional assignment, matching the
+ * paper's Figure 7 rendering.
+ */
+void
+printPyrtlAssign(const Design &d, std::ostringstream &os,
+                 const std::string &target, ExprRef value,
+                 const std::string &assign_op, int indent)
+{
+    const Expr &e = d.expr(value);
+    std::string pad(indent, ' ');
+    if (e.op == ExOp::Ite) {
+        os << pad << "with " << exprToString(d, e.kids[0]) << ":\n";
+        printPyrtlAssign(d, os, target, e.kids[1], "|=", indent + 4);
+        const Expr &els = d.expr(e.kids[2]);
+        if (els.op == ExOp::Ite) {
+            printPyrtlAssign(d, os, target, e.kids[2], "|=", indent);
+        } else {
+            os << pad << "with otherwise:\n";
+            printPyrtlAssign(d, os, target, e.kids[2], "|=",
+                             indent + 4);
+        }
+        return;
+    }
+    os << pad << target << " " << assign_op << " "
+       << exprToString(d, value) << "\n";
+}
+
+} // namespace
+
+std::string
+printPyrtl(const Design &d)
+{
+    std::ostringstream os;
+    os << "# design " << d.name() << " (PyRTL view)\n";
+    for (const Decl &dc : d.decls()) {
+        switch (dc.kind) {
+          case DeclKind::Input:
+            os << dc.name << " = pyrtl.Input(" << dc.width << ", '"
+               << dc.name << "')\n";
+            break;
+          case DeclKind::Output:
+            os << dc.name << " = pyrtl.Output(" << dc.width << ", '"
+               << dc.name << "')\n";
+            break;
+          case DeclKind::Register:
+            os << dc.name << " = pyrtl.Register(" << dc.width << ", '"
+               << dc.name << "')\n";
+            break;
+          case DeclKind::Memory:
+            os << dc.name << " = pyrtl.MemBlock(" << dc.width << ", "
+               << dc.addrWidth << ", '" << dc.name << "')\n";
+            break;
+          case DeclKind::Rom:
+            os << dc.name << " = pyrtl.RomBlock(" << dc.width << ", "
+               << dc.addrWidth << ", '" << dc.name << "')\n";
+            break;
+          case DeclKind::Hole:
+            os << dc.name << " = pyrtl.Hole(" << dc.width << ")  # ??\n";
+            break;
+          case DeclKind::Wire:
+            os << dc.name << " = pyrtl.WireVector(" << dc.width
+               << ", '" << dc.name << "')\n";
+            break;
+        }
+    }
+    for (const Stmt &s : d.stmts()) {
+        if (s.kind == Stmt::Assign) {
+            const Decl &dc = d.decl(s.target);
+            const char *op =
+                dc.kind == DeclKind::Register ? "<<=" : "<<=";
+            std::string target = dc.kind == DeclKind::Register
+                                     ? s.target + ".next"
+                                     : s.target;
+            printPyrtlAssign(d, os, target, s.value, op, 0);
+        } else {
+            os << s.mem << "[" << exprToString(d, s.addr)
+               << "] <<= pyrtl.MemBlock.EnabledWrite("
+               << exprToString(d, s.data) << ", "
+               << exprToString(d, s.enable) << ")\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+printGeneratedControl(const Design &d)
+{
+    std::ostringstream os;
+    for (const Stmt &s : d.stmts()) {
+        if (!s.generated)
+            continue;
+        if (s.kind == Stmt::Assign) {
+            printPyrtlAssign(d, os, s.target, s.value, "<<=", 0);
+        } else {
+            os << s.mem << "[" << exprToString(d, s.addr)
+               << "] <<= pyrtl.MemBlock.EnabledWrite("
+               << exprToString(d, s.data) << ", "
+               << exprToString(d, s.enable) << ")\n";
+        }
+    }
+    return os.str();
+}
+
+int
+countLines(const std::string &text)
+{
+    int n = 0;
+    bool content = false;
+    for (char c : text) {
+        if (c == '\n') {
+            if (content)
+                n++;
+            content = false;
+        } else if (!isspace(static_cast<unsigned char>(c))) {
+            content = true;
+        }
+    }
+    if (content)
+        n++;
+    return n;
+}
+
+int
+sketchSizeLoc(const Design &d)
+{
+    // Lines of Oyster code in flattened (three-address) form: one
+    // line per declaration, statement, and unique operation node
+    // (structurally deduplicated, the way an Oyster listing names
+    // shared subexpressions). This is the Table 1 sketch-size metric;
+    // it tracks real datapath size instead of pretty-printing width.
+    using Key = std::tuple<int, std::string, size_t, int, int,
+                           std::vector<int>>;
+    std::map<Key, int> canon;          // structural key -> canon id
+    std::unordered_map<int32_t, int> memo; // expr idx -> canon id
+    int op_count = 0;
+    std::function<int(ExprRef)> canonize = [&](ExprRef r) -> int {
+        auto mit = memo.find(r.idx);
+        if (mit != memo.end())
+            return mit->second;
+        const Expr &e = d.expr(r);
+        std::vector<int> kid_canons;
+        for (ExprRef k : e.kids)
+            kid_canons.push_back(canonize(k));
+        Key key{static_cast<int>(e.op), e.name, e.cval.hash(), e.a,
+                e.b, std::move(kid_canons)};
+        auto [it, inserted] =
+            canon.try_emplace(std::move(key),
+                              static_cast<int>(canon.size()));
+        if (inserted && e.op != ExOp::Var && e.op != ExOp::Const)
+            op_count++;
+        memo.emplace(r.idx, it->second);
+        return it->second;
+    };
+    int stmts = 0;
+    for (const Stmt &s : d.stmts()) {
+        stmts++;
+        if (s.kind == Stmt::Assign) {
+            canonize(s.value);
+        } else {
+            canonize(s.addr);
+            canonize(s.data);
+            canonize(s.enable);
+        }
+    }
+    return static_cast<int>(d.decls().size()) + stmts + op_count;
+}
+
+} // namespace owl::oyster

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Pretty-printers for Oyster designs.
+ *
+ * Two formats are provided:
+ *  - Oyster text: the concrete syntax of the Figure 5 grammar; used
+ *    to measure sketch sizes in lines of Oyster code (Table 1).
+ *  - PyRTL style: the Python-flavoured surface the paper shows for
+ *    generated control logic (Figure 7); used for the examples and
+ *    for generated-vs-reference LoC in Table 2.
+ */
+
+#ifndef OWL_OYSTER_PRINTER_H
+#define OWL_OYSTER_PRINTER_H
+
+#include <string>
+
+#include "oyster/ir.h"
+
+namespace owl::oyster
+{
+
+/** Render the design in Oyster concrete syntax. */
+std::string printOyster(const Design &design);
+
+/** Render the design in PyRTL-flavoured syntax. */
+std::string printPyrtl(const Design &design);
+
+/**
+ * Render only the generated control logic (statements flagged
+ * `generated`, plus the declarations they define) in PyRTL style —
+ * the Figure 7 view.
+ */
+std::string printGeneratedControl(const Design &design);
+
+/** Count non-empty lines in a rendered string. */
+int countLines(const std::string &text);
+
+/** Lines of Oyster code for a design (the Table 1 sketch size). */
+int sketchSizeLoc(const Design &design);
+
+/** Render one expression (used by both printers). */
+std::string exprToString(const Design &design, ExprRef r);
+
+} // namespace owl::oyster
+
+#endif // OWL_OYSTER_PRINTER_H

@@ -1,0 +1,295 @@
+#include "oyster/symeval.h"
+
+#include "base/logging.h"
+
+namespace owl::oyster
+{
+
+using smt::TermRef;
+using smt::TermTable;
+
+TermRef
+foldMemRead(TermTable &tt, const SymMem &mem, TermRef addr)
+{
+    TermRef val;
+    if (mem.concreteBase) {
+        if (tt.isConst(addr)) {
+            uint64_t a = tt.constValue(addr).toUint64();
+            auto it = mem.concreteBase->find(a);
+            val = tt.constant(it == mem.concreteBase->end()
+                                  ? BitVec(mem.dataWidth)
+                                  : it->second);
+        } else {
+            val = tt.constant(BitVec(mem.dataWidth));
+            for (const auto &[a, v] : *mem.concreteBase) {
+                TermRef ac = tt.constant(BitVec(mem.addrWidth, a));
+                val = tt.mkIte(tt.mkEq(addr, ac), tt.constant(v), val);
+            }
+        }
+    } else {
+        val = tt.baseRead(mem.memId, addr, mem.dataWidth);
+    }
+    // Newest write wins: fold oldest..newest so the newest ends up
+    // outermost in the ite chain.
+    for (const SymMemWrite &w : mem.writes) {
+        TermRef hit = tt.mkAnd(w.enable, tt.mkEq(addr, w.addr));
+        val = tt.mkIte(hit, w.data, val);
+    }
+    return val;
+}
+
+TermRef
+SymRun::inputAt(const std::string &name, int t) const
+{
+    owl_assert(t >= 1 && t <= static_cast<int>(inputs.size()),
+               "inputAt: cycle ", t, " out of range");
+    auto it = inputs[t - 1].find(name);
+    owl_assert(it != inputs[t - 1].end(), "unknown input '", name, "'");
+    return it->second;
+}
+
+TermRef
+SymRun::wireAt(const std::string &name, int t) const
+{
+    owl_assert(t >= 1 && t <= static_cast<int>(wires.size()),
+               "wireAt: cycle ", t, " out of range");
+    auto it = wires[t - 1].find(name);
+    owl_assert(it != wires[t - 1].end(), "unknown wire '", name,
+               "' at cycle ", t);
+    return it->second;
+}
+
+TermRef
+SymRun::regAt(const std::string &name, int t) const
+{
+    owl_assert(t >= 0 && t < static_cast<int>(states.size()),
+               "regAt: state ", t, " out of range");
+    auto it = states[t].regs.find(name);
+    owl_assert(it != states[t].regs.end(), "unknown register '", name,
+               "'");
+    return it->second;
+}
+
+const SymMem &
+SymRun::memAt(const std::string &name, int t) const
+{
+    owl_assert(t >= 0 && t < static_cast<int>(states.size()),
+               "memAt: state ", t, " out of range");
+    auto it = states[t].mems.find(name);
+    owl_assert(it != states[t].mems.end(), "unknown memory '", name,
+               "'");
+    return it->second;
+}
+
+TermRef
+SymRun::readMemAt(TermTable &tt, const std::string &name, int t,
+                  TermRef addr) const
+{
+    return foldMemRead(tt, memAt(name, t), addr);
+}
+
+SymbolicEvaluator::SymbolicEvaluator(const Design &design, TermTable &tt)
+    : design(design), tt(tt)
+{
+    design.validate(/*allow_holes=*/true);
+}
+
+void
+SymbolicEvaluator::setHole(const std::string &name, TermRef value)
+{
+    const Decl &d = design.decl(name);
+    owl_assert(d.kind == DeclKind::Hole, "'", name, "' is not a hole");
+    owl_assert(tt.width(value) == d.width, "hole '", name,
+               "' width mismatch");
+    holes[name] = value;
+}
+
+void
+SymbolicEvaluator::setInput(const std::string &name, int cycle, TermRef v)
+{
+    pinnedInputs[{name, cycle}] = v;
+}
+
+void
+SymbolicEvaluator::setInitialReg(const std::string &name, TermRef v)
+{
+    pinnedRegs[name] = v;
+}
+
+void
+SymbolicEvaluator::pinWire(const std::string &name, int cycle,
+                           TermRef v)
+{
+    const Decl &d = design.decl(name);
+    owl_assert(d.kind == DeclKind::Wire, "pinWire needs a wire");
+    owl_assert(tt.width(v) == d.width, "pinWire width mismatch");
+    pinnedWires[{name, cycle}] = v;
+}
+
+void
+SymbolicEvaluator::setConcreteMem(const std::string &name,
+                                  std::map<uint64_t, BitVec> words)
+{
+    concreteMems[name] = std::move(words);
+}
+
+TermRef
+SymbolicEvaluator::eval(ExprRef r,
+                        const std::map<std::string, TermRef> &env,
+                        const SymState &state,
+                        const std::map<std::string, int> &rom_ids)
+{
+    const Expr &e = design.expr(r);
+    auto kid = [&](int i) {
+        return eval(e.kids[i], env, state, rom_ids);
+    };
+    switch (e.op) {
+      case ExOp::Var: {
+        auto it = env.find(e.name);
+        if (it == env.end())
+            owl_fatal("use of '", e.name, "' before definition");
+        return it->second;
+      }
+      case ExOp::Const: return tt.constant(e.cval);
+      case ExOp::Not: return tt.mkNot(kid(0));
+      case ExOp::And: return tt.mkAnd(kid(0), kid(1));
+      case ExOp::Or: return tt.mkOr(kid(0), kid(1));
+      case ExOp::Xor: return tt.mkXor(kid(0), kid(1));
+      case ExOp::Neg: return tt.mkNeg(kid(0));
+      case ExOp::Add: return tt.mkAdd(kid(0), kid(1));
+      case ExOp::Sub: return tt.mkSub(kid(0), kid(1));
+      case ExOp::Mul: return tt.mkMul(kid(0), kid(1));
+      case ExOp::Clmul: return tt.mkClmul(kid(0), kid(1));
+      case ExOp::Clmulh: return tt.mkClmulh(kid(0), kid(1));
+      case ExOp::Eq: return tt.mkEq(kid(0), kid(1));
+      case ExOp::Ne: return tt.mkNe(kid(0), kid(1));
+      case ExOp::Ult: return tt.mkUlt(kid(0), kid(1));
+      case ExOp::Ule: return tt.mkUle(kid(0), kid(1));
+      case ExOp::Slt: return tt.mkSlt(kid(0), kid(1));
+      case ExOp::Sle: return tt.mkSle(kid(0), kid(1));
+      case ExOp::Ite: return tt.mkIte(kid(0), kid(1), kid(2));
+      case ExOp::Extract: return tt.mkExtract(kid(0), e.a, e.b);
+      case ExOp::Concat: return tt.mkConcat(kid(0), kid(1));
+      case ExOp::ZExt: return tt.mkZExt(kid(0), e.width);
+      case ExOp::SExt: return tt.mkSExt(kid(0), e.width);
+      case ExOp::Shl: return tt.mkShl(kid(0), kid(1));
+      case ExOp::Lshr: return tt.mkLshr(kid(0), kid(1));
+      case ExOp::Ashr: return tt.mkAshr(kid(0), kid(1));
+      case ExOp::Rol: return tt.mkRol(kid(0), kid(1));
+      case ExOp::Ror: return tt.mkRor(kid(0), kid(1));
+      case ExOp::Read: {
+        const Decl &d = design.decl(e.name);
+        TermRef addr = kid(0);
+        if (d.kind == DeclKind::Rom)
+            return tt.lookup(rom_ids.at(e.name), addr);
+        return foldMemRead(tt, state.mems.at(e.name), addr);
+      }
+    }
+    owl_panic("unhandled Oyster expression op");
+}
+
+SymRun
+SymbolicEvaluator::run(int cycles)
+{
+    owl_assert(cycles >= 1, "symbolic run needs at least one cycle");
+    SymRun out;
+
+    // Assign stable memory ids by declaration order and register ROM
+    // tables (deduplicated inside the TermTable so identical tables
+    // from the ILA side share ids).
+    std::map<std::string, int> rom_ids;
+    SymState init;
+    int decl_idx = 0;
+    for (const Decl &d : design.decls()) {
+        if (d.kind == DeclKind::Memory) {
+            SymMem m;
+            m.memId = decl_idx;
+            m.addrWidth = d.addrWidth;
+            m.dataWidth = d.width;
+            auto cit = concreteMems.find(d.name);
+            if (cit != concreteMems.end()) {
+                m.concreteBase = std::make_shared<
+                    const std::map<uint64_t, BitVec>>(cit->second);
+            }
+            init.mems.emplace(d.name, std::move(m));
+        } else if (d.kind == DeclKind::Rom) {
+            rom_ids[d.name] =
+                tt.registerTable(d.name, d.width, d.romContents);
+        } else if (d.kind == DeclKind::Register) {
+            auto pit = pinnedRegs.find(d.name);
+            TermRef v = pit != pinnedRegs.end()
+                            ? pit->second
+                            : tt.freshVar("reg." + d.name + ".0",
+                                          d.width);
+            init.regs.emplace(d.name, v);
+        }
+        decl_idx++;
+    }
+    out.states.push_back(init);
+
+    for (int t = 1; t <= cycles; t++) {
+        const SymState &prev = out.states.back();
+        std::map<std::string, TermRef> env;
+        std::map<std::string, TermRef> cycle_inputs;
+
+        for (const Decl &d : design.decls()) {
+            if (d.kind == DeclKind::Input) {
+                auto pit = pinnedInputs.find({d.name, t});
+                TermRef v = pit != pinnedInputs.end()
+                                ? pit->second
+                                : tt.freshVar("in." + d.name + "." +
+                                              std::to_string(t),
+                                              d.width);
+                env.emplace(d.name, v);
+                cycle_inputs.emplace(d.name, v);
+            } else if (d.kind == DeclKind::Register) {
+                env.emplace(d.name, prev.regs.at(d.name));
+            } else if (d.kind == DeclKind::Hole) {
+                auto hit = holes.find(d.name);
+                if (hit == holes.end())
+                    owl_fatal("no value provided for hole '", d.name,
+                              "'");
+                env.emplace(d.name, hit->second);
+            }
+        }
+
+        SymState next = prev; // registers carry over unless assigned
+        for (const Stmt &s : design.stmts()) {
+            if (s.kind == Stmt::Assign) {
+                TermRef v = eval(s.value, env, prev, rom_ids);
+                const Decl &d = design.decl(s.target);
+                if (d.kind == DeclKind::Register) {
+                    next.regs[s.target] = v;
+                    // The in-cycle view still sees the old value; the
+                    // new value lands in s_t.
+                } else {
+                    auto pit = pinnedWires.find({s.target, t});
+                    if (pit != pinnedWires.end()) {
+                        out.pinConstraints.emplace_back(v,
+                                                        pit->second);
+                        env[s.target] = pit->second;
+                    } else {
+                        env[s.target] = v;
+                    }
+                }
+            } else {
+                SymMemWrite w;
+                w.enable = eval(s.enable, env, prev, rom_ids);
+                w.addr = eval(s.addr, env, prev, rom_ids);
+                w.data = eval(s.data, env, prev, rom_ids);
+                if (!tt.isFalse(w.enable))
+                    next.mems.at(s.mem).writes.push_back(w);
+            }
+        }
+
+        out.inputs.push_back(std::move(cycle_inputs));
+        // Record every env binding (inputs, regs' in-cycle view, wires,
+        // outputs, holes) as the cycle's wire map for assumptions and
+        // precondition extraction.
+        out.wires.emplace_back(env.begin(), env.end());
+        out.states.push_back(std::move(next));
+    }
+    return out;
+}
+
+} // namespace owl::oyster

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Symbolic evaluation of Oyster designs (paper §3.1, §3.3).
+ *
+ * This is the concrete interpreter lifted over SMT terms — the role
+ * Rosette plays in the paper's artifact. Running a design for k cycles
+ * produces the sequence of state environments s_0, ..., s_k from
+ * Equation (1):
+ *
+ *   - registers become terms per timestep (s_0 holds fresh variables
+ *     or caller-provided initial values);
+ *   - memories follow the paper's model exactly: an uninterpreted base
+ *     (smt::Op::BaseRead, Ackermann-expanded at solve time) plus an
+ *     association list of writes; reads fold the committed write log
+ *     into an if-then-else chain;
+ *   - ROMs become shared constant tables (smt::Op::Lookup);
+ *   - inputs get one fresh variable per cycle unless pinned;
+ *   - holes take caller-provided terms (fresh variables during
+ *     synthesis, concrete candidates during CEGIS verification).
+ *
+ * Timestep convention (see DESIGN.md): state index 0 is the initial
+ * state; state index t is the state after committing cycle t. An
+ * abstraction-function "read: t" observes state index t-1 (or the
+ * cycle-t input), a "write: t" is checked against state index t.
+ */
+
+#ifndef OWL_OYSTER_SYMEVAL_H
+#define OWL_OYSTER_SYMEVAL_H
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "oyster/ir.h"
+#include "smt/term.h"
+
+namespace owl::oyster
+{
+
+/** One committed memory write: address, data, enable condition. */
+struct SymMemWrite
+{
+    smt::TermRef addr;
+    smt::TermRef data;
+    smt::TermRef enable;
+};
+
+/** Symbolic state of one memory: base id + committed write log. */
+struct SymMem
+{
+    int memId = -1;
+    int addrWidth = 0;
+    int dataWidth = 0;
+    /** Committed writes, oldest first. */
+    std::vector<SymMemWrite> writes;
+    /**
+     * When set, the base state is concrete (CEGIS counterexample
+     * replay): absent addresses read as zero and no uninterpreted
+     * base reads are created. Shared across per-cycle snapshots.
+     */
+    std::shared_ptr<const std::map<uint64_t, BitVec>> concreteBase;
+};
+
+/** Symbolic state snapshot (one element of the s_0..s_k sequence). */
+struct SymState
+{
+    std::map<std::string, smt::TermRef> regs;
+    std::map<std::string, SymMem> mems;
+};
+
+/** The result of symbolically evaluating a design for k cycles. */
+struct SymRun
+{
+    /** states[t] is s_t; size is cycles+1. */
+    std::vector<SymState> states;
+    /** inputs[t-1][name] is the input's value during cycle t. */
+    std::vector<std::map<std::string, smt::TermRef>> inputs;
+    /**
+     * For every pinned wire and cycle: (computed term, pinned term).
+     * The caller must assert equality of each pair to keep the pinned
+     * run equisatisfiable with the original design (see pinWire).
+     */
+    std::vector<std::pair<smt::TermRef, smt::TermRef>> pinConstraints;
+    /** wires[t-1][name] is the wire/output/hole value in cycle t. */
+    std::vector<std::map<std::string, smt::TermRef>> wires;
+
+    /** Input value during cycle t (1-based). */
+    smt::TermRef inputAt(const std::string &name, int t) const;
+    /** Wire value during cycle t (1-based). */
+    smt::TermRef wireAt(const std::string &name, int t) const;
+    /** Register value in state s_t (t in 0..k). */
+    smt::TermRef regAt(const std::string &name, int t) const;
+
+    /**
+     * Read memory `name` in state s_t at `addr`: folds the write log
+     * of s_t into an ite chain over the uninterpreted base.
+     */
+    smt::TermRef readMemAt(smt::TermTable &tt, const std::string &name,
+                           int t, smt::TermRef addr) const;
+
+    /** The memory state (write log) in s_t. */
+    const SymMem &memAt(const std::string &name, int t) const;
+};
+
+/** Fold a write log into an ite chain around the base read. */
+smt::TermRef foldMemRead(smt::TermTable &tt, const SymMem &mem,
+                         smt::TermRef addr);
+
+/**
+ * Configuration and execution of one symbolic run.
+ */
+class SymbolicEvaluator
+{
+  public:
+    SymbolicEvaluator(const Design &design, smt::TermTable &tt);
+
+    /** Provide the term for a hole (fresh var or concrete candidate). */
+    void setHole(const std::string &name, smt::TermRef value);
+
+    /** Pin an input's value for one cycle (1-based). */
+    void setInput(const std::string &name, int cycle, smt::TermRef v);
+
+    /** Pin a register's initial (s_0) value. */
+    void setInitialReg(const std::string &name, smt::TermRef v);
+
+    /**
+     * Substitute a wire's value in one cycle (1-based). The wire's
+     * defining expression is still evaluated and the (computed,
+     * pinned) pair is recorded in SymRun::pinConstraints; asserting
+     * those equalities makes the substitution sound. Used to
+     * case-split completed designs on their generated precondition
+     * wires during verification.
+     */
+    void pinWire(const std::string &name, int cycle, smt::TermRef v);
+
+    /**
+     * Make a memory's initial contents concrete: base reads fold to
+     * the given words (absent addresses read as zero). Used when
+     * replaying CEGIS counterexamples.
+     */
+    void setConcreteMem(const std::string &name,
+                        std::map<uint64_t, BitVec> words);
+
+    /** Run for the given number of cycles. */
+    SymRun run(int cycles);
+
+  private:
+    const Design &design;
+    smt::TermTable &tt;
+    std::map<std::string, smt::TermRef> holes;
+    std::map<std::pair<std::string, int>, smt::TermRef> pinnedInputs;
+    std::map<std::string, smt::TermRef> pinnedRegs;
+    std::map<std::pair<std::string, int>, smt::TermRef> pinnedWires;
+    std::map<std::string, std::map<uint64_t, BitVec>> concreteMems;
+
+    smt::TermRef eval(ExprRef r,
+                      const std::map<std::string, smt::TermRef> &env,
+                      const SymState &state,
+                      const std::map<std::string, int> &rom_ids);
+};
+
+} // namespace owl::oyster
+
+#endif // OWL_OYSTER_SYMEVAL_H

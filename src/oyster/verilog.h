@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Synthesizable Verilog-2001 emission for completed Oyster designs.
+ *
+ * The paper's artifact emits PyRTL, which in turn compiles to Verilog;
+ * we emit Verilog directly so synthesized cores can be consumed by
+ * standard RTL tools. Memories become behavioural register arrays with
+ * synchronous write ports; ROMs become case-statement lookup
+ * functions; everything else maps 1:1 onto Verilog expressions.
+ */
+
+#ifndef OWL_OYSTER_VERILOG_H
+#define OWL_OYSTER_VERILOG_H
+
+#include <string>
+
+#include "oyster/ir.h"
+
+namespace owl::oyster
+{
+
+/** Options for Verilog emission. */
+struct VerilogOptions
+{
+    /** log2 of the number of words actually instantiated per memory
+     *  (full 2^30-word address spaces are truncated to this). */
+    int maxMemAddrBits = 12;
+    /** Emit an initial block resetting registers. */
+    bool emitInitial = true;
+};
+
+/** Render the design as a single synthesizable Verilog module. */
+std::string emitVerilog(const Design &design,
+                        const VerilogOptions &opts = {});
+
+} // namespace owl::oyster
+
+#endif // OWL_OYSTER_VERILOG_H

@@ -1,0 +1,113 @@
+#include "rv/encode.h"
+
+namespace owl::rv
+{
+
+uint32_t
+encR(uint32_t funct7, uint32_t rs2, uint32_t rs1, uint32_t funct3,
+     uint32_t rd, uint32_t opcode)
+{
+    return (funct7 << 25) | ((rs2 & 31) << 20) | ((rs1 & 31) << 15) |
+           (funct3 << 12) | ((rd & 31) << 7) | opcode;
+}
+
+uint32_t
+encI(int32_t imm12, uint32_t rs1, uint32_t funct3, uint32_t rd,
+     uint32_t opcode)
+{
+    return ((static_cast<uint32_t>(imm12) & 0xfff) << 20) |
+           ((rs1 & 31) << 15) | (funct3 << 12) | ((rd & 31) << 7) |
+           opcode;
+}
+
+uint32_t
+encS(int32_t imm12, uint32_t rs2, uint32_t rs1, uint32_t funct3,
+     uint32_t opcode)
+{
+    uint32_t imm = static_cast<uint32_t>(imm12) & 0xfff;
+    return ((imm >> 5) << 25) | ((rs2 & 31) << 20) |
+           ((rs1 & 31) << 15) | (funct3 << 12) | ((imm & 31) << 7) |
+           opcode;
+}
+
+uint32_t
+encB(int32_t offset, uint32_t rs2, uint32_t rs1, uint32_t funct3,
+     uint32_t opcode)
+{
+    uint32_t o = static_cast<uint32_t>(offset);
+    return (((o >> 12) & 1) << 31) | (((o >> 5) & 0x3f) << 25) |
+           ((rs2 & 31) << 20) | ((rs1 & 31) << 15) | (funct3 << 12) |
+           (((o >> 1) & 0xf) << 8) | (((o >> 11) & 1) << 7) | opcode;
+}
+
+uint32_t
+encU(uint32_t imm20, uint32_t rd, uint32_t opcode)
+{
+    return (imm20 << 12) | ((rd & 31) << 7) | opcode;
+}
+
+uint32_t
+encJ(int32_t offset, uint32_t rd, uint32_t opcode)
+{
+    uint32_t o = static_cast<uint32_t>(offset);
+    return (((o >> 20) & 1) << 31) | (((o >> 1) & 0x3ff) << 21) |
+           (((o >> 11) & 1) << 20) | (((o >> 12) & 0xff) << 12) |
+           ((rd & 31) << 7) | opcode;
+}
+
+uint32_t LUI(uint32_t rd, uint32_t imm20) { return encU(imm20, rd, 0x37); }
+uint32_t AUIPC(uint32_t rd, uint32_t imm20) { return encU(imm20, rd, 0x17); }
+uint32_t JAL(uint32_t rd, int32_t off) { return encJ(off, rd, 0x6f); }
+uint32_t JALR(uint32_t rd, uint32_t rs1, int32_t imm)
+{ return encI(imm, rs1, 0, rd, 0x67); }
+uint32_t BEQ(uint32_t a, uint32_t b, int32_t o) { return encB(o, b, a, 0, 0x63); }
+uint32_t BNE(uint32_t a, uint32_t b, int32_t o) { return encB(o, b, a, 1, 0x63); }
+uint32_t BLT(uint32_t a, uint32_t b, int32_t o) { return encB(o, b, a, 4, 0x63); }
+uint32_t BGE(uint32_t a, uint32_t b, int32_t o) { return encB(o, b, a, 5, 0x63); }
+uint32_t BLTU(uint32_t a, uint32_t b, int32_t o) { return encB(o, b, a, 6, 0x63); }
+uint32_t BGEU(uint32_t a, uint32_t b, int32_t o) { return encB(o, b, a, 7, 0x63); }
+uint32_t LB(uint32_t rd, uint32_t rs1, int32_t i) { return encI(i, rs1, 0, rd, 0x03); }
+uint32_t LH(uint32_t rd, uint32_t rs1, int32_t i) { return encI(i, rs1, 1, rd, 0x03); }
+uint32_t LW(uint32_t rd, uint32_t rs1, int32_t i) { return encI(i, rs1, 2, rd, 0x03); }
+uint32_t LBU(uint32_t rd, uint32_t rs1, int32_t i) { return encI(i, rs1, 4, rd, 0x03); }
+uint32_t LHU(uint32_t rd, uint32_t rs1, int32_t i) { return encI(i, rs1, 5, rd, 0x03); }
+uint32_t SB(uint32_t rs2, uint32_t rs1, int32_t i) { return encS(i, rs2, rs1, 0, 0x23); }
+uint32_t SH(uint32_t rs2, uint32_t rs1, int32_t i) { return encS(i, rs2, rs1, 1, 0x23); }
+uint32_t SW(uint32_t rs2, uint32_t rs1, int32_t i) { return encS(i, rs2, rs1, 2, 0x23); }
+uint32_t ADDI(uint32_t rd, uint32_t rs1, int32_t i) { return encI(i, rs1, 0, rd, 0x13); }
+uint32_t SLTI(uint32_t rd, uint32_t rs1, int32_t i) { return encI(i, rs1, 2, rd, 0x13); }
+uint32_t SLTIU(uint32_t rd, uint32_t rs1, int32_t i) { return encI(i, rs1, 3, rd, 0x13); }
+uint32_t XORI(uint32_t rd, uint32_t rs1, int32_t i) { return encI(i, rs1, 4, rd, 0x13); }
+uint32_t ORI(uint32_t rd, uint32_t rs1, int32_t i) { return encI(i, rs1, 6, rd, 0x13); }
+uint32_t ANDI(uint32_t rd, uint32_t rs1, int32_t i) { return encI(i, rs1, 7, rd, 0x13); }
+uint32_t SLLI(uint32_t rd, uint32_t rs1, uint32_t s) { return encR(0x00, s, rs1, 1, rd, 0x13); }
+uint32_t SRLI(uint32_t rd, uint32_t rs1, uint32_t s) { return encR(0x00, s, rs1, 5, rd, 0x13); }
+uint32_t SRAI(uint32_t rd, uint32_t rs1, uint32_t s) { return encR(0x20, s, rs1, 5, rd, 0x13); }
+uint32_t ADD(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x00, b, a, 0, rd, 0x33); }
+uint32_t SUB(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x20, b, a, 0, rd, 0x33); }
+uint32_t SLL(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x00, b, a, 1, rd, 0x33); }
+uint32_t SLT(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x00, b, a, 2, rd, 0x33); }
+uint32_t SLTU(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x00, b, a, 3, rd, 0x33); }
+uint32_t XOR(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x00, b, a, 4, rd, 0x33); }
+uint32_t SRL(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x00, b, a, 5, rd, 0x33); }
+uint32_t SRA(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x20, b, a, 5, rd, 0x33); }
+uint32_t OR(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x00, b, a, 6, rd, 0x33); }
+uint32_t AND(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x00, b, a, 7, rd, 0x33); }
+uint32_t ROL(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x30, b, a, 1, rd, 0x33); }
+uint32_t ROR(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x30, b, a, 5, rd, 0x33); }
+uint32_t RORI(uint32_t rd, uint32_t rs1, uint32_t s) { return encR(0x30, s, rs1, 5, rd, 0x13); }
+uint32_t ANDN(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x20, b, a, 7, rd, 0x33); }
+uint32_t ORN(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x20, b, a, 6, rd, 0x33); }
+uint32_t XNOR(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x20, b, a, 4, rd, 0x33); }
+uint32_t PACK(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x04, b, a, 4, rd, 0x33); }
+uint32_t PACKH(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x04, b, a, 7, rd, 0x33); }
+uint32_t REV8(uint32_t rd, uint32_t rs1) { return encI(0x698, rs1, 5, rd, 0x13); }
+uint32_t BREV8(uint32_t rd, uint32_t rs1) { return encI(0x687, rs1, 5, rd, 0x13); }
+uint32_t ZIP(uint32_t rd, uint32_t rs1) { return encI(0x08f, rs1, 1, rd, 0x13); }
+uint32_t UNZIP(uint32_t rd, uint32_t rs1) { return encI(0x08f, rs1, 5, rd, 0x13); }
+uint32_t CLMUL(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x05, b, a, 1, rd, 0x33); }
+uint32_t CLMULH(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x05, b, a, 3, rd, 0x33); }
+uint32_t CMOV(uint32_t rd, uint32_t a, uint32_t b) { return encR(0x00, b, a, 0, rd, 0x0b); }
+uint32_t NOP() { return ADDI(0, 0, 0); }
+
+} // namespace owl::rv

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * RV32I (+Zbkb/Zbkc) instruction-word encoders. Used by the reference
+ * ISS tests, the randomized differential tests against synthesized
+ * cores, and the SHA-256 program generator for the constant-time
+ * crypto core.
+ */
+
+#ifndef OWL_RV_ENCODE_H
+#define OWL_RV_ENCODE_H
+
+#include <cstdint>
+
+namespace owl::rv
+{
+
+// R-type ---------------------------------------------------------------
+uint32_t encR(uint32_t funct7, uint32_t rs2, uint32_t rs1,
+              uint32_t funct3, uint32_t rd, uint32_t opcode);
+// I-type ---------------------------------------------------------------
+uint32_t encI(int32_t imm12, uint32_t rs1, uint32_t funct3, uint32_t rd,
+              uint32_t opcode);
+// S-type ---------------------------------------------------------------
+uint32_t encS(int32_t imm12, uint32_t rs2, uint32_t rs1,
+              uint32_t funct3, uint32_t opcode);
+// B-type ---------------------------------------------------------------
+uint32_t encB(int32_t offset, uint32_t rs2, uint32_t rs1,
+              uint32_t funct3, uint32_t opcode);
+// U-type ---------------------------------------------------------------
+uint32_t encU(uint32_t imm20, uint32_t rd, uint32_t opcode);
+// J-type ---------------------------------------------------------------
+uint32_t encJ(int32_t offset, uint32_t rd, uint32_t opcode);
+
+// Mnemonic helpers (subset used by tests and the SHA generator).
+uint32_t LUI(uint32_t rd, uint32_t imm20);
+uint32_t AUIPC(uint32_t rd, uint32_t imm20);
+uint32_t JAL(uint32_t rd, int32_t offset);
+uint32_t JALR(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t BEQ(uint32_t rs1, uint32_t rs2, int32_t offset);
+uint32_t BNE(uint32_t rs1, uint32_t rs2, int32_t offset);
+uint32_t BLT(uint32_t rs1, uint32_t rs2, int32_t offset);
+uint32_t BGE(uint32_t rs1, uint32_t rs2, int32_t offset);
+uint32_t BLTU(uint32_t rs1, uint32_t rs2, int32_t offset);
+uint32_t BGEU(uint32_t rs1, uint32_t rs2, int32_t offset);
+uint32_t LB(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t LH(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t LW(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t LBU(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t LHU(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t SB(uint32_t rs2, uint32_t rs1, int32_t imm);
+uint32_t SH(uint32_t rs2, uint32_t rs1, int32_t imm);
+uint32_t SW(uint32_t rs2, uint32_t rs1, int32_t imm);
+uint32_t ADDI(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t SLTI(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t SLTIU(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t XORI(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t ORI(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t ANDI(uint32_t rd, uint32_t rs1, int32_t imm);
+uint32_t SLLI(uint32_t rd, uint32_t rs1, uint32_t shamt);
+uint32_t SRLI(uint32_t rd, uint32_t rs1, uint32_t shamt);
+uint32_t SRAI(uint32_t rd, uint32_t rs1, uint32_t shamt);
+uint32_t ADD(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t SUB(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t SLL(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t SLT(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t SLTU(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t XOR(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t SRL(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t SRA(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t OR(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t AND(uint32_t rd, uint32_t rs1, uint32_t rs2);
+// Zbkb / Zbkc
+uint32_t ROL(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t ROR(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t RORI(uint32_t rd, uint32_t rs1, uint32_t shamt);
+uint32_t ANDN(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t ORN(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t XNOR(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t PACK(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t PACKH(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t REV8(uint32_t rd, uint32_t rs1);
+uint32_t BREV8(uint32_t rd, uint32_t rs1);
+uint32_t ZIP(uint32_t rd, uint32_t rs1);
+uint32_t UNZIP(uint32_t rd, uint32_t rs1);
+uint32_t CLMUL(uint32_t rd, uint32_t rs1, uint32_t rs2);
+uint32_t CLMULH(uint32_t rd, uint32_t rs1, uint32_t rs2);
+/** Custom conditional move of the crypto core (paper §4.2):
+ *  rd := (rs1 != 0) ? rs2 : rd. Custom-0 opcode, R-type. */
+uint32_t CMOV(uint32_t rd, uint32_t rs1, uint32_t rs2);
+/** Canonical NOP (addi x0, x0, 0). */
+uint32_t NOP();
+
+} // namespace owl::rv
+
+#endif // OWL_RV_ENCODE_H

@@ -1,0 +1,319 @@
+#include "rv/iss.h"
+
+namespace owl::rv
+{
+
+namespace
+{
+
+uint32_t
+rev8(uint32_t x)
+{
+    return (x >> 24) | ((x >> 8) & 0xff00) | ((x << 8) & 0xff0000) |
+           (x << 24);
+}
+
+uint32_t
+brev8(uint32_t x)
+{
+    uint32_t out = 0;
+    for (int byte = 0; byte < 4; byte++) {
+        uint32_t b = (x >> (byte * 8)) & 0xff;
+        uint32_t r = 0;
+        for (int i = 0; i < 8; i++) {
+            if (b & (1u << i))
+                r |= 1u << (7 - i);
+        }
+        out |= r << (byte * 8);
+    }
+    return out;
+}
+
+uint32_t
+zip32(uint32_t x)
+{
+    uint32_t out = 0;
+    for (int i = 0; i < 16; i++) {
+        if (x & (1u << i))
+            out |= 1u << (2 * i);
+        if (x & (1u << (i + 16)))
+            out |= 1u << (2 * i + 1);
+    }
+    return out;
+}
+
+uint32_t
+unzip32(uint32_t x)
+{
+    uint32_t out = 0;
+    for (int i = 0; i < 16; i++) {
+        if (x & (1u << (2 * i)))
+            out |= 1u << i;
+        if (x & (1u << (2 * i + 1)))
+            out |= 1u << (i + 16);
+    }
+    return out;
+}
+
+uint32_t
+clmul32(uint32_t a, uint32_t b)
+{
+    uint32_t r = 0;
+    for (int i = 0; i < 32; i++) {
+        if (b & (1u << i))
+            r ^= a << i;
+    }
+    return r;
+}
+
+uint32_t
+clmulh32(uint32_t a, uint32_t b)
+{
+    uint64_t r = 0;
+    for (int i = 0; i < 32; i++) {
+        if (b & (1u << i))
+            r ^= static_cast<uint64_t>(a) << i;
+    }
+    return static_cast<uint32_t>(r >> 32);
+}
+
+} // namespace
+
+uint32_t
+Iss::loadWord(uint32_t byte_addr) const
+{
+    auto it = mem.find(byte_addr >> 2);
+    return it == mem.end() ? 0 : it->second;
+}
+
+void
+Iss::storeWord(uint32_t byte_addr, uint32_t value)
+{
+    mem[byte_addr >> 2] = value;
+}
+
+bool
+Iss::step()
+{
+    uint32_t inst = loadWord(pc);
+    uint32_t opcode = inst & 0x7f;
+    uint32_t rd = (inst >> 7) & 31;
+    uint32_t funct3 = (inst >> 12) & 7;
+    uint32_t rs1 = (inst >> 15) & 31;
+    uint32_t rs2 = (inst >> 20) & 31;
+    uint32_t funct7 = inst >> 25;
+    uint32_t a = regs[rs1], b = regs[rs2];
+    int32_t sa = static_cast<int32_t>(a), sb = static_cast<int32_t>(b);
+
+    int32_t imm_i = static_cast<int32_t>(inst) >> 20;
+    int32_t imm_s = ((static_cast<int32_t>(inst) >> 25) << 5) |
+                    static_cast<int32_t>(rd);
+    int32_t imm_b =
+        ((static_cast<int32_t>(inst) >> 31) << 12) |
+        (((inst >> 7) & 1) << 11) | (((inst >> 25) & 0x3f) << 5) |
+        (((inst >> 8) & 0xf) << 1);
+    uint32_t imm_u = inst & 0xfffff000;
+    int32_t imm_j = ((static_cast<int32_t>(inst) >> 31) << 20) |
+                    (((inst >> 12) & 0xff) << 12) |
+                    (((inst >> 20) & 1) << 11) |
+                    (((inst >> 21) & 0x3ff) << 1);
+
+    uint32_t next_pc = pc + 4;
+    uint32_t wval = 0;
+    bool write_rd = false;
+    uint32_t imm12 = inst >> 20;
+
+    switch (opcode) {
+      case 0x37: // LUI
+        wval = imm_u;
+        write_rd = true;
+        break;
+      case 0x17: // AUIPC
+        wval = pc + imm_u;
+        write_rd = true;
+        break;
+      case 0x6f: // JAL
+        wval = pc + 4;
+        write_rd = true;
+        next_pc = pc + imm_j;
+        break;
+      case 0x67: // JALR
+        if (funct3 != 0)
+            return false;
+        wval = pc + 4;
+        write_rd = true;
+        next_pc = (a + imm_i) & ~1u;
+        break;
+      case 0x63: { // branches
+        bool taken;
+        switch (funct3) {
+          case 0: taken = a == b; break;
+          case 1: taken = a != b; break;
+          case 4: taken = sa < sb; break;
+          case 5: taken = sa >= sb; break;
+          case 6: taken = a < b; break;
+          case 7: taken = a >= b; break;
+          default: return false;
+        }
+        if (taken)
+            next_pc = pc + imm_b;
+        break;
+      }
+      case 0x03: { // loads
+        uint32_t addr = a + imm_i;
+        uint32_t word = loadWord(addr);
+        uint32_t sh = (addr & 3) * 8;
+        uint32_t v = word >> sh;
+        switch (funct3) {
+          case 0:
+            wval = static_cast<uint32_t>(
+                static_cast<int32_t>(static_cast<int8_t>(v)));
+            break;
+          case 1:
+            wval = static_cast<uint32_t>(
+                static_cast<int32_t>(static_cast<int16_t>(v)));
+            break;
+          case 2: wval = v; break;
+          case 4: wval = v & 0xff; break;
+          case 5: wval = v & 0xffff; break;
+          default: return false;
+        }
+        write_rd = true;
+        break;
+      }
+      case 0x23: { // stores
+        uint32_t addr = a + imm_s;
+        uint32_t sh = (addr & 3) * 8;
+        uint32_t old = loadWord(addr);
+        uint32_t mask;
+        switch (funct3) {
+          case 0: mask = 0xff; break;
+          case 1: mask = 0xffff; break;
+          case 2: mask = 0xffffffff; break;
+          default: return false;
+        }
+        uint32_t merged =
+            (old & ~(mask << sh)) | ((b & mask) << sh);
+        storeWord(addr, merged);
+        break;
+      }
+      case 0x13: { // OP-IMM (+ Zbkb immediates)
+        uint32_t shamt = rs2;
+        switch (funct3) {
+          case 0: wval = a + imm_i; break;
+          case 2: wval = sa < imm_i ? 1 : 0; break;
+          case 3:
+            wval = a < static_cast<uint32_t>(imm_i) ? 1 : 0;
+            break;
+          case 4: wval = a ^ imm_i; break;
+          case 6: wval = a | imm_i; break;
+          case 7: wval = a & imm_i; break;
+          case 1:
+            if (funct7 == 0x00)
+                wval = a << shamt;
+            else if (imm12 == 0x08f)
+                wval = zip32(a);
+            else
+                return false;
+            break;
+          case 5:
+            if (funct7 == 0x00)
+                wval = a >> shamt;
+            else if (funct7 == 0x20)
+                wval = static_cast<uint32_t>(sa >> shamt);
+            else if (funct7 == 0x30)
+                wval = (a >> shamt) | (a << ((32 - shamt) & 31));
+            else if (imm12 == 0x698)
+                wval = rev8(a);
+            else if (imm12 == 0x687)
+                wval = brev8(a);
+            else if (imm12 == 0x08f)
+                wval = unzip32(a);
+            else
+                return false;
+            break;
+          default:
+            return false;
+        }
+        write_rd = true;
+        break;
+      }
+      case 0x33: { // OP (+ Zbkb/Zbkc)
+        uint32_t sh = b & 31;
+        write_rd = true;
+        if (funct7 == 0x00) {
+            switch (funct3) {
+              case 0: wval = a + b; break;
+              case 1: wval = a << sh; break;
+              case 2: wval = sa < sb ? 1 : 0; break;
+              case 3: wval = a < b ? 1 : 0; break;
+              case 4: wval = a ^ b; break;
+              case 5: wval = a >> sh; break;
+              case 6: wval = a | b; break;
+              case 7: wval = a & b; break;
+            }
+        } else if (funct7 == 0x20) {
+            switch (funct3) {
+              case 0: wval = a - b; break;
+              case 5: wval = static_cast<uint32_t>(sa >> sh); break;
+              case 4: wval = ~(a ^ b); break;
+              case 6: wval = a | ~b; break;
+              case 7: wval = a & ~b; break;
+              default: return false;
+            }
+        } else if (funct7 == 0x30) {
+            if (funct3 == 1)
+                wval = (a << sh) | (a >> ((32 - sh) & 31));
+            else if (funct3 == 5)
+                wval = (a >> sh) | (a << ((32 - sh) & 31));
+            else
+                return false;
+        } else if (funct7 == 0x04) {
+            if (funct3 == 4)
+                wval = ((b & 0xffff) << 16) | (a & 0xffff);
+            else if (funct3 == 7)
+                wval = ((b & 0xff) << 8) | (a & 0xff);
+            else
+                return false;
+        } else if (funct7 == 0x05) {
+            if (funct3 == 1)
+                wval = clmul32(a, b);
+            else if (funct3 == 3)
+                wval = clmulh32(a, b);
+            else
+                return false;
+        } else {
+            return false;
+        }
+        break;
+      }
+      case 0x0b: { // custom CMOV: rd = (rs1 != 0) ? rs2 : rd
+        if (funct3 != 0 || funct7 != 0)
+            return false;
+        wval = (a != 0) ? b : regs[rd];
+        write_rd = true;
+        break;
+      }
+      default:
+        return false;
+    }
+
+    if (write_rd && rd != 0)
+        regs[rd] = wval;
+    pc = next_pc;
+    return true;
+}
+
+uint64_t
+Iss::run(uint32_t halt_pc, uint64_t max_steps)
+{
+    uint64_t n = 0;
+    while (pc != halt_pc && n < max_steps) {
+        if (!step())
+            break;
+        n++;
+    }
+    return n;
+}
+
+} // namespace owl::rv

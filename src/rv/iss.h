@@ -1,0 +1,43 @@
+/**
+ * @file
+ * A reference instruction-set simulator for RV32I + Zbkb + Zbkc plus
+ * the crypto core's CMOV. This is the architectural oracle the
+ * synthesized cores are differentially tested against; it is written
+ * directly from the ISA manual with plain C++ integer arithmetic,
+ * fully independent of the ILA/Oyster machinery.
+ */
+
+#ifndef OWL_RV_ISS_H
+#define OWL_RV_ISS_H
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace owl::rv
+{
+
+/** Architectural state + executor. */
+class Iss
+{
+  public:
+    uint32_t pc = 0;
+    uint32_t regs[32] = {};
+    /** Unified word-addressed memory (key = byte address >> 2). */
+    std::unordered_map<uint32_t, uint32_t> mem;
+
+    uint32_t loadWord(uint32_t byte_addr) const;
+    void storeWord(uint32_t byte_addr, uint32_t value);
+
+    /**
+     * Execute one instruction at pc. Returns false on an undecodable
+     * instruction (pc is left unchanged in that case).
+     */
+    bool step();
+
+    /** Run until pc reaches `halt_pc` or max_steps executes. */
+    uint64_t run(uint32_t halt_pc, uint64_t max_steps);
+};
+
+} // namespace owl::rv
+
+#endif // OWL_RV_ISS_H

@@ -1,0 +1,281 @@
+#include "rv/sha256_gen.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+#include "rv/encode.h"
+
+namespace owl::rv
+{
+
+namespace
+{
+
+const uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b,
+    0x59f111f1, 0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01,
+    0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7,
+    0xc19bf174, 0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da, 0x983e5152,
+    0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc,
+    0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819,
+    0xd6990624, 0xf40e3585, 0x106aa070, 0x19a4c116, 0x1e376c08,
+    0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f,
+    0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+const uint32_t kSha256H0[8] = {
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+    0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+};
+
+/** Emits instructions, one NOP after each (hazard slot). */
+class Emitter
+{
+  public:
+    std::vector<uint32_t> words;
+
+    void
+    emit(uint32_t inst)
+    {
+        words.push_back(inst);
+        words.push_back(NOP());
+    }
+
+    /** Load a 32-bit constant into rd (LUI + ADDI with %lo fixup). */
+    void
+    li(uint32_t rd, uint32_t value)
+    {
+        uint32_t lo = value & 0xfff;
+        uint32_t hi = value >> 12;
+        if (lo >= 0x800)
+            hi = (hi + 1) & 0xfffff; // ADDI sign-extends; compensate
+        if (hi != 0) {
+            emit(LUI(rd, hi));
+            if (lo != 0)
+                emit(ADDI(rd, rd, static_cast<int32_t>(lo << 20) >> 20));
+        } else {
+            emit(ADDI(rd, 0, static_cast<int32_t>(lo << 20) >> 20));
+        }
+    }
+
+    uint32_t pc() const { return 4 * words.size(); }
+};
+
+// Register allocation for the generated program.
+//   x1..x4   scratch (t0..t3)
+//   x5       message length L
+//   x8..x15  working variables a..h
+//   x16..x23 h0..h7 accumulators
+//   x24..x27 more scratch for the round function
+constexpr uint32_t T0 = 1, T1 = 2, T2 = 3, T3 = 4;
+constexpr uint32_t RL = 5;
+constexpr uint32_t RA = 8;  // a..h = x8..x15
+constexpr uint32_t RH0 = 16;
+constexpr uint32_t S0 = 24, S1r = 25, S2 = 26, S3 = 27;
+
+} // namespace
+
+Sha256Program
+generateSha256Program()
+{
+    Sha256Program out;
+    const Sha256Layout &L = out.layout;
+    Emitter e;
+
+    // L := message length.
+    e.emit(LW(RL, 0, L.lenAddr));
+
+    // ---- Build the padded block w[0..15] into schedule memory ----
+    // Words 0..13 are built byte-by-byte with CMOV selection:
+    //   byte(p) = p < L ? msg[p] : (p == L ? 0x80 : 0x00)
+    // Words 14..15 hold the 64-bit message bit length (L <= 55).
+    for (int i = 0; i < 14; i++) {
+        // T3 accumulates the big-endian word.
+        e.emit(ADDI(T3, 0, 0));
+        // Raw little-endian-packed message word into S0.
+        e.emit(LW(S0, 0, L.msgAddr + 4 * i));
+        for (int j = 0; j < 4; j++) {
+            int p = 4 * i + j;
+            // T0 := candidate byte, default 0.
+            e.emit(ADDI(T0, 0, 0));
+            // T1 := p ^ L (zero iff p == L).
+            e.emit(ADDI(T1, 0, p));
+            e.emit(XOR(T1, T1, RL));
+            // T2 := 0x80; T0 := (p == L) ? 0x80 : 0.
+            e.emit(ADDI(T2, 0, 0x80));
+            e.emit(CMOV(T2, T1, T0));  // T2 := (p != L) ? 0 : 0x80
+            e.emit(ADD(T0, T2, 0));    // T0 := T2
+            // T1 := sign bit of (p - L): 1 iff p < L.
+            e.emit(ADDI(T1, 0, p));
+            e.emit(SUB(T1, T1, RL));
+            e.emit(SRLI(T1, T1, 31));
+            // T2 := message byte j of the raw word.
+            e.emit(SRLI(T2, S0, 8 * j));
+            e.emit(ANDI(T2, T2, 0xff));
+            // T0 := (p < L) ? msg byte : T0.
+            e.emit(CMOV(T0, T1, T2));
+            // Merge into the big-endian accumulator.
+            e.emit(SLLI(T0, T0, 8 * (3 - j)));
+            e.emit(OR(T3, T3, T0));
+        }
+        e.emit(SW(T3, 0, L.schedAddr + 4 * i));
+    }
+    // w[14] = 0, w[15] = 8 * L.
+    e.emit(SW(0, 0, L.schedAddr + 4 * 14));
+    e.emit(SLLI(T0, RL, 3));
+    e.emit(SW(T0, 0, L.schedAddr + 4 * 15));
+
+    // ---- Message schedule w[16..63] ----
+    for (int i = 16; i < 64; i++) {
+        e.emit(LW(S0, 0, L.schedAddr + 4 * (i - 15)));
+        // s0 = ror(w15,7) ^ ror(w15,18) ^ (w15 >> 3)
+        e.emit(RORI(T0, S0, 7));
+        e.emit(RORI(T1, S0, 18));
+        e.emit(XOR(T0, T0, T1));
+        e.emit(SRLI(T1, S0, 3));
+        e.emit(XOR(T0, T0, T1));
+        e.emit(LW(S1r, 0, L.schedAddr + 4 * (i - 2)));
+        // s1 = ror(w2,17) ^ ror(w2,19) ^ (w2 >> 10)
+        e.emit(RORI(T1, S1r, 17));
+        e.emit(RORI(T2, S1r, 19));
+        e.emit(XOR(T1, T1, T2));
+        e.emit(SRLI(T2, S1r, 10));
+        e.emit(XOR(T1, T1, T2));
+        // w[i] = w[i-16] + s0 + w[i-7] + s1
+        e.emit(LW(T2, 0, L.schedAddr + 4 * (i - 16)));
+        e.emit(ADD(T0, T0, T2));
+        e.emit(LW(T2, 0, L.schedAddr + 4 * (i - 7)));
+        e.emit(ADD(T0, T0, T2));
+        e.emit(ADD(T0, T0, T1));
+        e.emit(SW(T0, 0, L.schedAddr + 4 * i));
+    }
+
+    // ---- Initialize working variables and accumulators ----
+    for (int i = 0; i < 8; i++) {
+        e.li(RH0 + i, kSha256H0[i]);
+        e.emit(ADD(RA + i, RH0 + i, 0));
+    }
+
+    // ---- 64 rounds, fully unrolled ----
+    for (int i = 0; i < 64; i++) {
+        uint32_t a = RA + 0, b = RA + 1, c = RA + 2, d = RA + 3;
+        uint32_t eh = RA + 4, f = RA + 5, g = RA + 6, h = RA + 7;
+        // S1 = ror(e,6) ^ ror(e,11) ^ ror(e,25)
+        e.emit(RORI(T0, eh, 6));
+        e.emit(RORI(T1, eh, 11));
+        e.emit(XOR(T0, T0, T1));
+        e.emit(RORI(T1, eh, 25));
+        e.emit(XOR(T0, T0, T1));
+        // ch = (e & f) ^ (~e & g)
+        e.emit(AND(T1, eh, f));
+        e.emit(XORI(T2, eh, -1));
+        e.emit(AND(T2, T2, g));
+        e.emit(XOR(T1, T1, T2));
+        // temp1 = h + S1 + ch + K[i] + w[i]
+        e.emit(ADD(T0, T0, T1));
+        e.emit(ADD(T0, T0, h));
+        e.li(T1, kSha256K[i]);
+        e.emit(ADD(T0, T0, T1));
+        e.emit(LW(T1, 0, L.schedAddr + 4 * i));
+        e.emit(ADD(T0, T0, T1));
+        // S0 = ror(a,2) ^ ror(a,13) ^ ror(a,22)
+        e.emit(RORI(T1, a, 2));
+        e.emit(RORI(T2, a, 13));
+        e.emit(XOR(T1, T1, T2));
+        e.emit(RORI(T2, a, 22));
+        e.emit(XOR(T1, T1, T2));
+        // maj = (a&b) ^ (a&c) ^ (b&c)
+        e.emit(AND(T2, a, b));
+        e.emit(AND(T3, a, c));
+        e.emit(XOR(T2, T2, T3));
+        e.emit(AND(T3, b, c));
+        e.emit(XOR(T2, T2, T3));
+        // temp2 = S0 + maj
+        e.emit(ADD(T1, T1, T2));
+        // Rotate h<-g<-f<-e<-(d+temp1), d<-c<-b<-a<-(temp1+temp2).
+        e.emit(ADD(h, g, 0));
+        e.emit(ADD(g, f, 0));
+        e.emit(ADD(f, eh, 0));
+        e.emit(ADD(eh, d, 0));
+        e.emit(ADD(eh, eh, T0));
+        e.emit(ADD(d, c, 0));
+        e.emit(ADD(c, b, 0));
+        e.emit(ADD(b, a, 0));
+        e.emit(ADD(a, T0, 0));
+        e.emit(ADD(a, a, T1));
+    }
+
+    // ---- Final addition and digest store ----
+    for (int i = 0; i < 8; i++) {
+        e.emit(ADD(RH0 + i, RH0 + i, RA + i));
+        e.emit(SW(RH0 + i, 0, L.digestAddr + 4 * i));
+    }
+
+    // Halt: jump to self.
+    out.haltPc = e.pc();
+    e.words.push_back(JAL(0, 0));
+    out.words = std::move(e.words);
+    return out;
+}
+
+void
+sha256SingleBlock(const uint8_t *msg, size_t len, uint32_t digest[8])
+{
+    owl_assert(len <= 55, "single-block SHA-256 needs len <= 55");
+    uint8_t block[64] = {};
+    std::memcpy(block, msg, len);
+    block[len] = 0x80;
+    uint64_t bits = static_cast<uint64_t>(len) * 8;
+    for (int i = 0; i < 8; i++)
+        block[56 + i] = static_cast<uint8_t>(bits >> (8 * (7 - i)));
+
+    uint32_t w[64];
+    for (int i = 0; i < 16; i++) {
+        w[i] = (block[4 * i] << 24) | (block[4 * i + 1] << 16) |
+               (block[4 * i + 2] << 8) | block[4 * i + 3];
+    }
+    auto ror = [](uint32_t x, int n) {
+        return (x >> n) | (x << ((32 - n) & 31));
+    };
+    for (int i = 16; i < 64; i++) {
+        uint32_t s0 = ror(w[i - 15], 7) ^ ror(w[i - 15], 18) ^
+                      (w[i - 15] >> 3);
+        uint32_t s1 = ror(w[i - 2], 17) ^ ror(w[i - 2], 19) ^
+                      (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    uint32_t h[8];
+    std::memcpy(h, kSha256H0, sizeof(h));
+    uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+    uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+    for (int i = 0; i < 64; i++) {
+        uint32_t s1 = ror(e, 6) ^ ror(e, 11) ^ ror(e, 25);
+        uint32_t ch = (e & f) ^ (~e & g);
+        uint32_t t1 = hh + s1 + ch + kSha256K[i] + w[i];
+        uint32_t s0 = ror(a, 2) ^ ror(a, 13) ^ ror(a, 22);
+        uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        uint32_t t2 = s0 + maj;
+        hh = g;
+        g = f;
+        f = e;
+        e = d + t1;
+        d = c;
+        c = b;
+        b = a;
+        a = t1 + t2;
+    }
+    digest[0] = h[0] + a;
+    digest[1] = h[1] + b;
+    digest[2] = h[2] + c;
+    digest[3] = h[3] + d;
+    digest[4] = h[4] + e;
+    digest[5] = h[5] + f;
+    digest[6] = h[6] + g;
+    digest[7] = h[7] + hh;
+}
+
+} // namespace owl::rv

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Branch-free SHA-256 program generator for the constant-time crypto
+ * core (paper §4.2, §5.2).
+ *
+ * The generated program hashes a single-block message (length 0..55
+ * bytes) whose bytes and length live in data memory. It contains no
+ * conditional branches: the length-dependent padding is built with
+ * CMOV selections, the 64 compression rounds are fully unrolled, and
+ * one NOP follows every instruction to respect the core's one-slot
+ * register-file hazard window. Cycle count is therefore independent
+ * of both the message contents and its length.
+ *
+ * Memory map (byte addresses):
+ *   0x0f8         message length in bytes (word)
+ *   0x100..0x13f  message bytes, packed little-endian into words
+ *   0x200..0x2ff  message schedule scratch (w[0..63])
+ *   0x300..0x31f  resulting digest h0..h7 (big-endian words)
+ */
+
+#ifndef OWL_RV_SHA256_GEN_H
+#define OWL_RV_SHA256_GEN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace owl::rv
+{
+
+/** Addresses used by the generated program. */
+struct Sha256Layout
+{
+    uint32_t lenAddr = 0x0f8;
+    uint32_t msgAddr = 0x100;
+    uint32_t schedAddr = 0x200;
+    uint32_t digestAddr = 0x300;
+};
+
+/** A generated program plus its halt location. */
+struct Sha256Program
+{
+    std::vector<uint32_t> words;  ///< instruction words from address 0
+    uint32_t haltPc = 0;          ///< the JAL-to-self halt address
+    Sha256Layout layout;
+};
+
+/** Generate the branch-free single-block SHA-256 program. */
+Sha256Program generateSha256Program();
+
+/** Host-side SHA-256 (single block, len <= 55) as the oracle. */
+void sha256SingleBlock(const uint8_t *msg, size_t len,
+                       uint32_t digest[8]);
+
+} // namespace owl::rv
+
+#endif // OWL_RV_SHA256_GEN_H

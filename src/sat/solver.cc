@@ -1,0 +1,563 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace owl::sat
+{
+
+Solver::Solver()
+{
+}
+
+int
+Solver::newVar()
+{
+    int v = nVars++;
+    watches.emplace_back();
+    watches.emplace_back();
+    assigns.push_back(lUndef);
+    levels.push_back(0);
+    reasons.push_back(-1);
+    activity.push_back(0.0);
+    heapPos.push_back(-1);
+    savedPhase.push_back(false);
+    seen.push_back(0);
+    heapInsert(v);
+    return v;
+}
+
+bool
+Solver::addClause(std::vector<Lit> lits)
+{
+    owl_assert(decisionLevel() == 0, "clauses must be added at level 0");
+    if (unsatisfiable)
+        return false;
+
+    // Remove duplicates and satisfied/false literals at level 0.
+    std::sort(lits.begin(), lits.end(),
+              [](Lit a, Lit b) { return a.index() < b.index(); });
+    std::vector<Lit> out;
+    for (size_t i = 0; i < lits.size(); i++) {
+        Lit l = lits[i];
+        if (i + 1 < lits.size() && lits[i + 1] == ~l)
+            return true; // tautology
+        if (i > 0 && lits[i - 1] == l)
+            continue; // duplicate
+        if (value(l) == lTrue)
+            return true; // already satisfied
+        if (value(l) == lFalse)
+            continue; // falsified at level 0, drop
+        out.push_back(l);
+    }
+
+    if (out.empty()) {
+        unsatisfiable = true;
+        return false;
+    }
+    if (out.size() == 1) {
+        enqueue(out[0], -1);
+        if (propagate() != -1) {
+            unsatisfiable = true;
+            return false;
+        }
+        return true;
+    }
+    addClauseInternal(std::move(out), false);
+    return true;
+}
+
+int
+Solver::addClauseInternal(std::vector<Lit> lits, bool learned)
+{
+    int ci = clauses.size();
+    clauses.push_back(Clause{std::move(lits), learned, false, 0, claInc});
+    attachClause(ci);
+    return ci;
+}
+
+void
+Solver::attachClause(int ci)
+{
+    const Clause &c = clauses[ci];
+    owl_assert(c.lits.size() >= 2, "watched clause needs >= 2 literals");
+    watches[(~c.lits[0]).index()].push_back({ci, c.lits[1]});
+    watches[(~c.lits[1]).index()].push_back({ci, c.lits[0]});
+}
+
+void
+Solver::enqueue(Lit l, int reason)
+{
+    owl_assert(value(l) == lUndef, "enqueue of assigned literal");
+    assigns[l.var()] = l.negated() ? lFalse : lTrue;
+    levels[l.var()] = decisionLevel();
+    reasons[l.var()] = reason;
+    trail.push_back(l);
+}
+
+int
+Solver::propagate()
+{
+    while (propagateHead < trail.size()) {
+        Lit p = trail[propagateHead++];
+        statistics.propagations++;
+        auto &ws = watches[p.index()];
+        size_t i = 0, j = 0;
+        int confl = -1;
+        while (i < ws.size()) {
+            Watcher w = ws[i];
+            if (value(w.blocker) == lTrue) {
+                ws[j++] = ws[i++];
+                continue;
+            }
+            Clause &c = clauses[w.clauseIdx];
+            if (c.deleted) {
+                i++;
+                continue;
+            }
+            // Ensure the false literal (~p) is at position 1.
+            Lit not_p = ~p;
+            if (c.lits[0] == not_p)
+                std::swap(c.lits[0], c.lits[1]);
+            if (value(c.lits[0]) == lTrue) {
+                ws[j++] = {w.clauseIdx, c.lits[0]};
+                i++;
+                continue;
+            }
+            // Look for a new literal to watch.
+            bool found = false;
+            for (size_t k = 2; k < c.lits.size(); k++) {
+                if (value(c.lits[k]) != lFalse) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches[(~c.lits[1]).index()].push_back(
+                        {w.clauseIdx, c.lits[0]});
+                    found = true;
+                    break;
+                }
+            }
+            if (found) {
+                i++;
+                continue;
+            }
+            // Unit or conflict.
+            ws[j++] = ws[i++];
+            if (value(c.lits[0]) == lFalse) {
+                confl = w.clauseIdx;
+                // Copy remaining watchers and bail out.
+                while (i < ws.size())
+                    ws[j++] = ws[i++];
+            } else {
+                enqueue(c.lits[0], w.clauseIdx);
+            }
+        }
+        ws.resize(j);
+        if (confl != -1)
+            return confl;
+    }
+    return -1;
+}
+
+void
+Solver::analyze(int confl, std::vector<Lit> &learnt, int &bt_level)
+{
+    learnt.clear();
+    learnt.push_back(Lit()); // slot for the asserting literal
+    int counter = 0;
+    Lit p;
+    size_t trail_idx = trail.size();
+
+    int cur = confl;
+    do {
+        Clause &c = clauses[cur];
+        if (c.learned)
+            bumpClause(cur);
+        size_t start = p.valid() ? 1 : 0;
+        for (size_t k = start; k < c.lits.size(); k++) {
+            Lit q = c.lits[k];
+            if (!seen[q.var()] && levels[q.var()] > 0) {
+                seen[q.var()] = 1;
+                bumpVar(q.var());
+                if (levels[q.var()] >= decisionLevel())
+                    counter++;
+                else
+                    learnt.push_back(q);
+            }
+        }
+        // Find the next literal on the trail to resolve on.
+        while (!seen[trail[--trail_idx].var()]) {}
+        p = trail[trail_idx];
+        seen[p.var()] = 0;
+        cur = reasons[p.var()];
+        counter--;
+    } while (counter > 0);
+    learnt[0] = ~p;
+
+    // Clause minimization: drop literals implied by the rest.
+    uint32_t levels_mask = 0;
+    for (size_t i = 1; i < learnt.size(); i++)
+        levels_mask |= 1u << (levels[learnt[i].var()] & 31);
+    // Clear the seen marks of dropped literals too: they would
+    // otherwise leak into future conflict analyses.
+    std::vector<Lit> dropped;
+    size_t out = 1;
+    for (size_t i = 1; i < learnt.size(); i++) {
+        int r = reasons[learnt[i].var()];
+        if (r == -1 || !litRedundant(learnt[i], levels_mask))
+            learnt[out++] = learnt[i];
+        else
+            dropped.push_back(learnt[i]);
+    }
+    learnt.resize(out);
+    for (Lit l : dropped)
+        seen[l.var()] = 0;
+
+    // Compute backtrack level: max level among learnt[1..].
+    bt_level = 0;
+    size_t max_i = 1;
+    for (size_t i = 1; i < learnt.size(); i++) {
+        if (levels[learnt[i].var()] > bt_level) {
+            bt_level = levels[learnt[i].var()];
+            max_i = i;
+        }
+    }
+    if (learnt.size() > 1)
+        std::swap(learnt[1], learnt[max_i]);
+
+    for (Lit l : learnt)
+        seen[l.var()] = 0;
+}
+
+bool
+Solver::litRedundant(Lit l, uint32_t levels_mask)
+{
+    // Recursively check whether l's reason chain stays inside the seen
+    // set. An iterative stack avoids deep recursion.
+    std::vector<Lit> stack{l};
+    std::vector<int> cleared;
+    bool ok = true;
+    while (!stack.empty() && ok) {
+        Lit cur = stack.back();
+        stack.pop_back();
+        int r = reasons[cur.var()];
+        if (r == -1) {
+            ok = false;
+            break;
+        }
+        const Clause &c = clauses[r];
+        for (size_t k = 0; k < c.lits.size(); k++) {
+            Lit q = c.lits[k];
+            if (q.var() == cur.var() || seen[q.var()] ||
+                levels[q.var()] == 0) {
+                continue;
+            }
+            if (reasons[q.var()] == -1 ||
+                !(levels_mask & (1u << (levels[q.var()] & 31)))) {
+                ok = false;
+                break;
+            }
+            seen[q.var()] = 1;
+            cleared.push_back(q.var());
+            stack.push_back(q);
+        }
+    }
+    // Restore the pre-call seen state either way; the learnt-clause
+    // literals keep their own marks, cleared by analyze().
+    for (int v : cleared)
+        seen[v] = 0;
+    return ok;
+}
+
+void
+Solver::backtrack(int level)
+{
+    if (decisionLevel() <= level)
+        return;
+    size_t lim = trailLims[level];
+    for (size_t i = trail.size(); i-- > lim;) {
+        int v = trail[i].var();
+        savedPhase[v] = (assigns[v] == lTrue);
+        assigns[v] = lUndef;
+        reasons[v] = -1;
+        if (heapPos[v] == -1)
+            heapInsert(v);
+    }
+    trail.resize(lim);
+    trailLims.resize(level);
+    propagateHead = trail.size();
+}
+
+Lit
+Solver::pickBranchLit()
+{
+    while (!heap.empty()) {
+        int v = heapPop();
+        if (assigns[v] == lUndef)
+            return Lit(v, !savedPhase[v]);
+    }
+    return Lit();
+}
+
+void
+Solver::bumpVar(int var)
+{
+    activity[var] += varInc;
+    if (activity[var] > 1e100) {
+        for (auto &a : activity)
+            a *= 1e-100;
+        varInc *= 1e-100;
+    }
+    if (heapPos[var] != -1)
+        heapUpdate(var);
+}
+
+void
+Solver::bumpClause(int ci)
+{
+    clauses[ci].activity += claInc;
+    if (clauses[ci].activity > 1e20) {
+        for (auto &c : clauses) {
+            if (c.learned)
+                c.activity *= 1e-20;
+        }
+        claInc *= 1e-20;
+    }
+}
+
+void
+Solver::decayActivities()
+{
+    varInc /= 0.95;
+    claInc /= 0.999;
+}
+
+void
+Solver::reduceDb()
+{
+    // Collect learned clauses not currently used as reasons, sort by
+    // (lbd, activity) and delete the worst half.
+    std::vector<int> cand;
+    for (size_t ci = 0; ci < clauses.size(); ci++) {
+        const Clause &c = clauses[ci];
+        if (!c.learned || c.deleted || c.lits.size() <= 2)
+            continue;
+        bool is_reason = false;
+        if (value(c.lits[0]) == lTrue &&
+            reasons[c.lits[0].var()] == static_cast<int>(ci)) {
+            is_reason = true;
+        }
+        if (!is_reason)
+            cand.push_back(ci);
+    }
+    std::sort(cand.begin(), cand.end(), [this](int a, int b) {
+        if (clauses[a].lbd != clauses[b].lbd)
+            return clauses[a].lbd > clauses[b].lbd;
+        return clauses[a].activity < clauses[b].activity;
+    });
+    for (size_t i = 0; i < cand.size() / 2; i++) {
+        clauses[cand[i]].deleted = true;
+        statistics.learnedDeleted++;
+    }
+    learnedLimit = learnedLimit + learnedLimit / 2;
+}
+
+uint64_t
+Solver::luby(uint64_t i)
+{
+    // Luby sequence, 1-indexed: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+    // (classic MiniSat formulation).
+    uint64_t x = i + 1;
+    uint64_t size = 1, seq = 0;
+    while (size < x + 1) {
+        seq++;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != x) {
+        size = (size - 1) / 2;
+        seq--;
+        x = x % size;
+    }
+    return 1ULL << seq;
+}
+
+Result
+Solver::solve(const std::vector<Lit> &assumptions)
+{
+    if (unsatisfiable)
+        return Result::Unsat;
+
+    auto start_time = std::chrono::steady_clock::now();
+    uint64_t conflicts_at_start = statistics.conflicts;
+    uint64_t restart_num = 0;
+    uint64_t conflict_budget = 100 * luby(restart_num);
+    uint64_t conflicts_this_restart = 0;
+    uint64_t live_learned = 0;
+
+    std::vector<Lit> learnt;
+
+    while (true) {
+        int confl = propagate();
+        if (confl != -1) {
+            statistics.conflicts++;
+            conflicts_this_restart++;
+            if (decisionLevel() == 0) {
+                // Conflict under no decisions: with assumptions this
+                // only means the assumptions are inconsistent with
+                // the formula, so do not latch unsatisfiable unless
+                // there are no assumptions.
+                if (assumptions.empty())
+                    unsatisfiable = true;
+                backtrack(0);
+                return Result::Unsat;
+            }
+            int bt_level;
+            analyze(confl, learnt, bt_level);
+            // If the conflict is below the assumption levels the
+            // formula is unsat under these assumptions.
+            backtrack(bt_level);
+            if (learnt.size() == 1) {
+                if (decisionLevel() > 0)
+                    backtrack(0);
+                if (value(learnt[0]) == lFalse)
+                    return Result::Unsat;
+                if (value(learnt[0]) == lUndef)
+                    enqueue(learnt[0], -1);
+            } else {
+                int ci = addClauseInternal(learnt, true);
+                // LBD: number of distinct levels in the clause.
+                std::vector<int> lvls;
+                for (Lit l : learnt)
+                    lvls.push_back(levels[l.var()]);
+                std::sort(lvls.begin(), lvls.end());
+                clauses[ci].lbd =
+                    std::unique(lvls.begin(), lvls.end()) - lvls.begin();
+                live_learned++;
+                enqueue(clauses[ci].lits[0], ci);
+            }
+            decayActivities();
+
+            if (conflictLimit &&
+                statistics.conflicts - conflicts_at_start >= conflictLimit) {
+                backtrack(0);
+                return Result::Unknown;
+            }
+            if (timeLimit.count() > 0 && (statistics.conflicts & 0xff) == 0) {
+                auto elapsed = std::chrono::steady_clock::now() - start_time;
+                if (elapsed > timeLimit) {
+                    backtrack(0);
+                    return Result::Unknown;
+                }
+            }
+            if (live_learned >= learnedLimit) {
+                reduceDb();
+                live_learned /= 2;
+            }
+        } else {
+            if (conflicts_this_restart >= conflict_budget) {
+                statistics.restarts++;
+                restart_num++;
+                conflict_budget = 100 * luby(restart_num);
+                conflicts_this_restart = 0;
+                backtrack(0);
+                continue;
+            }
+            // Apply pending assumptions as decisions.
+            if (decisionLevel() < static_cast<int>(assumptions.size())) {
+                Lit a = assumptions[decisionLevel()];
+                if (value(a) == lFalse) {
+                    backtrack(0);
+                    return Result::Unsat;
+                }
+                trailLims.push_back(trail.size());
+                if (value(a) == lUndef)
+                    enqueue(a, -1);
+                continue;
+            }
+            Lit next = pickBranchLit();
+            if (!next.valid()) {
+                // All variables assigned: model found.
+                return Result::Sat;
+            }
+            statistics.decisions++;
+            trailLims.push_back(trail.size());
+            enqueue(next, -1);
+        }
+    }
+}
+
+bool
+Solver::modelValue(int var) const
+{
+    owl_assert(var >= 0 && var < nVars, "model query for unknown var");
+    return assigns[var] == lTrue;
+}
+
+// ---- binary heap keyed by activity -------------------------------------
+
+void
+Solver::heapInsert(int var)
+{
+    heapPos[var] = heap.size();
+    heap.push_back(var);
+    heapSiftUp(heap.size() - 1);
+}
+
+void
+Solver::heapUpdate(int var)
+{
+    heapSiftUp(heapPos[var]);
+}
+
+int
+Solver::heapPop()
+{
+    int top = heap[0];
+    heapPos[top] = -1;
+    heap[0] = heap.back();
+    heap.pop_back();
+    if (!heap.empty()) {
+        heapPos[heap[0]] = 0;
+        heapSiftDown(0);
+    }
+    return top;
+}
+
+void
+Solver::heapSiftUp(int i)
+{
+    int v = heap[i];
+    while (i > 0) {
+        int parent = (i - 1) / 2;
+        if (!heapLess(v, heap[parent]))
+            break;
+        heap[i] = heap[parent];
+        heapPos[heap[i]] = i;
+        i = parent;
+    }
+    heap[i] = v;
+    heapPos[v] = i;
+}
+
+void
+Solver::heapSiftDown(int i)
+{
+    int v = heap[i];
+    int n = heap.size();
+    while (true) {
+        int child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n && heapLess(heap[child + 1], heap[child]))
+            child++;
+        if (!heapLess(heap[child], v))
+            break;
+        heap[i] = heap[child];
+        heapPos[heap[i]] = i;
+        i = child;
+    }
+    heap[i] = v;
+    heapPos[v] = i;
+}
+
+} // namespace owl::sat

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * A CDCL (conflict-driven clause learning) SAT solver.
+ *
+ * This is the solving substrate underneath the bitvector SMT layer
+ * (the role played by Boolector/CVC4 in the paper's artifact). The
+ * implementation follows the standard MiniSat architecture:
+ * two-watched-literal propagation, first-UIP conflict analysis with
+ * clause minimization, exponential VSIDS activities with phase saving,
+ * Luby restarts, and LBD-based learned-clause database reduction.
+ */
+
+#ifndef OWL_SAT_SOLVER_H
+#define OWL_SAT_SOLVER_H
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace owl::sat
+{
+
+/**
+ * A literal: variable index v (from 0) with sign, encoded as 2v+sign.
+ * sign==1 means the negated literal.
+ */
+class Lit
+{
+  public:
+    Lit() : code(-1) {}
+    Lit(int var, bool negated) : code(2 * var + (negated ? 1 : 0)) {}
+
+    int var() const { return code >> 1; }
+    bool negated() const { return code & 1; }
+    Lit operator~() const { Lit l; l.code = code ^ 1; return l; }
+    bool operator==(const Lit &o) const { return code == o.code; }
+    bool operator!=(const Lit &o) const { return code != o.code; }
+    bool valid() const { return code >= 0; }
+    /** Raw encoding, used for indexing watch lists. */
+    int index() const { return code; }
+
+  private:
+    int code;
+};
+
+/** Result of a solve call. */
+enum class Result { Sat, Unsat, Unknown };
+
+/** Solver statistics for benchmarking and tests. */
+struct Stats
+{
+    uint64_t conflicts = 0;
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t restarts = 0;
+    uint64_t learnedDeleted = 0;
+};
+
+/**
+ * CDCL SAT solver over CNF.
+ *
+ * Usage: newVar() to allocate variables, addClause() to add clauses,
+ * then solve(). After Result::Sat, modelValue() reads the model.
+ */
+class Solver
+{
+  public:
+    Solver();
+
+    /** Allocate a fresh variable; returns its index. */
+    int newVar();
+    int numVars() const { return nVars; }
+
+    /**
+     * Add a clause (disjunction of literals). Returns false if the
+     * clause makes the formula trivially unsatisfiable.
+     */
+    bool addClause(std::vector<Lit> lits);
+    bool addClause(Lit a) { return addClause(std::vector<Lit>{a}); }
+    bool addClause(Lit a, Lit b)
+    {
+        return addClause(std::vector<Lit>{a, b});
+    }
+    bool addClause(Lit a, Lit b, Lit c)
+    {
+        return addClause(std::vector<Lit>{a, b, c});
+    }
+
+    /**
+     * Solve the current formula under optional assumptions.
+     *
+     * @param assumptions literals assumed true for this call only.
+     * @return Sat, Unsat, or Unknown if a resource limit was hit.
+     */
+    Result solve(const std::vector<Lit> &assumptions = {});
+
+    /** Model value of a variable after Result::Sat. */
+    bool modelValue(int var) const;
+
+    /** Limit wall-clock time for subsequent solve() calls; 0=none. */
+    void setTimeLimit(std::chrono::milliseconds limit) { timeLimit = limit; }
+    /** Limit conflicts for subsequent solve() calls; 0 = none. */
+    void setConflictLimit(uint64_t limit) { conflictLimit = limit; }
+
+    const Stats &stats() const { return statistics; }
+
+  private:
+    // Truth values: 0 = true, 1 = false, 2 = unassigned; chosen so
+    // that value(lit) = assigns[var] ^ sign works out.
+    static constexpr uint8_t lTrue = 0;
+    static constexpr uint8_t lFalse = 1;
+    static constexpr uint8_t lUndef = 2;
+
+    struct Clause
+    {
+        std::vector<Lit> lits;
+        bool learned = false;
+        bool deleted = false;
+        int lbd = 0;
+        double activity = 0.0;
+    };
+
+    struct Watcher
+    {
+        int clauseIdx;
+        Lit blocker;
+    };
+
+    int nVars = 0;
+    bool unsatisfiable = false;
+
+    std::vector<Clause> clauses;
+    std::vector<std::vector<Watcher>> watches; // indexed by lit code
+    std::vector<uint8_t> assigns;              // per var
+    std::vector<int> levels;                   // per var
+    std::vector<int> reasons;                  // clause idx or -1, per var
+    std::vector<Lit> trail;
+    std::vector<int> trailLims;
+    size_t propagateHead = 0;
+
+    // VSIDS
+    std::vector<double> activity;
+    double varInc = 1.0;
+    std::vector<int> heap;     // binary max-heap of variables
+    std::vector<int> heapPos;  // var -> heap index or -1
+    std::vector<bool> savedPhase;
+
+    double claInc = 1.0;
+    uint64_t learnedLimit = 8192;
+
+    std::chrono::milliseconds timeLimit{0};
+    uint64_t conflictLimit = 0;
+    Stats statistics;
+
+    // Scratch for conflict analysis.
+    std::vector<uint8_t> seen;
+
+    uint8_t value(int var) const { return assigns[var]; }
+    uint8_t value(Lit l) const
+    {
+        uint8_t v = assigns[l.var()];
+        return v == lUndef ? lUndef : (v ^ (l.negated() ? 1 : 0));
+    }
+    int decisionLevel() const { return trailLims.size(); }
+
+    void enqueue(Lit l, int reason);
+    int propagate(); // returns conflicting clause idx or -1
+    void analyze(int confl, std::vector<Lit> &learnt, int &bt_level);
+    bool litRedundant(Lit l, uint32_t levels_mask);
+    void backtrack(int level);
+    Lit pickBranchLit();
+    void attachClause(int ci);
+    int addClauseInternal(std::vector<Lit> lits, bool learned);
+    void reduceDb();
+    void bumpVar(int var);
+    void bumpClause(int ci);
+    void decayActivities();
+
+    // Heap helpers.
+    void heapInsert(int var);
+    void heapUpdate(int var);
+    int heapPop();
+    bool heapLess(int a, int b) const
+    {
+        return activity[a] > activity[b];
+    }
+    void heapSiftUp(int i);
+    void heapSiftDown(int i);
+
+    static uint64_t luby(uint64_t i);
+};
+
+} // namespace owl::sat
+
+#endif // OWL_SAT_SOLVER_H

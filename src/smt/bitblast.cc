@@ -1,0 +1,428 @@
+#include "smt/bitblast.h"
+
+#include "base/logging.h"
+
+namespace owl::smt
+{
+
+using sat::Lit;
+
+BitBlaster::BitBlaster(const TermTable &tt, sat::Solver &solver)
+    : tt(tt), solver(solver)
+{
+    tl = Lit(solver.newVar(), false);
+    solver.addClause(tl);
+}
+
+Lit
+BitBlaster::freshLit()
+{
+    return Lit(solver.newVar(), false);
+}
+
+Lit
+BitBlaster::gAnd(Lit a, Lit b)
+{
+    if (isFalseLit(a) || isFalseLit(b))
+        return lConst(false);
+    if (isTrueLit(a))
+        return b;
+    if (isTrueLit(b))
+        return a;
+    if (a == b)
+        return a;
+    if (a == ~b)
+        return lConst(false);
+    Lit out = freshLit();
+    solver.addClause(~out, a);
+    solver.addClause(~out, b);
+    solver.addClause(out, ~a, ~b);
+    return out;
+}
+
+Lit
+BitBlaster::gOr(Lit a, Lit b)
+{
+    return ~gAnd(~a, ~b);
+}
+
+Lit
+BitBlaster::gXor(Lit a, Lit b)
+{
+    if (isFalseLit(a))
+        return b;
+    if (isFalseLit(b))
+        return a;
+    if (isTrueLit(a))
+        return ~b;
+    if (isTrueLit(b))
+        return ~a;
+    if (a == b)
+        return lConst(false);
+    if (a == ~b)
+        return lConst(true);
+    Lit out = freshLit();
+    solver.addClause(~out, a, b);
+    solver.addClause(~out, ~a, ~b);
+    solver.addClause(out, ~a, b);
+    solver.addClause(out, a, ~b);
+    return out;
+}
+
+Lit
+BitBlaster::gMux(Lit c, Lit t, Lit e)
+{
+    if (isTrueLit(c))
+        return t;
+    if (isFalseLit(c))
+        return e;
+    if (t == e)
+        return t;
+    return gOr(gAnd(c, t), gAnd(~c, e));
+}
+
+Lit
+BitBlaster::gFullAdder(Lit a, Lit b, Lit cin, Lit &cout)
+{
+    Lit sum = gXor(gXor(a, b), cin);
+    cout = gOr(gAnd(a, b), gAnd(cin, gXor(a, b)));
+    return sum;
+}
+
+const std::vector<Lit> &
+BitBlaster::blast(TermRef t)
+{
+    auto it = cache.find(t.idx);
+    if (it != cache.end())
+        return it->second;
+    // Blast children iteratively to bound recursion depth on long
+    // ite/write chains: explicit post-order worklist.
+    std::vector<TermRef> stack{t};
+    while (!stack.empty()) {
+        TermRef cur = stack.back();
+        if (cache.count(cur.idx)) {
+            stack.pop_back();
+            continue;
+        }
+        bool ready = true;
+        for (TermRef c : tt.node(cur).children) {
+            if (!cache.count(c.idx)) {
+                stack.push_back(c);
+                ready = false;
+            }
+        }
+        if (!ready)
+            continue;
+        stack.pop_back();
+        cache.emplace(cur.idx, blastNode(cur));
+    }
+    return cache.at(t.idx);
+}
+
+void
+BitBlaster::assertTrue(TermRef t)
+{
+    owl_assert(tt.width(t) == 1, "assertTrue needs a 1-bit term");
+    solver.addClause(blast(t)[0]);
+}
+
+BitVec
+BitBlaster::modelValue(TermRef t) const
+{
+    auto it = cache.find(t.idx);
+    owl_assert(it != cache.end(), "modelValue of un-blasted term");
+    BitVec v(tt.width(t));
+    for (int i = 0; i < tt.width(t); i++) {
+        Lit l = it->second[i];
+        bool bit = solver.modelValue(l.var()) ^ l.negated();
+        v.setBit(i, bit);
+    }
+    return v;
+}
+
+std::vector<Lit>
+BitBlaster::addVec(const std::vector<Lit> &a, const std::vector<Lit> &b,
+                   Lit cin)
+{
+    std::vector<Lit> out(a.size());
+    Lit carry = cin;
+    for (size_t i = 0; i < a.size(); i++)
+        out[i] = gFullAdder(a[i], b[i], carry, carry);
+    return out;
+}
+
+std::vector<Lit>
+BitBlaster::negVec(const std::vector<Lit> &a)
+{
+    std::vector<Lit> inv(a.size());
+    for (size_t i = 0; i < a.size(); i++)
+        inv[i] = ~a[i];
+    std::vector<Lit> zero(a.size(), lConst(false));
+    return addVec(inv, zero, lConst(true));
+}
+
+std::vector<Lit>
+BitBlaster::mulVec(const std::vector<Lit> &a, const std::vector<Lit> &b)
+{
+    size_t w = a.size();
+    std::vector<Lit> acc(w, lConst(false));
+    for (size_t i = 0; i < w; i++) {
+        // Partial product: (a << i) & b[i]
+        std::vector<Lit> pp(w, lConst(false));
+        for (size_t j = 0; i + j < w; j++)
+            pp[i + j] = gAnd(a[j], b[i]);
+        acc = addVec(acc, pp, lConst(false));
+    }
+    return acc;
+}
+
+Lit
+BitBlaster::ultVec(const std::vector<Lit> &a, const std::vector<Lit> &b)
+{
+    // lt_i = (!a_i & b_i) | ((a_i == b_i) & lt_{i-1}), msb last.
+    Lit lt = lConst(false);
+    for (size_t i = 0; i < a.size(); i++) {
+        Lit eq = ~gXor(a[i], b[i]);
+        lt = gOr(gAnd(~a[i], b[i]), gAnd(eq, lt));
+    }
+    return lt;
+}
+
+std::vector<Lit>
+BitBlaster::shiftVec(const std::vector<Lit> &val,
+                     const std::vector<Lit> &amt, bool left, bool arith)
+{
+    size_t w = val.size();
+    Lit fill = arith ? val.back() : lConst(false);
+    std::vector<Lit> cur = val;
+    // Barrel shifter: stage k shifts by 2^k when amt[k] is set.
+    for (size_t k = 0; k < amt.size() && (1ULL << k) < 2 * w; k++) {
+        uint64_t dist = 1ULL << k;
+        std::vector<Lit> shifted(w, fill);
+        if (dist < w) {
+            for (size_t i = 0; i < w; i++) {
+                if (left) {
+                    if (i >= dist)
+                        shifted[i] = cur[i - dist];
+                    else
+                        shifted[i] = lConst(false);
+                } else {
+                    if (i + dist < w)
+                        shifted[i] = cur[i + dist];
+                    else
+                        shifted[i] = fill;
+                }
+            }
+        } else {
+            // Shifting by >= w clears (or sign-fills) everything.
+            if (left)
+                shifted.assign(w, lConst(false));
+            else
+                shifted.assign(w, fill);
+        }
+        for (size_t i = 0; i < w; i++)
+            cur[i] = gMux(amt[k], shifted[i], cur[i]);
+    }
+    // Any set amount bit beyond the covered stages forces the
+    // all-shifted-out value.
+    Lit huge = lConst(false);
+    for (size_t k = 0; k < amt.size(); k++) {
+        if ((1ULL << k) >= 2 * w || k >= 63)
+            huge = gOr(huge, amt[k]);
+    }
+    if (!isFalseLit(huge)) {
+        Lit out_fill = left ? lConst(false) : fill;
+        for (size_t i = 0; i < w; i++)
+            cur[i] = gMux(huge, out_fill, cur[i]);
+    }
+    return cur;
+}
+
+std::vector<Lit>
+BitBlaster::lookupVec(const TableInfo &info, const std::vector<Lit> &idx,
+                      size_t base, int bits)
+{
+    // Recursive mux tree over the top index bit. Entries past the end
+    // of the table read as zero.
+    if (base >= info.entries.size())
+        return std::vector<Lit>(info.elemWidth, lConst(false));
+    if (bits == 0) {
+        std::vector<Lit> out(info.elemWidth);
+        const BitVec &v = info.entries[base];
+        for (int i = 0; i < info.elemWidth; i++)
+            out[i] = lConst(v.getBit(i));
+        return out;
+    }
+    int bit = bits - 1;
+    std::vector<Lit> lo = lookupVec(info, idx, base, bit);
+    std::vector<Lit> hi = lookupVec(info, idx, base + (1ULL << bit), bit);
+    std::vector<Lit> out(info.elemWidth);
+    for (int i = 0; i < info.elemWidth; i++)
+        out[i] = gMux(idx[bit], hi[i], lo[i]);
+    return out;
+}
+
+std::vector<Lit>
+BitBlaster::blastNode(TermRef t)
+{
+    const Node &n = tt.node(t);
+    auto child = [&](int i) -> const std::vector<Lit> & {
+        return cache.at(n.children[i].idx);
+    };
+    std::vector<Lit> out;
+    switch (n.op) {
+      case Op::Const: {
+        const BitVec &v = tt.constValue(t);
+        out.resize(n.width);
+        for (int i = 0; i < n.width; i++)
+            out[i] = lConst(v.getBit(i));
+        break;
+      }
+      case Op::Var:
+      case Op::BaseRead: {
+        out.resize(n.width);
+        for (int i = 0; i < n.width; i++)
+            out[i] = freshLit();
+        break;
+      }
+      case Op::Lookup: {
+        const TableInfo &info = tt.tableInfo(n.a);
+        out = lookupVec(info, child(0), 0, child(0).size());
+        break;
+      }
+      case Op::Not: {
+        out = child(0);
+        for (auto &l : out)
+            l = ~l;
+        break;
+      }
+      case Op::And: {
+        out.resize(n.width);
+        for (int i = 0; i < n.width; i++)
+            out[i] = gAnd(child(0)[i], child(1)[i]);
+        break;
+      }
+      case Op::Or: {
+        out.resize(n.width);
+        for (int i = 0; i < n.width; i++)
+            out[i] = gOr(child(0)[i], child(1)[i]);
+        break;
+      }
+      case Op::Xor: {
+        out.resize(n.width);
+        for (int i = 0; i < n.width; i++)
+            out[i] = gXor(child(0)[i], child(1)[i]);
+        break;
+      }
+      case Op::Neg:
+        out = negVec(child(0));
+        break;
+      case Op::Add:
+        out = addVec(child(0), child(1), lConst(false));
+        break;
+      case Op::Sub: {
+        std::vector<Lit> binv = child(1);
+        for (auto &l : binv)
+            l = ~l;
+        out = addVec(child(0), binv, lConst(true));
+        break;
+      }
+      case Op::Mul:
+        out = mulVec(child(0), child(1));
+        break;
+      case Op::Clmul: {
+        size_t w = n.width;
+        out.assign(w, lConst(false));
+        for (size_t i = 0; i < w; i++) {
+            for (size_t j = 0; i + j < w; j++) {
+                out[i + j] =
+                    gXor(out[i + j], gAnd(child(0)[j], child(1)[i]));
+            }
+        }
+        break;
+      }
+      case Op::Clmulh: {
+        size_t w = n.width;
+        out.assign(w, lConst(false));
+        // Bit k of the high half is bit w+k of the 2w-wide product.
+        for (size_t i = 0; i < w; i++) {
+            for (size_t j = 0; j < w; j++) {
+                size_t pos = i + j;
+                if (pos >= w && pos < 2 * w) {
+                    out[pos - w] = gXor(out[pos - w],
+                                        gAnd(child(0)[j], child(1)[i]));
+                }
+            }
+        }
+        break;
+      }
+      case Op::Eq: {
+        Lit acc = lConst(true);
+        for (int i = 0; i < tt.width(n.children[0]); i++)
+            acc = gAnd(acc, ~gXor(child(0)[i], child(1)[i]));
+        out = {acc};
+        break;
+      }
+      case Op::Ult:
+        out = {ultVec(child(0), child(1))};
+        break;
+      case Op::Ule:
+        out = {~ultVec(child(1), child(0))};
+        break;
+      case Op::Slt: {
+        // Flip sign bits and compare unsigned.
+        std::vector<Lit> a = child(0), b = child(1);
+        a.back() = ~a.back();
+        b.back() = ~b.back();
+        out = {ultVec(a, b)};
+        break;
+      }
+      case Op::Sle: {
+        std::vector<Lit> a = child(0), b = child(1);
+        a.back() = ~a.back();
+        b.back() = ~b.back();
+        out = {~ultVec(b, a)};
+        break;
+      }
+      case Op::Ite: {
+        Lit c = child(0)[0];
+        out.resize(n.width);
+        for (int i = 0; i < n.width; i++)
+            out[i] = gMux(c, child(1)[i], child(2)[i]);
+        break;
+      }
+      case Op::Extract: {
+        out.assign(child(0).begin() + n.b, child(0).begin() + n.a + 1);
+        break;
+      }
+      case Op::Concat: {
+        out = child(1);
+        out.insert(out.end(), child(0).begin(), child(0).end());
+        break;
+      }
+      case Op::ZExt: {
+        out = child(0);
+        out.resize(n.width, lConst(false));
+        break;
+      }
+      case Op::SExt: {
+        out = child(0);
+        out.resize(n.width, out.back());
+        break;
+      }
+      case Op::Shl:
+        out = shiftVec(child(0), child(1), true, false);
+        break;
+      case Op::Lshr:
+        out = shiftVec(child(0), child(1), false, false);
+        break;
+      case Op::Ashr:
+        out = shiftVec(child(0), child(1), false, true);
+        break;
+    }
+    owl_assert(static_cast<int>(out.size()) == n.width,
+               "blast width mismatch for ", opName(n.op));
+    return out;
+}
+
+} // namespace owl::smt

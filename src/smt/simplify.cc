@@ -1,0 +1,532 @@
+/**
+ * @file
+ * Simplifying term constructors.
+ *
+ * Every mk* constructor applies local rewrite rules before
+ * hash-consing. These rewrites are what keep symbolic evaluation of a
+ * whole datapath tractable: per-instruction synthesis fixes the opcode
+ * bits to constants, and constant folding then collapses the decode
+ * and most of the muxing, leaving only the logic that actually depends
+ * on symbolic state. This plays the role of Rosette's partial
+ * evaluation in the paper's artifact.
+ */
+
+#include "smt/term.h"
+
+#include "base/logging.h"
+
+namespace owl::smt
+{
+
+namespace
+{
+
+/** Commutative ops get canonical child order for better sharing. */
+bool
+commutative(Op op)
+{
+    switch (op) {
+      case Op::And: case Op::Or: case Op::Xor: case Op::Add:
+      case Op::Mul: case Op::Clmul: case Op::Eq:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+TermRef
+TermTable::mk(Node n)
+{
+    // Fold when all children are constants.
+    bool all_const = !n.children.empty();
+    for (TermRef c : n.children) {
+        if (!isConst(c)) {
+            all_const = false;
+            break;
+        }
+    }
+    if (all_const) {
+        Assignment empty;
+        // Build a throwaway term and evaluate it. intern() is cheap
+        // and the node would be deduplicated anyway.
+        TermRef t = intern(n);
+        return constant(evalTerm(*this, t, empty));
+    }
+
+    if (commutative(n.op) && n.children.size() == 2 &&
+        n.children[0].idx > n.children[1].idx) {
+        std::swap(n.children[0], n.children[1]);
+    }
+    return intern(std::move(n));
+}
+
+TermRef
+TermTable::mkNot(TermRef a)
+{
+    const Node &na = node(a);
+    if (na.op == Op::Const)
+        return constant(~constValue(a));
+    if (na.op == Op::Not)
+        return na.children[0];
+    // ~(a == b) stays as-is; ~ite(c, 1, 0) -> ite(c, 0, 1) not needed
+    // since ite(c,1,0) already folds to c below.
+    Node n;
+    n.op = Op::Not;
+    n.width = na.width;
+    n.children = {a};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkAnd(TermRef a, TermRef b)
+{
+    owl_assert(width(a) == width(b), "and: width mismatch");
+    if (isConst(a))
+        std::swap(a, b);
+    if (isConst(b)) {
+        if (constValue(b).isZero())
+            return b;
+        if (constValue(b).isOnes())
+            return a;
+    }
+    if (a == b)
+        return a;
+    if (node(a).op == Op::Not && node(a).children[0] == b)
+        return constant(BitVec(width(a)));
+    if (node(b).op == Op::Not && node(b).children[0] == a)
+        return constant(BitVec(width(a)));
+    Node n;
+    n.op = Op::And;
+    n.width = width(a);
+    n.children = {a, b};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkOr(TermRef a, TermRef b)
+{
+    owl_assert(width(a) == width(b), "or: width mismatch");
+    if (isConst(a))
+        std::swap(a, b);
+    if (isConst(b)) {
+        if (constValue(b).isZero())
+            return a;
+        if (constValue(b).isOnes())
+            return b;
+    }
+    if (a == b)
+        return a;
+    if (node(a).op == Op::Not && node(a).children[0] == b)
+        return constant(BitVec::ones(width(a)));
+    if (node(b).op == Op::Not && node(b).children[0] == a)
+        return constant(BitVec::ones(width(a)));
+    Node n;
+    n.op = Op::Or;
+    n.width = width(a);
+    n.children = {a, b};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkXor(TermRef a, TermRef b)
+{
+    owl_assert(width(a) == width(b), "xor: width mismatch");
+    if (isConst(a))
+        std::swap(a, b);
+    if (isConst(b)) {
+        if (constValue(b).isZero())
+            return a;
+        if (constValue(b).isOnes())
+            return mkNot(a);
+    }
+    if (a == b)
+        return constant(BitVec(width(a)));
+    Node n;
+    n.op = Op::Xor;
+    n.width = width(a);
+    n.children = {a, b};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkNeg(TermRef a)
+{
+    Node n;
+    n.op = Op::Neg;
+    n.width = width(a);
+    n.children = {a};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkAdd(TermRef a, TermRef b)
+{
+    owl_assert(width(a) == width(b), "add: width mismatch");
+    if (isConst(a))
+        std::swap(a, b);
+    if (isConst(b) && constValue(b).isZero())
+        return a;
+    Node n;
+    n.op = Op::Add;
+    n.width = width(a);
+    n.children = {a, b};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkSub(TermRef a, TermRef b)
+{
+    owl_assert(width(a) == width(b), "sub: width mismatch");
+    if (isConst(b) && constValue(b).isZero())
+        return a;
+    if (a == b)
+        return constant(BitVec(width(a)));
+    Node n;
+    n.op = Op::Sub;
+    n.width = width(a);
+    n.children = {a, b};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkMul(TermRef a, TermRef b)
+{
+    owl_assert(width(a) == width(b), "mul: width mismatch");
+    if (isConst(a))
+        std::swap(a, b);
+    if (isConst(b)) {
+        if (constValue(b).isZero())
+            return b;
+        if (constValue(b) == BitVec(width(b), 1))
+            return a;
+    }
+    Node n;
+    n.op = Op::Mul;
+    n.width = width(a);
+    n.children = {a, b};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkClmul(TermRef a, TermRef b)
+{
+    owl_assert(width(a) == width(b), "clmul: width mismatch");
+    Node n;
+    n.op = Op::Clmul;
+    n.width = width(a);
+    n.children = {a, b};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkClmulh(TermRef a, TermRef b)
+{
+    owl_assert(width(a) == width(b), "clmulh: width mismatch");
+    Node n;
+    n.op = Op::Clmulh;
+    n.width = width(a);
+    n.children = {a, b};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkEq(TermRef a, TermRef b)
+{
+    owl_assert(width(a) == width(b), "eq: width mismatch");
+    if (a == b)
+        return trueTerm();
+    if (isConst(a) && isConst(b))
+        return constValue(a) == constValue(b) ? trueTerm() : falseTerm();
+    if (width(a) == 1) {
+        // 1-bit equality is xnor; folds nicely with constants.
+        if (isConst(a))
+            std::swap(a, b);
+        if (isConst(b))
+            return constValue(b).isZero() ? mkNot(a) : a;
+    }
+    // eq(ite(c, x, y), z) with constant x,y,z folds to c or !c.
+    for (int flip = 0; flip < 2; flip++) {
+        TermRef u = flip ? b : a, v = flip ? a : b;
+        const Node &nu = node(u);
+        if (nu.op == Op::Ite && isConst(v) && isConst(nu.children[1]) &&
+            isConst(nu.children[2])) {
+            bool t_eq = constValue(nu.children[1]) == constValue(v);
+            bool e_eq = constValue(nu.children[2]) == constValue(v);
+            if (t_eq && e_eq)
+                return trueTerm();
+            if (t_eq && !e_eq)
+                return nu.children[0];
+            if (!t_eq && e_eq)
+                return mkNot(nu.children[0]);
+            return falseTerm();
+        }
+    }
+    Node n;
+    n.op = Op::Eq;
+    n.width = 1;
+    n.children = {a, b};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkUlt(TermRef a, TermRef b)
+{
+    owl_assert(width(a) == width(b), "ult: width mismatch");
+    if (a == b)
+        return falseTerm();
+    if (isConst(b) && constValue(b).isZero())
+        return falseTerm();
+    Node n;
+    n.op = Op::Ult;
+    n.width = 1;
+    n.children = {a, b};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkUle(TermRef a, TermRef b)
+{
+    owl_assert(width(a) == width(b), "ule: width mismatch");
+    if (a == b)
+        return trueTerm();
+    if (isConst(a) && constValue(a).isZero())
+        return trueTerm();
+    Node n;
+    n.op = Op::Ule;
+    n.width = 1;
+    n.children = {a, b};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkSlt(TermRef a, TermRef b)
+{
+    owl_assert(width(a) == width(b), "slt: width mismatch");
+    if (a == b)
+        return falseTerm();
+    Node n;
+    n.op = Op::Slt;
+    n.width = 1;
+    n.children = {a, b};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkSle(TermRef a, TermRef b)
+{
+    owl_assert(width(a) == width(b), "sle: width mismatch");
+    if (a == b)
+        return trueTerm();
+    Node n;
+    n.op = Op::Sle;
+    n.width = 1;
+    n.children = {a, b};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkIte(TermRef c, TermRef t, TermRef e)
+{
+    owl_assert(width(c) == 1, "ite condition must be 1-bit");
+    owl_assert(width(t) == width(e), "ite: branch width mismatch");
+    if (isTrue(c))
+        return t;
+    if (isFalse(c))
+        return e;
+    if (t == e)
+        return t;
+    if (width(t) == 1) {
+        if (isConst(t) && isConst(e)) {
+            // ite(c, 1, 0) -> c ; ite(c, 0, 1) -> !c
+            return constValue(t).isZero() ? mkNot(c) : c;
+        }
+        if (isTrue(t))
+            return mkOr(c, e);
+        if (isFalse(t))
+            return mkAnd(mkNot(c), e);
+        if (isFalse(e))
+            return mkAnd(c, t);
+        if (isTrue(e))
+            return mkOr(mkNot(c), t);
+    }
+    // ite(!c, t, e) -> ite(c, e, t)
+    if (node(c).op == Op::Not)
+        return mkIte(node(c).children[0], e, t);
+    // Collapse nested ite with the same condition.
+    if (node(t).op == Op::Ite && node(t).children[0] == c)
+        return mkIte(c, node(t).children[1], e);
+    if (node(e).op == Op::Ite && node(e).children[0] == c)
+        return mkIte(c, t, node(e).children[2]);
+    Node n;
+    n.op = Op::Ite;
+    n.width = width(t);
+    n.children = {c, t, e};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkExtract(TermRef a, int high, int low)
+{
+    owl_assert(low >= 0 && high >= low && high < width(a),
+               "bad extract [", high, ":", low, "] of ", width(a),
+               "-bit term");
+    if (low == 0 && high == width(a) - 1)
+        return a;
+    const Node &na = node(a);
+    if (na.op == Op::Const)
+        return constant(constValue(a).extract(high, low));
+    if (na.op == Op::Extract)
+        return mkExtract(na.children[0], high + na.b, low + na.b);
+    if (na.op == Op::Concat) {
+        int low_w = width(na.children[1]);
+        if (high < low_w)
+            return mkExtract(na.children[1], high, low);
+        if (low >= low_w)
+            return mkExtract(na.children[0], high - low_w, low - low_w);
+    }
+    if (na.op == Op::ZExt) {
+        int src_w = width(na.children[0]);
+        if (high < src_w)
+            return mkExtract(na.children[0], high, low);
+        if (low >= src_w)
+            return constant(BitVec(high - low + 1));
+    }
+    if (na.op == Op::SExt) {
+        int src_w = width(na.children[0]);
+        if (high < src_w)
+            return mkExtract(na.children[0], high, low);
+    }
+    if (na.op == Op::Ite &&
+        isConst(na.children[1]) && isConst(na.children[2])) {
+        // Push extract into ite when the branches are constants; this
+        // keeps control-signal slices foldable. Copy the children
+        // first: the recursive calls may reallocate the node pool.
+        TermRef c = na.children[0], tb = na.children[1];
+        TermRef eb = na.children[2];
+        return mkIte(c, mkExtract(tb, high, low),
+                     mkExtract(eb, high, low));
+    }
+    Node n;
+    n.op = Op::Extract;
+    n.width = high - low + 1;
+    n.a = high;
+    n.b = low;
+    n.children = {a};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkConcat(TermRef high, TermRef low)
+{
+    if (isConst(high) && isConst(low))
+        return constant(constValue(high).concat(constValue(low)));
+    Node n;
+    n.op = Op::Concat;
+    n.width = width(high) + width(low);
+    n.children = {high, low};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkZExt(TermRef a, int new_width)
+{
+    owl_assert(new_width >= width(a), "zext to smaller width");
+    if (new_width == width(a))
+        return a;
+    if (isConst(a))
+        return constant(constValue(a).zext(new_width));
+    Node n;
+    n.op = Op::ZExt;
+    n.width = new_width;
+    n.children = {a};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkSExt(TermRef a, int new_width)
+{
+    owl_assert(new_width >= width(a), "sext to smaller width");
+    if (new_width == width(a))
+        return a;
+    if (isConst(a))
+        return constant(constValue(a).sext(new_width));
+    Node n;
+    n.op = Op::SExt;
+    n.width = new_width;
+    n.children = {a};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkShl(TermRef a, TermRef amount)
+{
+    if (isConst(amount) && constValue(amount).isZero())
+        return a;
+    if (isConst(a) && isConst(amount)) {
+        uint64_t amt = constValue(amount).toUint64();
+        return constant(constValue(a).shl(amt));
+    }
+    Node n;
+    n.op = Op::Shl;
+    n.width = width(a);
+    n.children = {a, amount};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkLshr(TermRef a, TermRef amount)
+{
+    if (isConst(amount) && constValue(amount).isZero())
+        return a;
+    if (isConst(a) && isConst(amount)) {
+        uint64_t amt = constValue(amount).toUint64();
+        return constant(constValue(a).lshr(amt));
+    }
+    Node n;
+    n.op = Op::Lshr;
+    n.width = width(a);
+    n.children = {a, amount};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkAshr(TermRef a, TermRef amount)
+{
+    if (isConst(amount) && constValue(amount).isZero())
+        return a;
+    if (isConst(a) && isConst(amount)) {
+        uint64_t amt = constValue(amount).toUint64();
+        return constant(constValue(a).ashr(amt));
+    }
+    Node n;
+    n.op = Op::Ashr;
+    n.width = width(a);
+    n.children = {a, amount};
+    return mk(std::move(n));
+}
+
+TermRef
+TermTable::mkRol(TermRef a, TermRef amount)
+{
+    int w = width(a);
+    TermRef wc = constant(width(amount), w);
+    TermRef amt = mkAnd(amount, constant(width(amount), w - 1));
+    TermRef inv = mkAnd(mkSub(wc, amt),
+                        constant(width(amount), w - 1));
+    return mkOr(mkShl(a, amt), mkLshr(a, inv));
+}
+
+TermRef
+TermTable::mkRor(TermRef a, TermRef amount)
+{
+    int w = width(a);
+    TermRef wc = constant(width(amount), w);
+    TermRef amt = mkAnd(amount, constant(width(amount), w - 1));
+    TermRef inv = mkAnd(mkSub(wc, amt),
+                        constant(width(amount), w - 1));
+    return mkOr(mkLshr(a, amt), mkShl(a, inv));
+}
+
+} // namespace owl::smt

@@ -1,0 +1,126 @@
+#include "smt/solver.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "smt/bitblast.h"
+
+namespace owl::smt
+{
+
+BitVec
+Model::varValue(const TermTable &tt, int var_id) const
+{
+    TermRef t = tt.varTerm(var_id);
+    auto it = leafValues.find(t.idx);
+    if (it != leafValues.end())
+        return it->second;
+    return BitVec(tt.varInfo(var_id).width);
+}
+
+Assignment
+Model::toAssignment(const TermTable &tt) const
+{
+    Assignment asg;
+    for (const auto &[idx, val] : leafValues) {
+        const Node &n = tt.node(TermRef{idx});
+        if (n.op == Op::Var) {
+            asg.setVar(n.a, val);
+        } else if (n.op == Op::BaseRead) {
+            // Only concrete-address base reads can be replayed into an
+            // Assignment; symbolic-address reads need the containing
+            // query's other leaves to resolve, which evalTerm does via
+            // the address child.
+            if (tt.isConst(n.children[0])) {
+                asg.setMemWord(n.a,
+                               tt.constValue(n.children[0]).toUint64(),
+                               val);
+            }
+        }
+    }
+    return asg;
+}
+
+CheckResult
+checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
+         Model *model, const SolveLimits &limits, CheckStats *stats)
+{
+    // Gather leaves to (a) add Ackermann constraints and (b) know what
+    // to extract into the model.
+    std::vector<TermRef> vars, base_reads;
+    tt.collectLeaves(assertions, vars, base_reads);
+
+    // Ackermann congruence: reads of the same memory base at equal
+    // addresses return equal values. Constant-address pairs fold away
+    // inside mkImplies/mkEq.
+    std::vector<TermRef> all = assertions;
+    size_t n_ack = 0;
+    // Deduplicate base reads (collectLeaves already visits each node
+    // once, but be safe).
+    std::sort(base_reads.begin(), base_reads.end(),
+              [](TermRef a, TermRef b) { return a.idx < b.idx; });
+    base_reads.erase(std::unique(base_reads.begin(), base_reads.end()),
+                     base_reads.end());
+    for (size_t i = 0; i < base_reads.size(); i++) {
+        for (size_t j = i + 1; j < base_reads.size(); j++) {
+            // Copy fields out: mk* below may reallocate the node pool.
+            Node ni = tt.node(base_reads[i]);
+            Node nj = tt.node(base_reads[j]);
+            if (ni.a != nj.a)
+                continue; // different memories
+            TermRef addr_eq = tt.mkEq(ni.children[0], nj.children[0]);
+            TermRef val_eq = tt.mkEq(base_reads[i], base_reads[j]);
+            TermRef cong = tt.mkImplies(addr_eq, val_eq);
+            if (tt.isTrue(cong))
+                continue;
+            all.push_back(cong);
+            n_ack++;
+        }
+    }
+
+    sat::Solver solver;
+    if (limits.timeLimit.count() > 0)
+        solver.setTimeLimit(limits.timeLimit);
+    if (limits.conflictLimit > 0)
+        solver.setConflictLimit(limits.conflictLimit);
+
+    BitBlaster blaster(tt, solver);
+    bool trivially_false = false;
+    for (TermRef a : all) {
+        owl_assert(tt.width(a) == 1, "assertion must be 1-bit");
+        if (tt.isFalse(a)) {
+            trivially_false = true;
+            break;
+        }
+        blaster.assertTrue(a);
+    }
+
+    if (trivially_false)
+        return CheckResult::Unsat;
+
+    sat::Result r = solver.solve();
+    if (stats) {
+        stats->satVars = solver.numVars();
+        stats->ackermannConstraints = n_ack;
+        stats->conflicts = solver.stats().conflicts;
+    }
+    switch (r) {
+      case sat::Result::Unsat:
+        return CheckResult::Unsat;
+      case sat::Result::Unknown:
+        return CheckResult::Unknown;
+      case sat::Result::Sat:
+        break;
+    }
+
+    if (model) {
+        model->leafValues.clear();
+        for (TermRef v : vars)
+            model->leafValues.emplace(v.idx, blaster.modelValue(v));
+        for (TermRef b : base_reads)
+            model->leafValues.emplace(b.idx, blaster.modelValue(b));
+    }
+    return CheckResult::Sat;
+}
+
+} // namespace owl::smt

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The QF_BV satisfiability interface used by the synthesis engine.
+ *
+ * A Query is a conjunction of 1-bit terms. checkSat() bit-blasts the
+ * query into a fresh CDCL instance, automatically adding Ackermann
+ * congruence constraints for the uninterpreted memory base reads
+ * (the paper models memories as an uninterpreted read function plus a
+ * write association list; Ackermann expansion removes the UF).
+ */
+
+#ifndef OWL_SMT_SOLVER_H
+#define OWL_SMT_SOLVER_H
+
+#include <chrono>
+#include <unordered_map>
+
+#include "smt/term.h"
+
+namespace owl::smt
+{
+
+/** Outcome of a checkSat call. */
+enum class CheckResult { Sat, Unsat, Unknown };
+
+/**
+ * A model for a satisfiable query: values for every Var and BaseRead
+ * leaf that appeared in the query.
+ */
+class Model
+{
+  public:
+    /** Value of a variable (by var id); zero if absent. */
+    BitVec varValue(const TermTable &tt, int var_id) const;
+
+    /** Convert to an Assignment usable with evalTerm. */
+    Assignment toAssignment(const TermTable &tt) const;
+
+    /** Raw leaf values keyed by term index. */
+    std::unordered_map<uint32_t, BitVec> leafValues;
+};
+
+/** Resource limits for a single checkSat call. */
+struct SolveLimits
+{
+    std::chrono::milliseconds timeLimit{0}; ///< 0 = unlimited
+    uint64_t conflictLimit = 0;             ///< 0 = unlimited
+};
+
+/** Statistics from the most recent checkSat call. */
+struct CheckStats
+{
+    size_t satVars = 0;
+    size_t ackermannConstraints = 0;
+    uint64_t conflicts = 0;
+};
+
+/**
+ * Check satisfiability of the conjunction of the given 1-bit terms.
+ *
+ * @param tt the term table the assertions live in.
+ * @param assertions 1-bit terms, all required true.
+ * @param model filled in on Sat if non-null.
+ * @param limits optional resource limits (Unknown on exhaustion).
+ * @param stats optional output statistics.
+ */
+CheckResult checkSat(TermTable &tt,
+                     const std::vector<TermRef> &assertions,
+                     Model *model = nullptr,
+                     const SolveLimits &limits = {},
+                     CheckStats *stats = nullptr);
+
+} // namespace owl::smt
+
+#endif // OWL_SMT_SOLVER_H

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit and property tests for the BitVec value type.
+ *
+ * Widths <= 64 are differentially tested against native uint64
+ * arithmetic; wider vectors get structural tests (extract/concat
+ * round-trips, shift identities) plus 128-bit spot checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "base/bitvec.h"
+#include "base/logging.h"
+
+using owl::BitVec;
+
+TEST(BitVec, ConstructAndBits)
+{
+    BitVec v(8, 0xa5);
+    EXPECT_EQ(v.width(), 8);
+    EXPECT_EQ(v.toUint64(), 0xa5u);
+    EXPECT_TRUE(v.getBit(0));
+    EXPECT_FALSE(v.getBit(1));
+    EXPECT_TRUE(v.getBit(7));
+}
+
+TEST(BitVec, TruncatesOnConstruct)
+{
+    BitVec v(4, 0xff);
+    EXPECT_EQ(v.toUint64(), 0xfu);
+    BitVec w(1, 2);
+    EXPECT_TRUE(w.isZero());
+}
+
+TEST(BitVec, FromHex)
+{
+    EXPECT_EQ(BitVec::fromHex(32, "deadbeef").toUint64(), 0xdeadbeefu);
+    EXPECT_EQ(BitVec::fromHex(16, "00ff").toUint64(), 0xffu);
+    EXPECT_EQ(BitVec::fromHex(128, "0123456789abcdef0011223344556677")
+                  .extract(63, 0)
+                  .toUint64(),
+              0x0011223344556677u);
+    EXPECT_EQ(BitVec::fromHex(128, "0123456789abcdef0011223344556677")
+                  .extract(127, 64)
+                  .toUint64(),
+              0x0123456789abcdefu);
+}
+
+TEST(BitVec, OnesAndIsOnes)
+{
+    EXPECT_TRUE(BitVec::ones(7).isOnes());
+    EXPECT_EQ(BitVec::ones(7).toUint64(), 0x7fu);
+    EXPECT_TRUE(BitVec::ones(128).isOnes());
+    EXPECT_FALSE(BitVec(128, 5).isOnes());
+}
+
+TEST(BitVec, SignedViews)
+{
+    EXPECT_EQ(BitVec(8, 0xff).toInt64(), -1);
+    EXPECT_EQ(BitVec(8, 0x7f).toInt64(), 127);
+    EXPECT_EQ(BitVec(4, 0x8).toInt64(), -8);
+}
+
+TEST(BitVec, WidthMismatchPanics)
+{
+    EXPECT_THROW(BitVec(4, 1) + BitVec(5, 1), owl::PanicError);
+    EXPECT_THROW((void)(BitVec(4, 1) == BitVec(5, 1)), owl::PanicError);
+}
+
+TEST(BitVec, ExtractConcatRoundTrip)
+{
+    BitVec v = BitVec::fromHex(96, "0123456789abcdef01234567");
+    BitVec hi = v.extract(95, 48);
+    BitVec lo = v.extract(47, 0);
+    EXPECT_EQ(hi.concat(lo), v);
+}
+
+TEST(BitVec, SextZext)
+{
+    EXPECT_EQ(BitVec(4, 0x8).sext(8).toUint64(), 0xf8u);
+    EXPECT_EQ(BitVec(4, 0x7).sext(8).toUint64(), 0x07u);
+    EXPECT_EQ(BitVec(4, 0x8).zext(8).toUint64(), 0x08u);
+}
+
+TEST(BitVec, Rotates)
+{
+    BitVec v(8, 0x81);
+    EXPECT_EQ(v.rol(1).toUint64(), 0x03u);
+    EXPECT_EQ(v.ror(1).toUint64(), 0xc0u);
+    EXPECT_EQ(v.rol(8), v);
+    EXPECT_EQ(v.ror(0), v);
+}
+
+TEST(BitVec, Clmul)
+{
+    // 0b11 clmul 0b11 = 0b101 (x+1)^2 = x^2+1 over GF(2).
+    EXPECT_EQ(BitVec(8, 3).clmul(BitVec(8, 3)).toUint64(), 5u);
+    // clmulh of small values is zero.
+    EXPECT_EQ(BitVec(8, 3).clmulh(BitVec(8, 3)).toUint64(), 0u);
+    // High half: 0x80 clmul 0x80 = 0x4000 -> high byte 0x40.
+    EXPECT_EQ(BitVec(8, 0x80).clmulh(BitVec(8, 0x80)).toUint64(), 0x40u);
+}
+
+TEST(BitVec, Wide128Arithmetic)
+{
+    BitVec a = BitVec::fromHex(128, "ffffffffffffffffffffffffffffffff");
+    BitVec one(128, 1);
+    EXPECT_TRUE((a + one).isZero());
+    EXPECT_EQ(a - a, BitVec(128));
+    EXPECT_EQ((BitVec(128, 1).shl(127)).extract(127, 127).toUint64(), 1u);
+}
+
+namespace
+{
+
+struct OpCase
+{
+    const char *name;
+    uint64_t (*ref)(uint64_t, uint64_t, int);
+    BitVec (*impl)(const BitVec &, const BitVec &);
+};
+
+uint64_t
+maskW(uint64_t v, int w)
+{
+    return w == 64 ? v : (v & ((1ULL << w) - 1));
+}
+
+} // namespace
+
+class BitVecRandomOps : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BitVecRandomOps, MatchesUint64Semantics)
+{
+    int w = GetParam();
+    std::mt19937_64 rng(1234 + w);
+    for (int iter = 0; iter < 500; iter++) {
+        uint64_t x = maskW(rng(), w), y = maskW(rng(), w);
+        BitVec a(w, x), b(w, y);
+        EXPECT_EQ((a + b).toUint64(), maskW(x + y, w));
+        EXPECT_EQ((a - b).toUint64(), maskW(x - y, w));
+        EXPECT_EQ((a * b).toUint64(), maskW(x * y, w));
+        EXPECT_EQ((a & b).toUint64(), x & y);
+        EXPECT_EQ((a | b).toUint64(), x | y);
+        EXPECT_EQ((a ^ b).toUint64(), x ^ y);
+        EXPECT_EQ((~a).toUint64(), maskW(~x, w));
+        EXPECT_EQ(a.neg().toUint64(), maskW(-x, w));
+        EXPECT_EQ(a.ult(b), x < y);
+        EXPECT_EQ(a.ule(b), x <= y);
+        // Signed comparison against sign-extended views.
+        auto sgn = [&](uint64_t v) {
+            return static_cast<int64_t>(v << (64 - w)) >> (64 - w);
+        };
+        EXPECT_EQ(a.slt(b), sgn(x) < sgn(y));
+        EXPECT_EQ(a.sle(b), sgn(x) <= sgn(y));
+        int sh = rng() % (w + 2);
+        EXPECT_EQ(a.shl(sh).toUint64(),
+                  sh >= w ? 0 : maskW(x << sh, w));
+        EXPECT_EQ(a.lshr(sh).toUint64(), sh >= w ? 0 : x >> sh);
+        uint64_t ashr_ref =
+            sh >= w ? (sgn(x) < 0 ? maskW(~0ULL, w) : 0)
+                    : maskW(static_cast<uint64_t>(sgn(x) >> sh), w);
+        EXPECT_EQ(a.ashr(sh).toUint64(), ashr_ref);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVecRandomOps,
+                         ::testing::Values(1, 2, 5, 8, 16, 31, 32, 33,
+                                           63, 64));
+
+TEST(BitVec, HashDistinguishes)
+{
+    EXPECT_NE(BitVec(8, 1).hash(), BitVec(8, 2).hash());
+    EXPECT_NE(BitVec(8, 1).hash(), BitVec(9, 1).hash());
+    EXPECT_EQ(BitVec(8, 1).hash(), BitVec(8, 1).hash());
+}
+
+TEST(BitVec, ToStringFormat)
+{
+    EXPECT_EQ(BitVec(8, 0x3f).toString(), "8'h3f");
+    EXPECT_EQ(BitVec(1, 1).toString(), "1'h1");
+    EXPECT_EQ(BitVec(12, 0xabc).toString(), "12'habc");
+}

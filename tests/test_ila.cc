@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the ILA specification library: state registration, the
+ * operator sugar, instruction decode/update bookkeeping, and the
+ * paper's §2 example models (ALU machine, accumulator).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.h"
+#include "ila/ila.h"
+
+using namespace owl;
+using namespace owl::ila;
+
+TEST(Ila, StateRegistration)
+{
+    Ila ila("m");
+    auto in = ila.NewBvInput("op", 2);
+    auto st = ila.NewBvState("acc", 8);
+    auto mem = ila.NewMemState("regs", 2, 8);
+    EXPECT_EQ(in.width(), 2);
+    EXPECT_FALSE(in.isMem());
+    EXPECT_EQ(st.width(), 8);
+    EXPECT_TRUE(mem.isMem());
+    EXPECT_EQ(ila.states().size(), 3u);
+    EXPECT_THROW(ila.NewBvInput("op", 2), FatalError);
+}
+
+TEST(Ila, OperatorSugarWidths)
+{
+    Ila ila("m");
+    auto a = ila.NewBvState("a", 8);
+    auto b = ila.NewBvState("b", 8);
+    EXPECT_EQ((a + b).width(), 8);
+    EXPECT_EQ((a == b).width(), 1);
+    EXPECT_EQ((a < b).width(), 1);
+    EXPECT_EQ(Concat(a, b).width(), 16);
+    EXPECT_EQ(Extract(a, 3, 0).width(), 4);
+    EXPECT_EQ(ZExt(a, 32).width(), 32);
+    auto c = ila.NewBvState("c", 4);
+    EXPECT_THROW(a + c, FatalError);
+}
+
+TEST(Ila, InstructionBookkeeping)
+{
+    Ila ila("m");
+    auto op = ila.NewBvInput("op", 2);
+    auto acc = ila.NewBvState("acc", 8);
+    auto &add = ila.NewInstr("ADD");
+    add.SetDecode(op == BvConst(ila.ctx(), 1, 2));
+    add.SetUpdate(acc, acc + acc);
+    EXPECT_TRUE(add.hasDecode());
+    EXPECT_EQ(add.updates().size(), 1u);
+    EXPECT_NE(add.updateFor(ila.ctx().stateIndex("acc")), nullptr);
+    EXPECT_THROW(add.SetUpdate(acc, acc), FatalError); // double update
+    EXPECT_THROW(ila.NewInstr("ADD"), FatalError);     // duplicate
+}
+
+TEST(Ila, LoadStoreSorts)
+{
+    Ila ila("m");
+    auto regs = ila.NewMemState("regs", 2, 8);
+    auto addr = ila.NewBvInput("a", 2);
+    auto v = Load(regs, addr);
+    EXPECT_EQ(v.width(), 8);
+    EXPECT_FALSE(v.isMem());
+    auto st = Store(regs, addr, v + v);
+    EXPECT_TRUE(st.isMem());
+    EXPECT_THROW(Load(v, addr), PanicError); // load of non-memory
+}
+
+TEST(Ila, FetchFunction)
+{
+    Ila ila("m");
+    auto pc = ila.NewBvState("pc", 32);
+    auto mem = ila.NewMemState("mem", 30, 32);
+    ila.SetFetch(Load(mem, Extract(pc, 31, 2)));
+    EXPECT_TRUE(ila.hasFetch());
+    EXPECT_EQ(ila.fetch().width(), 32);
+}
+
+TEST(Ila, PaperAluMachineSpec)
+{
+    // Transliteration of the §2.2 listing.
+    Ila ila("alu_ila");
+    auto op = ila.NewBvInput("op", 2);
+    auto dest = ila.NewBvInput("dest", 2);
+    auto src1 = ila.NewBvInput("src1", 2);
+    auto src2 = ila.NewBvInput("src2", 2);
+    auto regs = ila.NewMemState("regs", 2, 8);
+    auto rs1_val = Load(regs, src1);
+    auto rs2_val = Load(regs, src2);
+    auto &ADD = ila.NewInstr("ADD");
+    ADD.SetDecode(op == BvConst(ila.ctx(), 1, 2));
+    ADD.SetUpdate(regs, Store(regs, dest, rs1_val + rs2_val));
+    EXPECT_EQ(ila.instrs().size(), 1u);
+    EXPECT_EQ(&ila.instr("ADD"), ila.instrs()[0].get());
+}
+
+TEST(Ila, PaperAccumulatorSpec)
+{
+    // Transliteration of the §2.3 listing (with the paper's typo of
+    // reusing reset_instr for state updates fixed as clearly intended).
+    Ila ila("acc_ila");
+    auto reset = ila.NewBvInput("reset", 1);
+    auto go = ila.NewBvInput("go", 1);
+    auto stop = ila.NewBvInput("stop", 1);
+    auto val = ila.NewBvInput("val", 8);
+    auto acc = ila.NewBvState("acc", 8);
+    auto state = ila.NewBvState("state", 2);
+    auto stN = [&](uint64_t v) { return BvConst(ila.ctx(), v, 2); };
+    const uint64_t RESET = 0, GO = 1, STOP = 2;
+
+    auto &reset_instr = ila.NewInstr("reset_instr");
+    reset_instr.SetDecode(state == stN(STOP) &&
+                          reset == BvConst(ila.ctx(), 1, 1));
+    reset_instr.SetUpdate(acc, BvConst(ila.ctx(), 0, 8));
+    reset_instr.SetUpdate(state, stN(RESET));
+
+    auto &go_instr = ila.NewInstr("go_instr");
+    go_instr.SetDecode((state == stN(RESET) &&
+                        go == BvConst(ila.ctx(), 1, 1)) ||
+                       (state == stN(GO) &&
+                        stop == BvConst(ila.ctx(), 0, 1)));
+    go_instr.SetUpdate(acc, acc + val);
+    go_instr.SetUpdate(state, stN(GO));
+
+    auto &stop_instr = ila.NewInstr("stop_instr");
+    stop_instr.SetDecode(state == stN(GO) &&
+                         stop == BvConst(ila.ctx(), 1, 1));
+    stop_instr.SetUpdate(acc, acc);
+    stop_instr.SetUpdate(state, stN(STOP));
+
+    EXPECT_EQ(ila.instrs().size(), 3u);
+    EXPECT_EQ(go_instr.updates().size(), 2u);
+}
+
+TEST(Ila, MemConstTables)
+{
+    Ila ila("m");
+    std::vector<BitVec> tbl;
+    for (int i = 0; i < 4; i++)
+        tbl.push_back(BitVec(8, 3 * i));
+    auto rom = ila.NewMemConst("tbl", 2, 8, tbl);
+    EXPECT_TRUE(rom.isMem());
+    auto idx = ila.NewBvInput("i", 2);
+    auto v = Load(rom, idx);
+    EXPECT_EQ(v.width(), 8);
+}

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the pipelined cores: the two-stage RISC-V core (paper
+ * §4.1.2) and the constant-time crypto core (§4.2). Covers synthesis,
+ * formal verification, the hand-written crypto reference, pipeline
+ * behaviour under control hazards (JAL squash), and differential
+ * execution against the ISS with hazard-respecting scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "base/logging.h"
+#include "core/synthesis.h"
+#include "designs/crypto_core.h"
+#include "designs/riscv_two_stage.h"
+#include "oyster/interp.h"
+#include "rv/encode.h"
+#include "rv/iss.h"
+
+using namespace owl;
+using namespace owl::designs;
+using namespace owl::synth;
+using oyster::Interpreter;
+
+TEST(TwoStageCore, SynthesizesAndVerifies)
+{
+    CaseStudy cs = makeRiscvTwoStage(RiscvVariant::RV32I);
+    SynthesisResult r = synthesizeControl(cs.sketch, cs.spec, cs.alpha);
+    ASSERT_EQ(r.status, SynthStatus::Ok)
+        << "failed at " << r.failedInstr;
+    std::string failed;
+    EXPECT_EQ(verifyDesign(cs.sketch, cs.spec, cs.alpha, &failed),
+              SynthStatus::Ok)
+        << failed;
+}
+
+TEST(TwoStageCore, ZbkcVariantSynthesizes)
+{
+    CaseStudy cs = makeRiscvTwoStage(RiscvVariant::RV32I_Zbkc);
+    SynthesisResult r = synthesizeControl(cs.sketch, cs.spec, cs.alpha);
+    ASSERT_EQ(r.status, SynthStatus::Ok)
+        << "failed at " << r.failedInstr;
+    EXPECT_EQ(verifyDesign(cs.sketch, cs.spec, cs.alpha),
+              SynthStatus::Ok);
+}
+
+TEST(TwoStageCore, PipelinedExecutionMatchesIss)
+{
+    // Issue one instruction + one NOP bubble (software-interlocked
+    // RAW hazard window), run a random straight-line program.
+    CaseStudy cs = makeRiscvTwoStage(RiscvVariant::RV32I);
+    ASSERT_EQ(synthesizeControl(cs.sketch, cs.spec, cs.alpha).status,
+              SynthStatus::Ok);
+    using namespace owl::rv;
+    std::mt19937 rng(11);
+    for (int round = 0; round < 5; round++) {
+        Interpreter sim(cs.sketch);
+        rv::Iss iss;
+        for (int i = 1; i < 32; i++) {
+            uint32_t v = rng();
+            iss.regs[i] = v;
+            sim.setMemWord("rf", i, BitVec(32, v));
+        }
+        std::vector<uint32_t> prog;
+        auto r5 = [&]() { return rng() % 32; };
+        for (int i = 0; i < 30; i++) {
+            switch (rng() % 5) {
+              case 0: prog.push_back(ADD(r5(), r5(), r5())); break;
+              case 1: prog.push_back(XOR(r5(), r5(), r5())); break;
+              case 2:
+                prog.push_back(ADDI(r5(), r5(), int(rng() % 100)));
+                break;
+              case 3: prog.push_back(SW(r5(), 0, 0x400 + 4 * i)); break;
+              default: prog.push_back(LW(r5(), 0, 0x400 + 4 * i)); break;
+            }
+            prog.push_back(NOP());
+        }
+        for (size_t i = 0; i < prog.size(); i++) {
+            sim.setMemWord("i_mem", i, BitVec(32, prog[i]));
+            sim.setMemWord("d_mem", i, BitVec(32, prog[i]));
+            iss.storeWord(4 * i, prog[i]);
+        }
+        for (size_t i = 0; i < prog.size(); i++) {
+            ASSERT_TRUE(iss.step());
+            sim.step();
+        }
+        // Drain the last instruction through stage 2.
+        sim.step({});
+        for (int i = 0; i < 32; i++) {
+            ASSERT_EQ(sim.memWord("rf", i).toUint64(), iss.regs[i])
+                << "x" << i << " round " << round;
+        }
+        for (const auto &[waddr, val] : iss.mem) {
+            ASSERT_EQ(sim.memWord("d_mem", waddr).toUint64(), val)
+                << "mem@" << std::hex << (waddr << 2);
+        }
+    }
+}
+
+TEST(CryptoCore, SynthesizesAndVerifies)
+{
+    CaseStudy cs = makeCryptoCore();
+    SynthesisResult r = synthesizeControl(cs.sketch, cs.spec, cs.alpha);
+    ASSERT_EQ(r.status, SynthStatus::Ok)
+        << "failed at " << r.failedInstr;
+    EXPECT_EQ(static_cast<int>(r.perInstr.size()),
+              cryptoIsaInstrCount);
+    std::string failed;
+    EXPECT_EQ(verifyDesign(cs.sketch, cs.spec, cs.alpha, &failed),
+              SynthStatus::Ok)
+        << failed;
+}
+
+TEST(CryptoCore, HandwrittenReferenceVerifies)
+{
+    CaseStudy cs = makeCryptoCore();
+    completeCryptoCoreByHand(cs.sketch);
+    std::string failed;
+    EXPECT_EQ(verifyDesign(cs.sketch, cs.spec, cs.alpha, &failed),
+              SynthStatus::Ok)
+        << failed;
+}
+
+namespace
+{
+
+uint64_t
+runCryptoProgram(Interpreter &sim, const std::vector<uint32_t> &prog,
+                 uint32_t halt_pc, uint64_t max_cycles)
+{
+    for (size_t i = 0; i < prog.size(); i++)
+        sim.setMemWord("i_mem", i, BitVec(32, prog[i]));
+    // Start synchronized with an empty pipeline.
+    sim.setReg("pc", BitVec(32, 0));
+    sim.setReg("f_pc", BitVec(32, 0));
+    sim.setReg("p1_v", BitVec(1, 0));
+    sim.setReg("p2_mem_write", BitVec(1, 0));
+    sim.setReg("p2_reg_write", BitVec(1, 0));
+    sim.setReg("p2_mem_read", BitVec(1, 0));
+    uint64_t cycles = 0;
+    while (sim.reg("pc").toUint64() != halt_pc && cycles < max_cycles) {
+        sim.step();
+        cycles++;
+    }
+    // Drain in-flight write backs.
+    for (int i = 0; i < 3; i++)
+        sim.step();
+    return cycles;
+}
+
+} // namespace
+
+TEST(CryptoCore, JalSquashesWrongPathAndExecutes)
+{
+    using namespace owl::rv;
+    CaseStudy cs = makeCryptoCore();
+    ASSERT_EQ(synthesizeControl(cs.sketch, cs.spec, cs.alpha).status,
+              SynthStatus::Ok);
+    Interpreter sim(cs.sketch);
+    // 0: addi x1, x0, 5
+    // 4: jal x2, +12  (to 16)
+    // 8: addi x1, x0, 99  (wrong path, must be squashed)
+    // 12: addi x1, x0, 98 (wrong path)
+    // 16: addi x3, x0, 7
+    // 20: halt
+    std::vector<uint32_t> prog = {
+        ADDI(1, 0, 5), JAL(2, 12),     ADDI(1, 0, 99),
+        ADDI(1, 0, 98), ADDI(3, 0, 7), JAL(0, 0),
+    };
+    uint64_t cycles = runCryptoProgram(sim, prog, 20, 1000);
+    EXPECT_LT(cycles, 1000u);
+    EXPECT_EQ(sim.memWord("rf", 1).toUint64(), 5u);
+    EXPECT_EQ(sim.memWord("rf", 2).toUint64(), 8u); // link = pc + 4
+    EXPECT_EQ(sim.memWord("rf", 3).toUint64(), 7u);
+}
+
+TEST(CryptoCore, CmovSelectsByCondition)
+{
+    using namespace owl::rv;
+    CaseStudy cs = makeCryptoCore();
+    ASSERT_EQ(synthesizeControl(cs.sketch, cs.spec, cs.alpha).status,
+              SynthStatus::Ok);
+    Interpreter sim(cs.sketch);
+    std::vector<uint32_t> prog = {
+        ADDI(1, 0, 0),  NOP(), // cond = 0
+        ADDI(2, 0, 11), NOP(), // value
+        ADDI(3, 0, 22), NOP(), // dest old value
+        CMOV(3, 1, 2),  NOP(), // x3 stays 22
+        ADDI(1, 0, 1),  NOP(), // cond = 1
+        CMOV(3, 1, 2),  NOP(), // x3 := 11
+        JAL(0, 0),
+    };
+    uint64_t halt = 4 * (prog.size() - 1);
+    runCryptoProgram(sim, prog, halt, 1000);
+    EXPECT_EQ(sim.memWord("rf", 3).toUint64(), 11u);
+}

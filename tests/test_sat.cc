@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the CDCL SAT solver: hand-built instances, pigeonhole
+ * (hard UNSAT), and randomized 3-SAT differentially checked against a
+ * brute-force enumerator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sat/solver.h"
+
+using owl::sat::Lit;
+using owl::sat::Result;
+using owl::sat::Solver;
+
+TEST(Sat, TrivialSat)
+{
+    Solver s;
+    int a = s.newVar();
+    s.addClause(Lit(a, false));
+    EXPECT_EQ(s.solve(), Result::Sat);
+    EXPECT_TRUE(s.modelValue(a));
+}
+
+TEST(Sat, TrivialUnsat)
+{
+    Solver s;
+    int a = s.newVar();
+    s.addClause(Lit(a, false));
+    s.addClause(Lit(a, true));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Sat, EmptyClauseUnsat)
+{
+    Solver s;
+    (void)s.newVar();
+    EXPECT_FALSE(s.addClause(std::vector<Lit>{}));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Sat, UnitPropagationChain)
+{
+    Solver s;
+    const int n = 50;
+    std::vector<int> v;
+    for (int i = 0; i < n; i++)
+        v.push_back(s.newVar());
+    // v0 and (vi -> vi+1) for all i; then require !v_{n-1}: UNSAT.
+    s.addClause(Lit(v[0], false));
+    for (int i = 0; i + 1 < n; i++)
+        s.addClause(Lit(v[i], true), Lit(v[i + 1], false));
+    EXPECT_EQ(s.solve(), Result::Sat);
+    for (int i = 0; i < n; i++)
+        EXPECT_TRUE(s.modelValue(v[i]));
+    s.addClause(Lit(v[n - 1], true));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Sat, TautologyIgnored)
+{
+    Solver s;
+    int a = s.newVar();
+    EXPECT_TRUE(s.addClause(Lit(a, false), Lit(a, true)));
+    EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Sat, XorChainSat)
+{
+    // x1 ^ x2 ^ ... parity constraints keep the solver honest about
+    // clause learning; encode a ^ b = c for a chain and pin endpoints.
+    Solver s;
+    const int n = 20;
+    std::vector<int> x;
+    for (int i = 0; i < n; i++)
+        x.push_back(s.newVar());
+    auto add_xor = [&](int a, int b, int c) {
+        // c = a xor b
+        s.addClause(Lit(a, true), Lit(b, true), Lit(c, true));
+        s.addClause(Lit(a, false), Lit(b, false), Lit(c, true));
+        s.addClause(Lit(a, true), Lit(b, false), Lit(c, false));
+        s.addClause(Lit(a, false), Lit(b, true), Lit(c, false));
+    };
+    for (int i = 0; i + 2 < n; i++)
+        add_xor(x[i], x[i + 1], x[i + 2]);
+    s.addClause(Lit(x[0], false));
+    EXPECT_EQ(s.solve(), Result::Sat);
+    for (int i = 0; i + 2 < n; i++) {
+        EXPECT_EQ(s.modelValue(x[i + 2]),
+                  s.modelValue(x[i]) ^ s.modelValue(x[i + 1]));
+    }
+}
+
+TEST(Sat, Pigeonhole4Into3Unsat)
+{
+    // PHP(4,3): 4 pigeons in 3 holes, classic hard-ish UNSAT.
+    Solver s;
+    const int p = 4, h = 3;
+    std::vector<std::vector<int>> v(p, std::vector<int>(h));
+    for (int i = 0; i < p; i++)
+        for (int j = 0; j < h; j++)
+            v[i][j] = s.newVar();
+    for (int i = 0; i < p; i++) {
+        std::vector<Lit> cl;
+        for (int j = 0; j < h; j++)
+            cl.push_back(Lit(v[i][j], false));
+        s.addClause(cl);
+    }
+    for (int j = 0; j < h; j++)
+        for (int i1 = 0; i1 < p; i1++)
+            for (int i2 = i1 + 1; i2 < p; i2++)
+                s.addClause(Lit(v[i1][j], true), Lit(v[i2][j], true));
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Sat, AssumptionsDoNotStick)
+{
+    Solver s;
+    int a = s.newVar(), b = s.newVar();
+    s.addClause(Lit(a, false), Lit(b, false));
+    // Assume !a and !b: unsat under assumptions.
+    EXPECT_EQ(s.solve({Lit(a, true), Lit(b, true)}), Result::Unsat);
+    // Without assumptions the formula is still satisfiable.
+    EXPECT_EQ(s.solve(), Result::Sat);
+    EXPECT_TRUE(s.modelValue(a) || s.modelValue(b));
+}
+
+TEST(Sat, ConflictLimitReturnsUnknown)
+{
+    // PHP(7,6) needs more than 1 conflict.
+    Solver s;
+    const int p = 7, h = 6;
+    std::vector<std::vector<int>> v(p, std::vector<int>(h));
+    for (int i = 0; i < p; i++)
+        for (int j = 0; j < h; j++)
+            v[i][j] = s.newVar();
+    for (int i = 0; i < p; i++) {
+        std::vector<Lit> cl;
+        for (int j = 0; j < h; j++)
+            cl.push_back(Lit(v[i][j], false));
+        s.addClause(cl);
+    }
+    for (int j = 0; j < h; j++)
+        for (int i1 = 0; i1 < p; i1++)
+            for (int i2 = i1 + 1; i2 < p; i2++)
+                s.addClause(Lit(v[i1][j], true), Lit(v[i2][j], true));
+    s.setConflictLimit(1);
+    EXPECT_EQ(s.solve(), Result::Unknown);
+    s.setConflictLimit(0);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+namespace
+{
+
+/** Brute-force satisfiability of a CNF over n <= 20 vars. */
+bool
+bruteForceSat(int n, const std::vector<std::vector<Lit>> &cnf)
+{
+    for (uint32_t m = 0; m < (1u << n); m++) {
+        bool ok = true;
+        for (const auto &cl : cnf) {
+            bool sat = false;
+            for (Lit l : cl) {
+                bool val = (m >> l.var()) & 1;
+                if (val != l.negated()) {
+                    sat = true;
+                    break;
+                }
+            }
+            if (!sat) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+class SatRandom3Sat : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SatRandom3Sat, MatchesBruteForce)
+{
+    // Random 3-SAT near the phase transition (ratio ~4.3) over a small
+    // variable count so brute force stays cheap.
+    const int n = 12;
+    std::mt19937 rng(GetParam());
+    for (int round = 0; round < 30; round++) {
+        int m = 40 + rng() % 25;
+        std::vector<std::vector<Lit>> cnf;
+        Solver s;
+        for (int i = 0; i < n; i++)
+            (void)s.newVar();
+        for (int c = 0; c < m; c++) {
+            std::vector<Lit> cl;
+            for (int k = 0; k < 3; k++)
+                cl.push_back(Lit(rng() % n, rng() % 2));
+            cnf.push_back(cl);
+            s.addClause(cl);
+        }
+        bool expect = bruteForceSat(n, cnf);
+        Result got = s.solve();
+        ASSERT_EQ(got == Result::Sat, expect)
+            << "divergence at seed " << GetParam() << " round " << round;
+        if (got == Result::Sat) {
+            // Verify the produced model actually satisfies the CNF.
+            for (const auto &cl : cnf) {
+                bool sat = false;
+                for (Lit l : cl)
+                    sat |= s.modelValue(l.var()) != l.negated();
+                ASSERT_TRUE(sat) << "model does not satisfy clause";
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandom3Sat,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Failure-injection tests: the synthesis engine must *diagnose*, not
+ * mask, inconsistent inputs — broken datapaths, wrong abstraction
+ * timing, missing assumptions, overlapping decodes (instruction
+ * independence violations), and unmapped state. This covers the
+ * developer-experience surface §5.3 discusses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.h"
+#include "core/synthesis.h"
+#include "designs/accumulator.h"
+#include "designs/alu_machine.h"
+#include "oyster/builder.h"
+
+using namespace owl;
+using namespace owl::designs;
+using namespace owl::synth;
+using oyster::Design;
+
+namespace
+{
+
+/** The ALU-machine sketch but with a configurable wrong piece. */
+Design
+makeBrokenAluSketch(bool wrong_alu, bool no_clear_wire)
+{
+    Design d("alu_broken");
+    d.addInput("op", 2);
+    d.addInput("dest", 2);
+    d.addInput("src1", 2);
+    d.addInput("src2", 2);
+    d.addMemory("regfile", 2, 8);
+    d.addRegister("a_reg", 8);
+    d.addRegister("b_reg", 8);
+    d.addRegister("dest1", 2);
+    d.addRegister("aluop_reg", 2);
+    d.addRegister("wen1", 1);
+    d.addRegister("r_reg", 8);
+    d.addRegister("dest2", 2);
+    d.addRegister("wen2", 1);
+    d.addHole("alu_op", 2, {"op"});
+    d.addHole("reg_write", 1, {"op"});
+    d.assign("a_reg", d.opRead("regfile", d.var("src1")));
+    d.assign("b_reg", d.opRead("regfile", d.var("src2")));
+    d.assign("dest1", d.var("dest"));
+    d.assign("aluop_reg", d.var("alu_op"));
+    d.assign("wen1", d.var("reg_write"));
+    auto a = d.var("a_reg"), b = d.var("b_reg");
+    // A broken ALU has no SUB arm at all.
+    auto alu = oyster::muxChain(
+        d,
+        {{d.opEq(d.var("aluop_reg"), d.lit(2, 0)), d.opAdd(a, b)},
+         {d.opEq(d.var("aluop_reg"), d.lit(2, 1)), d.opXor(a, b)}},
+        wrong_alu ? d.opOr(a, b) : d.opSub(a, b));
+    d.assign("r_reg", alu);
+    d.assign("dest2", d.var("dest1"));
+    d.assign("wen2", d.var("wen1"));
+    d.memWrite("regfile", d.var("dest2"), d.var("r_reg"),
+               d.var("wen2"));
+    d.addWire("pipe_clear", 1);
+    d.assign("pipe_clear",
+             no_clear_wire
+                 ? d.lit(1, 1) // pretend-clear: assumption is useless
+                 : d.opAnd(d.opNot(d.var("wen1")),
+                           d.opNot(d.var("wen2"))));
+    return d;
+}
+
+synth::AbsFunc
+aluAlpha(bool wrong_write_time, bool with_assume)
+{
+    synth::AbsFunc a;
+    using synth::Effect;
+    using synth::MapType;
+    a.map("op", "op", MapType::Input, {{Effect::Read, 1}});
+    a.map("src1", "src1", MapType::Input, {{Effect::Read, 1}});
+    a.map("src2", "src2", MapType::Input, {{Effect::Read, 1}});
+    a.map("dest", "dest", MapType::Input, {{Effect::Read, 1}});
+    a.map("regs", "regfile", MapType::Memory,
+          {{Effect::Read, 1},
+           {Effect::Write, wrong_write_time ? 2 : 3}});
+    a.withCycles(3);
+    if (with_assume)
+        a.assume("pipe_clear", 1);
+    return a;
+}
+
+} // namespace
+
+TEST(SynthFailure, MissingAluFunctionIsUnsat)
+{
+    // The broken ALU cannot implement SUB: synthesis must fail with
+    // Unsat naming the instruction, not produce wrong control.
+    CaseStudy ref = makeAluMachine();
+    Design sketch = makeBrokenAluSketch(true, false);
+    SynthesisResult r =
+        synthesizeControl(sketch, ref.spec, aluAlpha(false, true));
+    EXPECT_EQ(r.status, SynthStatus::Unsat);
+    EXPECT_EQ(r.failedInstr, "SUB");
+}
+
+TEST(SynthFailure, WrongWriteTimeIsUnsat)
+{
+    // Claiming the register file is written at cycle 2 when the
+    // pipeline writes at cycle 3 makes every writing instruction
+    // unsynthesizable.
+    CaseStudy ref = makeAluMachine();
+    Design sketch = makeBrokenAluSketch(false, false);
+    SynthesisResult r =
+        synthesizeControl(sketch, ref.spec, aluAlpha(true, true));
+    EXPECT_EQ(r.status, SynthStatus::Unsat);
+    EXPECT_EQ(r.failedInstr, "ADD");
+}
+
+TEST(SynthFailure, MissingPipelineAssumptionIsUnsat)
+{
+    // Without the pipeline-empty assumption the universally
+    // quantified in-flight garbage can always violate the frame
+    // conditions (§3.2's motivation for `assume`).
+    CaseStudy ref = makeAluMachine();
+    Design sketch = makeBrokenAluSketch(false, false);
+    SynthesisResult r =
+        synthesizeControl(sketch, ref.spec, aluAlpha(false, false));
+    EXPECT_EQ(r.status, SynthStatus::Unsat);
+}
+
+TEST(SynthFailure, UnmappedUpdatedStateIsDiagnosed)
+{
+    // A spec state that an instruction updates but α does not map
+    // must raise a user-level error, not silently drop the condition.
+    CaseStudy cs = makeAccumulator();
+    synth::AbsFunc incomplete;
+    using synth::Effect;
+    using synth::MapType;
+    incomplete.map("reset", "reset", MapType::Input,
+                   {{Effect::Read, 1}});
+    incomplete.map("go", "go", MapType::Input, {{Effect::Read, 1}});
+    incomplete.map("stop", "stop", MapType::Input,
+                   {{Effect::Read, 1}});
+    incomplete.map("val", "val", MapType::Input, {{Effect::Read, 1}});
+    incomplete.map("acc", "acc", MapType::Register,
+                   {{Effect::Read, 1}, {Effect::Write, 1}});
+    // `state` left unmapped.
+    incomplete.withCycles(1);
+    EXPECT_THROW(synthesizeControl(cs.sketch, cs.spec, incomplete),
+                 FatalError);
+}
+
+TEST(SynthFailure, OverlappingDecodesDetected)
+{
+    // Two instructions with overlapping decode conditions violate
+    // instruction independence condition 1; the checker reports the
+    // pair.
+    ila::Ila spec("overlap");
+    auto op = spec.NewBvInput("op", 2);
+    auto acc = spec.NewBvState("acc", 8);
+    auto &a = spec.NewInstr("A");
+    a.SetDecode(op == BvConst(spec.ctx(), 1, 2));
+    a.SetUpdate(acc, acc + acc);
+    auto &b = spec.NewInstr("B");
+    b.SetDecode(!(op == BvConst(spec.ctx(), 0, 2))); // overlaps A
+    b.SetUpdate(acc, acc);
+
+    Design d("overlap_dp");
+    d.addInput("op", 2);
+    d.addRegister("acc", 8);
+    d.addHole("sel", 1, {"op"});
+    d.assign("acc", d.opIte(d.var("sel"),
+                            d.opAdd(d.var("acc"), d.var("acc")),
+                            d.var("acc")));
+    synth::AbsFunc alpha;
+    using synth::Effect;
+    using synth::MapType;
+    alpha.map("op", "op", MapType::Input, {{Effect::Read, 1}});
+    alpha.map("acc", "acc", MapType::Register,
+              {{Effect::Read, 1}, {Effect::Write, 1}});
+    alpha.withCycles(1);
+
+    std::string pair;
+    EXPECT_EQ(checkMutualExclusion(d, spec, alpha, &pair),
+              SynthStatus::Unsat);
+    EXPECT_EQ(pair, "A/B");
+}
+
+TEST(SynthFailure, TimeBudgetRespected)
+{
+    // An absurdly small wall budget must end in Timeout, quickly.
+    CaseStudy cs = makeAluMachine();
+    SynthesisOptions opts;
+    opts.timeLimit = std::chrono::milliseconds(1);
+    SynthesisResult r =
+        synthesizeControl(cs.sketch, cs.spec, cs.alpha, opts);
+    EXPECT_EQ(r.status, SynthStatus::Timeout);
+    EXPECT_LT(r.seconds, 10.0);
+}

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * `owl` — the command-line driver for the control logic synthesis
+ * toolchain. Wraps the library for the common workflows:
+ *
+ *   owl list
+ *       List the built-in case studies.
+ *   owl sketch <design>
+ *       Print a design's datapath sketch in Oyster concrete syntax.
+ *   owl alpha <design>
+ *       Print a design's abstraction function (§3.2 syntax).
+ *   owl synth <design> [--mono] [--budget <s>] [-o out.v]
+ *       Synthesize control logic; optionally via the monolithic
+ *       Equation (1) query; optionally emit Verilog of the completed
+ *       design.
+ *   owl control <design>
+ *       Synthesize and print just the generated control logic,
+ *       PyRTL-style (the Figure 7 view).
+ *   owl verify <design>
+ *       Synthesize, then independently re-verify the completed design
+ *       against the specification.
+ *
+ * Designs: accumulator, alu-machine, rv32i, rv32i-zbkb, rv32i-zbkc,
+ * rv32i-2stage, rv32i-zbkb-2stage, rv32i-zbkc-2stage, crypto-core,
+ * aes.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "core/absfunc_parser.h"
+#include "core/synthesis.h"
+#include "designs/accumulator.h"
+#include "designs/aes_accelerator.h"
+#include "designs/alu_machine.h"
+#include "designs/crypto_core.h"
+#include "designs/riscv_single_cycle.h"
+#include "designs/riscv_two_stage.h"
+#include "oyster/printer.h"
+#include "oyster/verilog.h"
+
+using namespace owl;
+using namespace owl::designs;
+using namespace owl::synth;
+
+namespace
+{
+
+using Maker = std::function<CaseStudy()>;
+
+const std::map<std::string, Maker> &
+registry()
+{
+    static const std::map<std::string, Maker> r = {
+        {"accumulator", [] { return makeAccumulator(); }},
+        {"alu-machine", [] { return makeAluMachine(); }},
+        {"rv32i",
+         [] { return makeRiscvSingleCycle(RiscvVariant::RV32I); }},
+        {"rv32i-zbkb",
+         [] {
+             return makeRiscvSingleCycle(RiscvVariant::RV32I_Zbkb);
+         }},
+        {"rv32i-zbkc",
+         [] {
+             return makeRiscvSingleCycle(RiscvVariant::RV32I_Zbkc);
+         }},
+        {"rv32i-2stage",
+         [] { return makeRiscvTwoStage(RiscvVariant::RV32I); }},
+        {"rv32i-zbkb-2stage",
+         [] { return makeRiscvTwoStage(RiscvVariant::RV32I_Zbkb); }},
+        {"rv32i-zbkc-2stage",
+         [] { return makeRiscvTwoStage(RiscvVariant::RV32I_Zbkc); }},
+        {"crypto-core", [] { return makeCryptoCore(); }},
+        {"aes", [] { return makeAesAccelerator(); }},
+    };
+    return r;
+}
+
+int
+usage()
+{
+    fprintf(stderr,
+            "usage: owl <command> [<design>] [options]\n"
+            "commands: list | sketch | alpha | synth | control | "
+            "verify\n"
+            "options (synth): --mono, --budget <seconds>, -o <file.v>\n"
+            "run `owl list` for the design names\n");
+    return 2;
+}
+
+CaseStudy
+make(const std::string &name)
+{
+    auto it = registry().find(name);
+    if (it == registry().end()) {
+        fprintf(stderr, "unknown design '%s'; try `owl list`\n",
+                name.c_str());
+        exit(2);
+    }
+    return it->second();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+
+    if (cmd == "list") {
+        for (const auto &[name, maker] : registry())
+            printf("%s\n", name.c_str());
+        return 0;
+    }
+    if (argc < 3)
+        return usage();
+    std::string design = argv[2];
+
+    bool mono = false;
+    long budget_s = 0;
+    std::string out_verilog;
+    for (int i = 3; i < argc; i++) {
+        if (!strcmp(argv[i], "--mono")) {
+            mono = true;
+        } else if (!strcmp(argv[i], "--budget") && i + 1 < argc) {
+            budget_s = atol(argv[++i]);
+        } else if (!strcmp(argv[i], "-o") && i + 1 < argc) {
+            out_verilog = argv[++i];
+        } else {
+            return usage();
+        }
+    }
+
+    CaseStudy cs = make(design);
+
+    if (cmd == "sketch") {
+        fputs(oyster::printOyster(cs.sketch).c_str(), stdout);
+        return 0;
+    }
+    if (cmd == "alpha") {
+        fputs(printAbsFunc(cs.alpha).c_str(), stdout);
+        return 0;
+    }
+    if (cmd != "synth" && cmd != "control" && cmd != "verify")
+        return usage();
+
+    SynthesisOptions opts;
+    opts.perInstruction = !mono;
+    if (budget_s > 0)
+        opts.timeLimit = std::chrono::milliseconds(budget_s * 1000);
+    if (mono)
+        opts.maxIterations = 1 << 20;
+    fprintf(stderr, "[owl] synthesizing %s control for %s (%zu "
+                    "instructions, sketch %d LoC)...\n",
+            mono ? "monolithic" : "per-instruction", design.c_str(),
+            cs.spec.instrs().size(),
+            oyster::sketchSizeLoc(cs.sketch));
+    SynthesisResult r = synthesizeControl(cs.sketch, cs.spec, cs.alpha,
+                                          opts);
+    if (r.status != SynthStatus::Ok) {
+        fprintf(stderr, "[owl] synthesis failed: %s at %s\n",
+                synthStatusName(r.status), r.failedInstr.c_str());
+        return 1;
+    }
+    fprintf(stderr, "[owl] synthesized in %.2f s (%d CEGIS "
+                    "iterations)\n",
+            r.seconds, r.cegisIterations);
+
+    if (cmd == "control") {
+        fputs(oyster::printGeneratedControl(cs.sketch).c_str(),
+              stdout);
+    }
+    if (cmd == "verify") {
+        std::string failed;
+        SynthStatus v = verifyDesign(cs.sketch, cs.spec, cs.alpha,
+                                     &failed);
+        if (v != SynthStatus::Ok) {
+            fprintf(stderr, "[owl] verification failed at %s\n",
+                    failed.c_str());
+            return 1;
+        }
+        fprintf(stderr, "[owl] verified: every instruction's control "
+                        "is correct w.r.t. the specification\n");
+    }
+    if (!out_verilog.empty()) {
+        std::ofstream f(out_verilog);
+        f << oyster::emitVerilog(cs.sketch);
+        fprintf(stderr, "[owl] wrote %s\n", out_verilog.c_str());
+    }
+    return 0;
+}
