@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_consttime.dir/bench_consttime.cc.o"
+  "CMakeFiles/bench_consttime.dir/bench_consttime.cc.o.d"
+  "bench_consttime"
+  "bench_consttime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consttime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

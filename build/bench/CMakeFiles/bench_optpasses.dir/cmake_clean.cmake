@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optpasses.dir/bench_optpasses.cc.o"
+  "CMakeFiles/bench_optpasses.dir/bench_optpasses.cc.o.d"
+  "bench_optpasses"
+  "bench_optpasses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optpasses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aes_accelerator_demo.dir/aes_accelerator.cpp.o"
+  "CMakeFiles/aes_accelerator_demo.dir/aes_accelerator.cpp.o.d"
+  "aes_accelerator_demo"
+  "aes_accelerator_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aes_accelerator_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alu_pipeline.dir/alu_pipeline.cpp.o"
+  "CMakeFiles/alu_pipeline.dir/alu_pipeline.cpp.o.d"
+  "alu_pipeline"
+  "alu_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alu_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constant_time_sha.dir/constant_time_sha.cpp.o"
+  "CMakeFiles/constant_time_sha.dir/constant_time_sha.cpp.o.d"
+  "constant_time_sha"
+  "constant_time_sha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constant_time_sha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for constant_time_sha.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_extension.dir/custom_extension.cpp.o"
+  "CMakeFiles/custom_extension.dir/custom_extension.cpp.o.d"
+  "custom_extension"
+  "custom_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

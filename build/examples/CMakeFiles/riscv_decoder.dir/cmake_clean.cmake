@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_decoder.dir/riscv_decoder.cpp.o"
+  "CMakeFiles/riscv_decoder.dir/riscv_decoder.cpp.o.d"
+  "riscv_decoder"
+  "riscv_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

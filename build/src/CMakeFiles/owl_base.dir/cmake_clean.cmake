@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owl_base.dir/base/bitvec.cc.o"
+  "CMakeFiles/owl_base.dir/base/bitvec.cc.o.d"
+  "CMakeFiles/owl_base.dir/base/logging.cc.o"
+  "CMakeFiles/owl_base.dir/base/logging.cc.o.d"
+  "libowl_base.a"
+  "libowl_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owl_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

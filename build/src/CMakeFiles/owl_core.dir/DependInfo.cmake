@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/absfunc.cc" "src/CMakeFiles/owl_core.dir/core/absfunc.cc.o" "gcc" "src/CMakeFiles/owl_core.dir/core/absfunc.cc.o.d"
+  "/root/repo/src/core/absfunc_parser.cc" "src/CMakeFiles/owl_core.dir/core/absfunc_parser.cc.o" "gcc" "src/CMakeFiles/owl_core.dir/core/absfunc_parser.cc.o.d"
+  "/root/repo/src/core/cegis.cc" "src/CMakeFiles/owl_core.dir/core/cegis.cc.o" "gcc" "src/CMakeFiles/owl_core.dir/core/cegis.cc.o.d"
+  "/root/repo/src/core/control_union.cc" "src/CMakeFiles/owl_core.dir/core/control_union.cc.o" "gcc" "src/CMakeFiles/owl_core.dir/core/control_union.cc.o.d"
+  "/root/repo/src/core/spec_compiler.cc" "src/CMakeFiles/owl_core.dir/core/spec_compiler.cc.o" "gcc" "src/CMakeFiles/owl_core.dir/core/spec_compiler.cc.o.d"
+  "/root/repo/src/core/synthesis.cc" "src/CMakeFiles/owl_core.dir/core/synthesis.cc.o" "gcc" "src/CMakeFiles/owl_core.dir/core/synthesis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/owl_oyster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_ila.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

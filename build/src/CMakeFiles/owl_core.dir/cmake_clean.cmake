@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owl_core.dir/core/absfunc.cc.o"
+  "CMakeFiles/owl_core.dir/core/absfunc.cc.o.d"
+  "CMakeFiles/owl_core.dir/core/absfunc_parser.cc.o"
+  "CMakeFiles/owl_core.dir/core/absfunc_parser.cc.o.d"
+  "CMakeFiles/owl_core.dir/core/cegis.cc.o"
+  "CMakeFiles/owl_core.dir/core/cegis.cc.o.d"
+  "CMakeFiles/owl_core.dir/core/control_union.cc.o"
+  "CMakeFiles/owl_core.dir/core/control_union.cc.o.d"
+  "CMakeFiles/owl_core.dir/core/spec_compiler.cc.o"
+  "CMakeFiles/owl_core.dir/core/spec_compiler.cc.o.d"
+  "CMakeFiles/owl_core.dir/core/synthesis.cc.o"
+  "CMakeFiles/owl_core.dir/core/synthesis.cc.o.d"
+  "libowl_core.a"
+  "libowl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/designs/accumulator.cc" "src/CMakeFiles/owl_designs.dir/designs/accumulator.cc.o" "gcc" "src/CMakeFiles/owl_designs.dir/designs/accumulator.cc.o.d"
+  "/root/repo/src/designs/aes_sketch.cc" "src/CMakeFiles/owl_designs.dir/designs/aes_sketch.cc.o" "gcc" "src/CMakeFiles/owl_designs.dir/designs/aes_sketch.cc.o.d"
+  "/root/repo/src/designs/aes_spec.cc" "src/CMakeFiles/owl_designs.dir/designs/aes_spec.cc.o" "gcc" "src/CMakeFiles/owl_designs.dir/designs/aes_spec.cc.o.d"
+  "/root/repo/src/designs/aes_tables.cc" "src/CMakeFiles/owl_designs.dir/designs/aes_tables.cc.o" "gcc" "src/CMakeFiles/owl_designs.dir/designs/aes_tables.cc.o.d"
+  "/root/repo/src/designs/alu_machine.cc" "src/CMakeFiles/owl_designs.dir/designs/alu_machine.cc.o" "gcc" "src/CMakeFiles/owl_designs.dir/designs/alu_machine.cc.o.d"
+  "/root/repo/src/designs/crypto_core.cc" "src/CMakeFiles/owl_designs.dir/designs/crypto_core.cc.o" "gcc" "src/CMakeFiles/owl_designs.dir/designs/crypto_core.cc.o.d"
+  "/root/repo/src/designs/riscv_datapath.cc" "src/CMakeFiles/owl_designs.dir/designs/riscv_datapath.cc.o" "gcc" "src/CMakeFiles/owl_designs.dir/designs/riscv_datapath.cc.o.d"
+  "/root/repo/src/designs/riscv_reference_control.cc" "src/CMakeFiles/owl_designs.dir/designs/riscv_reference_control.cc.o" "gcc" "src/CMakeFiles/owl_designs.dir/designs/riscv_reference_control.cc.o.d"
+  "/root/repo/src/designs/riscv_single_cycle.cc" "src/CMakeFiles/owl_designs.dir/designs/riscv_single_cycle.cc.o" "gcc" "src/CMakeFiles/owl_designs.dir/designs/riscv_single_cycle.cc.o.d"
+  "/root/repo/src/designs/riscv_spec.cc" "src/CMakeFiles/owl_designs.dir/designs/riscv_spec.cc.o" "gcc" "src/CMakeFiles/owl_designs.dir/designs/riscv_spec.cc.o.d"
+  "/root/repo/src/designs/riscv_two_stage.cc" "src/CMakeFiles/owl_designs.dir/designs/riscv_two_stage.cc.o" "gcc" "src/CMakeFiles/owl_designs.dir/designs/riscv_two_stage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/owl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_rv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_oyster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_ila.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

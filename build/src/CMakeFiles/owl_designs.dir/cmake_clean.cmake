@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owl_designs.dir/designs/accumulator.cc.o"
+  "CMakeFiles/owl_designs.dir/designs/accumulator.cc.o.d"
+  "CMakeFiles/owl_designs.dir/designs/aes_sketch.cc.o"
+  "CMakeFiles/owl_designs.dir/designs/aes_sketch.cc.o.d"
+  "CMakeFiles/owl_designs.dir/designs/aes_spec.cc.o"
+  "CMakeFiles/owl_designs.dir/designs/aes_spec.cc.o.d"
+  "CMakeFiles/owl_designs.dir/designs/aes_tables.cc.o"
+  "CMakeFiles/owl_designs.dir/designs/aes_tables.cc.o.d"
+  "CMakeFiles/owl_designs.dir/designs/alu_machine.cc.o"
+  "CMakeFiles/owl_designs.dir/designs/alu_machine.cc.o.d"
+  "CMakeFiles/owl_designs.dir/designs/crypto_core.cc.o"
+  "CMakeFiles/owl_designs.dir/designs/crypto_core.cc.o.d"
+  "CMakeFiles/owl_designs.dir/designs/riscv_datapath.cc.o"
+  "CMakeFiles/owl_designs.dir/designs/riscv_datapath.cc.o.d"
+  "CMakeFiles/owl_designs.dir/designs/riscv_reference_control.cc.o"
+  "CMakeFiles/owl_designs.dir/designs/riscv_reference_control.cc.o.d"
+  "CMakeFiles/owl_designs.dir/designs/riscv_single_cycle.cc.o"
+  "CMakeFiles/owl_designs.dir/designs/riscv_single_cycle.cc.o.d"
+  "CMakeFiles/owl_designs.dir/designs/riscv_spec.cc.o"
+  "CMakeFiles/owl_designs.dir/designs/riscv_spec.cc.o.d"
+  "CMakeFiles/owl_designs.dir/designs/riscv_two_stage.cc.o"
+  "CMakeFiles/owl_designs.dir/designs/riscv_two_stage.cc.o.d"
+  "libowl_designs.a"
+  "libowl_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owl_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ila/expr.cc" "src/CMakeFiles/owl_ila.dir/ila/expr.cc.o" "gcc" "src/CMakeFiles/owl_ila.dir/ila/expr.cc.o.d"
+  "/root/repo/src/ila/ila.cc" "src/CMakeFiles/owl_ila.dir/ila/ila.cc.o" "gcc" "src/CMakeFiles/owl_ila.dir/ila/ila.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/owl_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owl_ila.dir/ila/expr.cc.o"
+  "CMakeFiles/owl_ila.dir/ila/expr.cc.o.d"
+  "CMakeFiles/owl_ila.dir/ila/ila.cc.o"
+  "CMakeFiles/owl_ila.dir/ila/ila.cc.o.d"
+  "libowl_ila.a"
+  "libowl_ila.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owl_ila.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/compile.cc" "src/CMakeFiles/owl_netlist.dir/netlist/compile.cc.o" "gcc" "src/CMakeFiles/owl_netlist.dir/netlist/compile.cc.o.d"
+  "/root/repo/src/netlist/netlist.cc" "src/CMakeFiles/owl_netlist.dir/netlist/netlist.cc.o" "gcc" "src/CMakeFiles/owl_netlist.dir/netlist/netlist.cc.o.d"
+  "/root/repo/src/netlist/optimize.cc" "src/CMakeFiles/owl_netlist.dir/netlist/optimize.cc.o" "gcc" "src/CMakeFiles/owl_netlist.dir/netlist/optimize.cc.o.d"
+  "/root/repo/src/netlist/sim.cc" "src/CMakeFiles/owl_netlist.dir/netlist/sim.cc.o" "gcc" "src/CMakeFiles/owl_netlist.dir/netlist/sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/owl_oyster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

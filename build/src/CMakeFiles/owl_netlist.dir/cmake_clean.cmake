@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owl_netlist.dir/netlist/compile.cc.o"
+  "CMakeFiles/owl_netlist.dir/netlist/compile.cc.o.d"
+  "CMakeFiles/owl_netlist.dir/netlist/netlist.cc.o"
+  "CMakeFiles/owl_netlist.dir/netlist/netlist.cc.o.d"
+  "CMakeFiles/owl_netlist.dir/netlist/optimize.cc.o"
+  "CMakeFiles/owl_netlist.dir/netlist/optimize.cc.o.d"
+  "CMakeFiles/owl_netlist.dir/netlist/sim.cc.o"
+  "CMakeFiles/owl_netlist.dir/netlist/sim.cc.o.d"
+  "libowl_netlist.a"
+  "libowl_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owl_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

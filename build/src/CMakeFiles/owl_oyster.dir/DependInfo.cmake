@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oyster/builder.cc" "src/CMakeFiles/owl_oyster.dir/oyster/builder.cc.o" "gcc" "src/CMakeFiles/owl_oyster.dir/oyster/builder.cc.o.d"
+  "/root/repo/src/oyster/interp.cc" "src/CMakeFiles/owl_oyster.dir/oyster/interp.cc.o" "gcc" "src/CMakeFiles/owl_oyster.dir/oyster/interp.cc.o.d"
+  "/root/repo/src/oyster/ir.cc" "src/CMakeFiles/owl_oyster.dir/oyster/ir.cc.o" "gcc" "src/CMakeFiles/owl_oyster.dir/oyster/ir.cc.o.d"
+  "/root/repo/src/oyster/parser.cc" "src/CMakeFiles/owl_oyster.dir/oyster/parser.cc.o" "gcc" "src/CMakeFiles/owl_oyster.dir/oyster/parser.cc.o.d"
+  "/root/repo/src/oyster/printer.cc" "src/CMakeFiles/owl_oyster.dir/oyster/printer.cc.o" "gcc" "src/CMakeFiles/owl_oyster.dir/oyster/printer.cc.o.d"
+  "/root/repo/src/oyster/symeval.cc" "src/CMakeFiles/owl_oyster.dir/oyster/symeval.cc.o" "gcc" "src/CMakeFiles/owl_oyster.dir/oyster/symeval.cc.o.d"
+  "/root/repo/src/oyster/verilog.cc" "src/CMakeFiles/owl_oyster.dir/oyster/verilog.cc.o" "gcc" "src/CMakeFiles/owl_oyster.dir/oyster/verilog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/owl_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

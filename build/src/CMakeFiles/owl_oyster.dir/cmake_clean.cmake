@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owl_oyster.dir/oyster/builder.cc.o"
+  "CMakeFiles/owl_oyster.dir/oyster/builder.cc.o.d"
+  "CMakeFiles/owl_oyster.dir/oyster/interp.cc.o"
+  "CMakeFiles/owl_oyster.dir/oyster/interp.cc.o.d"
+  "CMakeFiles/owl_oyster.dir/oyster/ir.cc.o"
+  "CMakeFiles/owl_oyster.dir/oyster/ir.cc.o.d"
+  "CMakeFiles/owl_oyster.dir/oyster/parser.cc.o"
+  "CMakeFiles/owl_oyster.dir/oyster/parser.cc.o.d"
+  "CMakeFiles/owl_oyster.dir/oyster/printer.cc.o"
+  "CMakeFiles/owl_oyster.dir/oyster/printer.cc.o.d"
+  "CMakeFiles/owl_oyster.dir/oyster/symeval.cc.o"
+  "CMakeFiles/owl_oyster.dir/oyster/symeval.cc.o.d"
+  "CMakeFiles/owl_oyster.dir/oyster/verilog.cc.o"
+  "CMakeFiles/owl_oyster.dir/oyster/verilog.cc.o.d"
+  "libowl_oyster.a"
+  "libowl_oyster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owl_oyster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rv/encode.cc" "src/CMakeFiles/owl_rv.dir/rv/encode.cc.o" "gcc" "src/CMakeFiles/owl_rv.dir/rv/encode.cc.o.d"
+  "/root/repo/src/rv/iss.cc" "src/CMakeFiles/owl_rv.dir/rv/iss.cc.o" "gcc" "src/CMakeFiles/owl_rv.dir/rv/iss.cc.o.d"
+  "/root/repo/src/rv/sha256_gen.cc" "src/CMakeFiles/owl_rv.dir/rv/sha256_gen.cc.o" "gcc" "src/CMakeFiles/owl_rv.dir/rv/sha256_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/owl_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

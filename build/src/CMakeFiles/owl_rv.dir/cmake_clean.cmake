@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owl_rv.dir/rv/encode.cc.o"
+  "CMakeFiles/owl_rv.dir/rv/encode.cc.o.d"
+  "CMakeFiles/owl_rv.dir/rv/iss.cc.o"
+  "CMakeFiles/owl_rv.dir/rv/iss.cc.o.d"
+  "CMakeFiles/owl_rv.dir/rv/sha256_gen.cc.o"
+  "CMakeFiles/owl_rv.dir/rv/sha256_gen.cc.o.d"
+  "libowl_rv.a"
+  "libowl_rv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owl_rv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owl_sat.dir/sat/solver.cc.o"
+  "CMakeFiles/owl_sat.dir/sat/solver.cc.o.d"
+  "libowl_sat.a"
+  "libowl_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owl_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owl_smt.dir/smt/bitblast.cc.o"
+  "CMakeFiles/owl_smt.dir/smt/bitblast.cc.o.d"
+  "CMakeFiles/owl_smt.dir/smt/simplify.cc.o"
+  "CMakeFiles/owl_smt.dir/smt/simplify.cc.o.d"
+  "CMakeFiles/owl_smt.dir/smt/solver.cc.o"
+  "CMakeFiles/owl_smt.dir/smt/solver.cc.o.d"
+  "CMakeFiles/owl_smt.dir/smt/term.cc.o"
+  "CMakeFiles/owl_smt.dir/smt/term.cc.o.d"
+  "libowl_smt.a"
+  "libowl_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owl_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libowl_smt.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_absfunc.dir/test_absfunc.cc.o"
+  "CMakeFiles/test_absfunc.dir/test_absfunc.cc.o.d"
+  "test_absfunc"
+  "test_absfunc.pdb"
+  "test_absfunc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_absfunc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consttime.dir/test_consttime.cc.o"
+  "CMakeFiles/test_consttime.dir/test_consttime.cc.o.d"
+  "test_consttime"
+  "test_consttime.pdb"
+  "test_consttime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consttime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ila.dir/test_ila.cc.o"
+  "CMakeFiles/test_ila.dir/test_ila.cc.o.d"
+  "test_ila"
+  "test_ila.pdb"
+  "test_ila[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ila.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oyster.dir/test_oyster.cc.o"
+  "CMakeFiles/test_oyster.dir/test_oyster.cc.o.d"
+  "test_oyster"
+  "test_oyster.pdb"
+  "test_oyster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oyster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synthfail.dir/test_synthfail.cc.o"
+  "CMakeFiles/test_synthfail.dir/test_synthfail.cc.o.d"
+  "test_synthfail"
+  "test_synthfail.pdb"
+  "test_synthfail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synthfail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_verilog.cc" "tests/CMakeFiles/test_verilog.dir/test_verilog.cc.o" "gcc" "tests/CMakeFiles/test_verilog.dir/test_verilog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/owl_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_ila.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_rv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_oyster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/owl_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

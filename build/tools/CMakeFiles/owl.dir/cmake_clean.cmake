@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owl.dir/owl_tool.cc.o"
+  "CMakeFiles/owl.dir/owl_tool.cc.o.d"
+  "owl"
+  "owl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
