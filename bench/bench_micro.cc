@@ -5,13 +5,23 @@
  * one-instruction CEGIS, the AES accelerator interpreter, and the
  * netlist optimizer. These track the constants behind the Table 1
  * times.
+ *
+ * The BM_SatSolveObsEnabled/Disabled pair runs the identical SAT
+ * workload with owl::obs recording on and off; their times should be
+ * indistinguishable, verifying that the disabled instrumentation path
+ * adds no measurable overhead to sat::Solver::solve. After the run,
+ * the obs registry accumulated across all benchmarks is exported to
+ * BENCH_micro_obs.json (override with OWL_STATS_JSON).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <random>
 
 #include "core/synthesis.h"
+#include "obs/obs.h"
 #include "designs/aes_accelerator.h"
 #include "designs/aes_tables.h"
 #include "designs/riscv_single_cycle.h"
@@ -43,6 +53,48 @@ BM_SatRandom3Sat(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SatRandom3Sat)->Arg(50)->Arg(100)->Arg(150);
+
+namespace
+{
+
+/** Fixed random-3SAT workload shared by the obs on/off pair. */
+void
+satObsWorkload(benchmark::State &state)
+{
+    const int n = 100;
+    for (auto _ : state) {
+        std::mt19937 rng(7);
+        sat::Solver s;
+        for (int i = 0; i < n; i++)
+            (void)s.newVar();
+        int m = static_cast<int>(n * 4.1);
+        for (int c = 0; c < m; c++) {
+            s.addClause(sat::Lit(rng() % n, rng() % 2),
+                        sat::Lit(rng() % n, rng() % 2),
+                        sat::Lit(rng() % n, rng() % 2));
+        }
+        benchmark::DoNotOptimize(s.solve());
+    }
+}
+
+} // namespace
+
+static void
+BM_SatSolveObsEnabled(benchmark::State &state)
+{
+    obs::setEnabled(true);
+    satObsWorkload(state);
+}
+BENCHMARK(BM_SatSolveObsEnabled);
+
+static void
+BM_SatSolveObsDisabled(benchmark::State &state)
+{
+    obs::setEnabled(false);
+    satObsWorkload(state);
+    obs::setEnabled(true);
+}
+BENCHMARK(BM_SatSolveObsDisabled);
 
 static void
 BM_BitblastAddMulEquality(benchmark::State &state)
@@ -135,4 +187,22 @@ BM_NetlistOptimizeRiscv(benchmark::State &state)
 }
 BENCHMARK(BM_NetlistOptimizeRiscv)->Iterations(3);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    const char *stats_path = std::getenv("OWL_STATS_JSON");
+    if (!stats_path)
+        stats_path = "BENCH_micro_obs.json";
+    if (obs::Registry::instance().writeJsonFile(
+            stats_path, {{"tool", "bench_micro"}})) {
+        fprintf(stderr, "[bench_micro] wrote stats to %s\n",
+                stats_path);
+    }
+    return 0;
+}

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "obs/obs.h"
 #include "oyster/symeval.h"
 #include "smt/solver.h"
 
@@ -154,6 +155,7 @@ InstrSynthesizer::verifyCandidate(const ila::Instr &instr,
                                   Counterexample *cex,
                                   const CegisOptions &opts)
 {
+    obs::ScopedSpan span("verify");
     TermTable tt;
     SymbolicEvaluator ev(sketch, tt);
     for (const auto &[name, value] : candidate)
@@ -183,12 +185,17 @@ InstrSynthesizer::verifyCandidate(const ila::Instr &instr,
     CheckResult r = smt::checkSat(tt, assertions, &model, limits);
     switch (r) {
       case CheckResult::Unsat:
+        span.attr("result", "valid");
         return SynthStatus::Ok;
       case CheckResult::Unknown:
+        span.attr("result", "timeout");
         return SynthStatus::Timeout;
       case CheckResult::Sat:
-        if (cex)
+        span.attr("result", "refuted");
+        if (cex) {
             extractCounterexample(tt, model, memNames, *cex);
+            OWL_COUNTER_INC("cegis.counterexamples");
+        }
         return SynthStatus::Unsat; // candidate refuted
     }
     owl_panic("unreachable");
@@ -200,6 +207,8 @@ InstrSynthesizer::synthStep(const ila::Instr &instr,
                             HoleValues &candidate,
                             const CegisOptions &opts)
 {
+    obs::ScopedSpan span("synth");
+    span.attr("cex_count", cexes.size());
     TermTable tt;
 
     // Shared hole variables across every counterexample replay.
@@ -272,44 +281,79 @@ InstrSynthesizer::synthStep(const ila::Instr &instr,
     return SynthStatus::Ok;
 }
 
+namespace
+{
+
+/** Number of holes whose value differs between two candidates. */
+int
+holeDelta(const HoleValues &before, const HoleValues &after)
+{
+    int changed = 0;
+    for (const auto &[name, v] : after) {
+        auto it = before.find(name);
+        if (it == before.end() || !(it->second == v))
+            changed++;
+    }
+    return changed;
+}
+
+} // namespace
+
 CegisResult
 InstrSynthesizer::synthesize(const ila::Instr &instr,
                              const HoleValues *pin,
                              const CegisOptions &opts)
 {
+    obs::ScopedSpan span("cegis");
+    span.attr("instr", instr.name());
+    span.attr("pinned", pin ? 1 : 0);
+    OWL_COUNTER_INC("cegis.instructions");
+
     CegisResult result;
     HoleValues candidate = pin ? *pin : zeroCandidate();
     // Fill any holes missing from the pin with zeros.
     for (auto &[name, v] : zeroCandidate())
         candidate.emplace(name, v);
 
+    auto finish = [&](SynthStatus status) {
+        result.status = status;
+        span.attr("status", synthStatusName(status));
+        span.attr("iterations", result.iterations);
+        OWL_TRACE_EVENT("cegis", "done instr=", instr.name(),
+                        " status=", synthStatusName(status),
+                        " iterations=", result.iterations);
+        return result;
+    };
+
     std::vector<Counterexample> cexes;
     for (int iter = 0; iter < opts.maxIterations; iter++) {
         result.iterations = iter + 1;
-        if (opts.expired()) {
-            result.status = SynthStatus::Timeout;
-            return result;
-        }
+        OWL_COUNTER_INC("cegis.iterations");
+        obs::ScopedSpan iter_span("cegis.iter");
+        iter_span.attr("n", iter);
+        iter_span.attr("cex_count", cexes.size());
+        if (opts.expired())
+            return finish(SynthStatus::Timeout);
         Counterexample cex;
         SynthStatus v = verifyCandidate(instr, candidate, &cex, opts);
         if (v == SynthStatus::Ok) {
-            result.status = SynthStatus::Ok;
             result.holes = candidate;
-            return result;
+            return finish(SynthStatus::Ok);
         }
-        if (v == SynthStatus::Timeout) {
-            result.status = SynthStatus::Timeout;
-            return result;
-        }
+        if (v == SynthStatus::Timeout)
+            return finish(SynthStatus::Timeout);
         cexes.push_back(std::move(cex));
+        HoleValues previous = candidate;
         SynthStatus s = synthStep(instr, cexes, candidate, opts);
-        if (s != SynthStatus::Ok) {
-            result.status = s;
-            return result;
-        }
+        if (s != SynthStatus::Ok)
+            return finish(s);
+        int delta = holeDelta(previous, candidate);
+        iter_span.attr("hole_delta", delta);
+        OWL_TRACE_EVENT("cegis", "iter instr=", instr.name(),
+                        " n=", iter, " cex=", cexes.size(),
+                        " hole_delta=", delta);
     }
-    result.status = SynthStatus::IterLimit;
-    return result;
+    return finish(SynthStatus::IterLimit);
 }
 
 } // namespace owl::synth

@@ -3,6 +3,7 @@
 #include <iostream>
 
 #include "base/logging.h"
+#include "obs/obs.h"
 #include "oyster/symeval.h"
 #include "smt/solver.h"
 
@@ -57,6 +58,10 @@ class MonolithicSynthesizer
     run(PerInstrResults &results, const CegisOptions &opts,
         int &iterations)
     {
+        obs::ScopedSpan span("cegis");
+        span.attr("mono", 1);
+        span.attr("instrs", instrs.size());
+
         // candidate[j][hole] for instruction j.
         std::vector<HoleValues> candidate(instrs.size());
         for (size_t j = 0; j < instrs.size(); j++) {
@@ -67,6 +72,10 @@ class MonolithicSynthesizer
         std::vector<Counterexample> cexes;
         for (int iter = 0; iter < opts.maxIterations; iter++) {
             iterations = iter + 1;
+            OWL_COUNTER_INC("cegis.iterations");
+            obs::ScopedSpan iter_span("cegis.iter");
+            iter_span.attr("n", iter);
+            iter_span.attr("cex_count", cexes.size());
             if (opts.expired())
                 return SynthStatus::Timeout;
             Counterexample cex;
@@ -81,6 +90,9 @@ class MonolithicSynthesizer
             if (v == SynthStatus::Timeout)
                 return SynthStatus::Timeout;
             cexes.push_back(std::move(cex));
+            OWL_COUNTER_INC("cegis.counterexamples");
+            OWL_TRACE_EVENT("cegis", "mono iter n=", iter,
+                            " cex=", cexes.size());
             SynthStatus s = synth(cexes, candidate, opts);
             if (s != SynthStatus::Ok)
                 return s;
@@ -111,6 +123,7 @@ class MonolithicSynthesizer
     verify(const std::vector<HoleValues> &candidate, Counterexample &cex,
            const CegisOptions &opts)
     {
+        obs::ScopedSpan span("verify");
         TermTable tt;
         SymbolicEvaluator ev(sketch, tt);
         std::map<std::string, TermRef> hole_vars;
@@ -168,6 +181,8 @@ class MonolithicSynthesizer
     synth(const std::vector<Counterexample> &cexes,
           std::vector<HoleValues> &candidate, const CegisOptions &opts)
     {
+        obs::ScopedSpan span("synth");
+        span.attr("cex_count", cexes.size());
         TermTable tt;
         // Per-instruction, per-hole constant variables.
         std::vector<std::map<std::string, TermRef>> cvars(instrs.size());
@@ -277,6 +292,11 @@ SynthesisResult
 synthesizeControl(oyster::Design &sketch, const ila::Ila &spec,
                   const AbsFunc &alpha, const SynthesisOptions &opts)
 {
+    obs::ScopedSpan span("synthesize");
+    span.attr("instrs", spec.instrs().size());
+    span.attr("per_instruction", opts.perInstruction ? 1 : 0);
+    OWL_COUNTER_INC("synth.runs");
+
     SynthesisResult result;
     auto start = std::chrono::steady_clock::now();
     std::chrono::steady_clock::time_point deadline{};
@@ -317,6 +337,9 @@ synthesizeControl(oyster::Design &sketch, const ila::Ila &spec,
     result.seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();
+    span.attr("status", synthStatusName(result.status));
+    span.attr("iterations", result.cegisIterations);
+    span.attr("millis", static_cast<int64_t>(result.seconds * 1000));
     return result;
 }
 
@@ -325,6 +348,7 @@ checkMutualExclusion(const oyster::Design &design, const ila::Ila &spec,
                      const AbsFunc &alpha, std::string *failed_pair,
                      const CegisOptions &opts)
 {
+    obs::ScopedSpan span("mutex_check");
     // Decode conditions only touch the pre-state, so one symbolic run
     // serves all pairwise checks. Holes (if the design is still a
     // sketch) become fresh variables; decode conditions cannot depend
@@ -407,6 +431,9 @@ verifyDesign(const oyster::Design &design, const ila::Ila &spec,
              const AbsFunc &alpha, std::string *failed_instr,
              const CegisOptions &opts)
 {
+    obs::ScopedSpan span("verifyDesign");
+    span.attr("instrs", spec.instrs().size());
+    OWL_COUNTER_INC("verify.designs");
     design.validate(/*allow_holes=*/false);
     // With pairwise-disjoint decode conditions, the generated
     // precondition wires can be pinned to constants in the decode

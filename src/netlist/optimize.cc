@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "base/logging.h"
+#include "obs/obs.h"
 
 namespace owl::netlist
 {
@@ -274,17 +275,47 @@ deadCodeElim(Netlist &nl)
 OptStats
 optimize(Netlist &nl, const PassConfig &cfg)
 {
+    obs::ScopedSpan span("netlist.optimize");
     OptStats stats;
     stats.gatesBefore = nl.gateCount();
     for (int iter = 0; iter < cfg.maxIterations; iter++) {
         stats.iterations = iter + 1;
+        obs::ScopedSpan pass_span("netlist.pass");
+        pass_span.attr("n", iter);
+        int gates_in = nl.gateCount();
         bool changed = sweep(nl, cfg, stats);
         if (cfg.dce)
             stats.deadRemoved += deadCodeElim(nl);
+        pass_span.attr("gates_before", gates_in);
+        pass_span.attr("gates_after", nl.gateCount());
         if (!changed)
             break;
     }
     stats.gatesAfter = nl.gateCount();
+    span.attr("gates_before", stats.gatesBefore);
+    span.attr("gates_after", stats.gatesAfter);
+    span.attr("iterations", stats.iterations);
+    span.attr("const_folded", stats.constFolded);
+    span.attr("cse_merged", stats.cseMerged);
+    span.attr("dead_removed", stats.deadRemoved);
+    OWL_COUNTER_INC("netlist.optimize_runs");
+    OWL_COUNTER_ADD("netlist.gates_removed",
+                    static_cast<uint64_t>(
+                        stats.gatesBefore > stats.gatesAfter
+                            ? stats.gatesBefore - stats.gatesAfter
+                            : 0));
+    OWL_COUNTER_ADD("netlist.const_folded",
+                    static_cast<uint64_t>(stats.constFolded));
+    OWL_COUNTER_ADD("netlist.cse_merged",
+                    static_cast<uint64_t>(stats.cseMerged));
+    OWL_COUNTER_ADD("netlist.dead_removed",
+                    static_cast<uint64_t>(stats.deadRemoved));
+    OWL_TRACE_EVENT("netlist", "optimize gates ", stats.gatesBefore,
+                    " -> ", stats.gatesAfter,
+                    " iterations=", stats.iterations,
+                    " const_folded=", stats.constFolded,
+                    " cse_merged=", stats.cseMerged,
+                    " dead_removed=", stats.deadRemoved);
     return stats;
 }
 

@@ -1,0 +1,334 @@
+#include "obs/obs.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
+
+namespace owl::obs
+{
+
+namespace
+{
+
+std::atomic<bool> &
+enabledFlag()
+{
+    static std::atomic<bool> flag = [] {
+        const char *env = std::getenv("OWL_OBS");
+        bool on = true;
+        if (env && (std::string(env) == "0" ||
+                    std::string(env) == "off" ||
+                    std::string(env) == "false")) {
+            on = false;
+        }
+        return std::atomic<bool>(on);
+    }();
+    return flag;
+}
+
+std::chrono::steady_clock::time_point
+epoch()
+{
+    static const auto e = std::chrono::steady_clock::now();
+    return e;
+}
+
+/** Per-thread stack of open spans (innermost last). */
+thread_local std::vector<SpanNode *> tlSpanStack;
+
+struct TraceState
+{
+    std::mutex mu;
+    std::set<std::string> categories;
+    bool all = false;
+    std::atomic<bool> any{false};
+};
+
+TraceState &
+traceState()
+{
+    static TraceState st;
+    static bool initialized = [] {
+        if (const char *env = std::getenv("OWL_TRACE")) {
+            std::stringstream ss{std::string(env)};
+            std::string tok;
+            while (std::getline(ss, tok, ',')) {
+                if (tok.empty())
+                    continue;
+                if (tok == "all" || tok == "1")
+                    st.all = true;
+                else
+                    st.categories.insert(tok);
+            }
+        }
+        st.any.store(st.all || !st.categories.empty());
+        return true;
+    }();
+    (void)initialized;
+    return st;
+}
+
+} // namespace
+
+#if OWL_OBS_ENABLED
+bool
+enabled()
+{
+    return enabledFlag().load(std::memory_order_relaxed);
+}
+#endif
+
+void
+setEnabled(bool on)
+{
+    enabledFlag().store(on, std::memory_order_relaxed);
+}
+
+uint64_t
+nowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch())
+        .count();
+}
+
+// ---- spans -------------------------------------------------------------
+
+void
+ScopedSpan::begin(const char *name)
+{
+    node = new SpanNode;
+    node->name = name;
+    node->startNs = nowNs();
+    tlSpanStack.push_back(node);
+}
+
+void
+ScopedSpan::end()
+{
+    node->durNs = nowNs() - node->startNs;
+    // The innermost open span on this thread is necessarily this one:
+    // ScopedSpan is stack-allocated and spans strictly nest.
+    tlSpanStack.pop_back();
+    std::unique_ptr<SpanNode> owned(node);
+    node = nullptr;
+    if (!tlSpanStack.empty())
+        tlSpanStack.back()->children.push_back(std::move(owned));
+    else
+        Registry::instance().addRoot(std::move(owned));
+}
+
+void
+ScopedSpan::attr(const char *key, int64_t value)
+{
+    if (!node)
+        return;
+    node->attrs.push_back(SpanAttr{key, false, value, {}});
+}
+
+void
+ScopedSpan::attr(const char *key, const std::string &value)
+{
+    if (!node)
+        return;
+    node->attrs.push_back(SpanAttr{key, true, 0, value});
+}
+
+// ---- registry ----------------------------------------------------------
+
+struct Registry::Impl
+{
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::vector<std::unique_ptr<SpanNode>> roots;
+};
+
+Registry::Impl &
+Registry::impl() const
+{
+    static Impl i;
+    return i;
+}
+
+Registry &
+Registry::instance()
+{
+    static Registry r;
+    return r;
+}
+
+Counter &
+Registry::counter(const std::string &name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    auto it = i.counters.find(name);
+    if (it == i.counters.end()) {
+        it = i.counters.emplace(name, std::make_unique<Counter>())
+                 .first;
+    }
+    return *it->second;
+}
+
+uint64_t
+Registry::counterValue(const std::string &name) const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    auto it = i.counters.find(name);
+    return it == i.counters.end() ? 0 : it->second->get();
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+Registry::counters() const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(i.counters.size());
+    for (const auto &[name, c] : i.counters)
+        out.emplace_back(name, c->get());
+    return out;
+}
+
+size_t
+Registry::rootSpanCount() const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    return i.roots.size();
+}
+
+void
+Registry::addRoot(std::unique_ptr<SpanNode> node)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    i.roots.push_back(std::move(node));
+}
+
+void
+Registry::reset()
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    for (auto &[name, c] : i.counters)
+        c->reset();
+    i.roots.clear();
+}
+
+namespace
+{
+
+json::Value
+spanToJson(const SpanNode &n)
+{
+    json::Value v = json::Value::object();
+    v.set("name", n.name);
+    v.set("start_ns", static_cast<int64_t>(n.startNs));
+    v.set("dur_ns", static_cast<int64_t>(n.durNs));
+    json::Value attrs = json::Value::object();
+    for (const SpanAttr &a : n.attrs) {
+        if (a.isString)
+            attrs.set(a.key, a.str);
+        else
+            attrs.set(a.key, a.num);
+    }
+    v.set("attrs", std::move(attrs));
+    json::Value children = json::Value::array();
+    for (const auto &c : n.children)
+        children.push(spanToJson(*c));
+    v.set("children", std::move(children));
+    return v;
+}
+
+} // namespace
+
+json::Value
+Registry::toJson(
+    const std::vector<std::pair<std::string, std::string>> &meta) const
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    json::Value root = json::Value::object();
+    root.set("schema", "owl.obs.v1");
+    if (!meta.empty()) {
+        json::Value m = json::Value::object();
+        for (const auto &[k, v] : meta)
+            m.set(k, v);
+        root.set("meta", std::move(m));
+    }
+    json::Value counters = json::Value::object();
+    for (const auto &[name, c] : i.counters)
+        counters.set(name, c->get());
+    root.set("counters", std::move(counters));
+    json::Value spans = json::Value::array();
+    for (const auto &r : i.roots)
+        spans.push(spanToJson(*r));
+    root.set("spans", std::move(spans));
+    return root;
+}
+
+std::string
+Registry::toJsonString(
+    const std::vector<std::pair<std::string, std::string>> &meta) const
+{
+    return toJson(meta).dump(2);
+}
+
+bool
+Registry::writeJsonFile(
+    const std::string &path,
+    const std::vector<std::pair<std::string, std::string>> &meta) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << toJsonString(meta);
+    return static_cast<bool>(f);
+}
+
+// ---- structured trace log ----------------------------------------------
+
+bool
+traceEnabled(const char *category)
+{
+    TraceState &st = traceState();
+    if (!st.any.load(std::memory_order_relaxed))
+        return false;
+    std::lock_guard<std::mutex> lock(st.mu);
+    return st.all || st.categories.count(category) > 0;
+}
+
+void
+setTraceCategories(const std::string &csv)
+{
+    TraceState &st = traceState();
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.categories.clear();
+    st.all = false;
+    std::stringstream ss(csv);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+        if (tok.empty())
+            continue;
+        if (tok == "all" || tok == "1")
+            st.all = true;
+        else
+            st.categories.insert(tok);
+    }
+    st.any.store(st.all || !st.categories.empty());
+}
+
+void
+traceEvent(const char *category, const std::string &msg)
+{
+    fprintf(stderr, "[owl:%s] %s\n", category, msg.c_str());
+}
+
+} // namespace owl::obs

@@ -1,0 +1,284 @@
+/**
+ * @file
+ * owl::obs — the unified instrumentation layer for the synthesis
+ * pipeline (registry of counters, hierarchical timed spans, a JSON
+ * stats exporter, and an env-var-gated structured trace log).
+ *
+ * The paper's headline results are wall-clock and solver-effort
+ * numbers (Tables 1-3: per-instruction synthesis time, CEGIS
+ * iteration counts, SAT conflicts); this module gives every layer one
+ * common way to record and export them.
+ *
+ *  - Counters: process-wide named uint64 accumulators, atomically
+ *    updated. `OWL_COUNTER_ADD("sat.conflicts", n)` caches the
+ *    registry lookup in a function-local static, so the steady-state
+ *    cost is one branch plus one relaxed atomic add.
+ *
+ *  - Spans: `ScopedSpan s("smt.checkSat")` records a timed region on
+ *    a thread-local stack; nested spans become children, producing a
+ *    tree like `cegis > cegis.iter > verify > smt.checkSat >
+ *    sat.solve`. Spans carry integer/string attributes (iteration
+ *    numbers, counterexample counts, solver effort).
+ *
+ *  - Export: Registry::toJson() serializes counters + the span forest
+ *    to the stable `owl.obs.v1` schema consumed by the bench harness
+ *    (BENCH_*.json), `owl --stats-json`, and CI's schema check
+ *    (tools/check_stats_schema.py).
+ *
+ *  - Trace: `OWL_TRACE=cegis,smt` (or `all`) enables per-category
+ *    structured event lines on stderr via `OWL_TRACE_EVENT(...)`.
+ *
+ * Switches: compile-time `OWL_OBS_ENABLED=0` (CMake option) turns the
+ * macros and span/counter bodies into no-ops; at runtime, the env var
+ * `OWL_OBS=0` or obs::setEnabled(false) disables recording. The
+ * disabled path adds no measurable overhead to hot loops (verified by
+ * bench_micro's BM_SatSolveObs* pair): hot-loop counting stays in the
+ * layers' own stats structs (e.g. sat::Stats) and is flushed into the
+ * registry once per solve call.
+ */
+
+#ifndef OWL_OBS_OBS_H
+#define OWL_OBS_OBS_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/logging.h" // formatMsg, used by OWL_TRACE_EVENT
+#include "obs/json.h"
+
+#ifndef OWL_OBS_ENABLED
+#define OWL_OBS_ENABLED 1
+#endif
+
+namespace owl::obs
+{
+
+/** True when the instrumentation layer is compiled in. */
+constexpr bool
+compiledIn()
+{
+    return OWL_OBS_ENABLED != 0;
+}
+
+#if OWL_OBS_ENABLED
+/** True when recording is compiled in and enabled at runtime. */
+bool enabled();
+#else
+constexpr bool enabled() { return false; }
+#endif
+
+/** Flip runtime recording (initial value: env OWL_OBS != "0"). */
+void setEnabled(bool on);
+
+/** Nanoseconds since the process-wide obs epoch (steady clock). */
+uint64_t nowNs();
+
+// ---- counters ----------------------------------------------------------
+
+/** A named process-wide accumulator. Thread-safe. */
+class Counter
+{
+  public:
+    void add(uint64_t delta) { v.fetch_add(delta, std::memory_order_relaxed); }
+    uint64_t get() const { return v.load(std::memory_order_relaxed); }
+    void reset() { v.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> v{0};
+};
+
+// ---- spans -------------------------------------------------------------
+
+/** One attribute on a span: integer or string valued. */
+struct SpanAttr
+{
+    std::string key;
+    bool isString = false;
+    int64_t num = 0;
+    std::string str;
+};
+
+/** A completed timed region; children are fully nested sub-regions. */
+struct SpanNode
+{
+    std::string name;
+    uint64_t startNs = 0;
+    uint64_t durNs = 0;
+    std::vector<SpanAttr> attrs;
+    std::vector<std::unique_ptr<SpanNode>> children;
+};
+
+/**
+ * RAII span. Construction opens a region (child of the innermost open
+ * span on this thread); destruction closes it and attaches it to its
+ * parent, or to the registry's root forest for top-level spans.
+ * Inactive (and free apart from one branch) while recording is
+ * disabled.
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name)
+    {
+        if (enabled())
+            begin(name);
+    }
+    ~ScopedSpan()
+    {
+        if (node)
+            end();
+    }
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    bool active() const { return node != nullptr; }
+
+    /** Attach an integer attribute (no-op when inactive). */
+    void attr(const char *key, int64_t value);
+    void attr(const char *key, uint64_t value)
+    {
+        attr(key, static_cast<int64_t>(value));
+    }
+    void attr(const char *key, int value)
+    {
+        attr(key, static_cast<int64_t>(value));
+    }
+    /** Attach a string attribute (no-op when inactive). */
+    void attr(const char *key, const std::string &value);
+    void attr(const char *key, const char *value)
+    {
+        attr(key, std::string(value));
+    }
+
+  private:
+    SpanNode *node = nullptr;
+
+    void begin(const char *name);
+    void end();
+};
+
+// ---- registry ----------------------------------------------------------
+
+/**
+ * The process-wide sink for counters and completed span trees.
+ * counter() returns a stable reference suitable for caching in a
+ * static (OWL_COUNTER_ADD does exactly that).
+ */
+class Registry
+{
+  public:
+    static Registry &instance();
+
+    /** Find-or-create a counter. The reference never moves. */
+    Counter &counter(const std::string &name);
+
+    /** Current value; 0 for unknown counters. */
+    uint64_t counterValue(const std::string &name) const;
+
+    /** Name -> value snapshot, sorted by name. */
+    std::vector<std::pair<std::string, uint64_t>> counters() const;
+
+    /** Number of completed top-level spans. */
+    size_t rootSpanCount() const;
+
+    /**
+     * Serialize to the owl.obs.v1 schema:
+     *
+     *   { "schema": "owl.obs.v1",
+     *     "meta":     { "<k>": "<v>", ... },           // optional
+     *     "counters": { "<name>": <uint>, ... },
+     *     "spans":    [ { "name": str, "start_ns": int,
+     *                     "dur_ns": int,
+     *                     "attrs": { k: int|str, ... },
+     *                     "children": [ ...same shape... ] } ] }
+     */
+    json::Value toJson(
+        const std::vector<std::pair<std::string, std::string>> &meta =
+            {}) const;
+    std::string toJsonString(
+        const std::vector<std::pair<std::string, std::string>> &meta =
+            {}) const;
+
+    /** Write toJsonString() to a file; false on I/O failure. */
+    bool writeJsonFile(
+        const std::string &path,
+        const std::vector<std::pair<std::string, std::string>> &meta =
+            {}) const;
+
+    /**
+     * Zero every counter and drop all completed spans. Counter
+     * references stay valid. Only call with no spans open (tests,
+     * between top-level runs).
+     */
+    void reset();
+
+    // Used by ScopedSpan: take ownership of a completed root span.
+    void addRoot(std::unique_ptr<SpanNode> node);
+
+  private:
+    Registry() = default;
+    struct Impl;
+    Impl &impl() const;
+};
+
+// ---- structured trace log ----------------------------------------------
+
+/**
+ * True when the category is listed in OWL_TRACE (comma-separated; the
+ * special value `all` or `1` enables everything) or was enabled via
+ * setTraceCategories().
+ */
+bool traceEnabled(const char *category);
+
+/** Replace the trace category set, e.g. "cegis,smt" or "all" or "". */
+void setTraceCategories(const std::string &csv);
+
+/** Emit one structured event line: `[owl:<category>] <msg>`. */
+void traceEvent(const char *category, const std::string &msg);
+
+} // namespace owl::obs
+
+#if OWL_OBS_ENABLED
+
+/**
+ * Bump a named counter. The registry lookup happens once per call
+ * site; the steady state is a branch + relaxed atomic add. Counters
+ * touched by a call site exist in the registry (at value 0) even if
+ * recording was disabled for every hit.
+ */
+#define OWL_COUNTER_ADD(name, delta) \
+    do { \
+        static ::owl::obs::Counter &owl_obs_c_ = \
+            ::owl::obs::Registry::instance().counter(name); \
+        if (::owl::obs::enabled()) \
+            owl_obs_c_.add(delta); \
+    } while (0)
+
+/** Emit a structured trace event when the category is enabled. */
+#define OWL_TRACE_EVENT(category, ...) \
+    do { \
+        if (::owl::obs::traceEnabled(category)) { \
+            ::owl::obs::traceEvent( \
+                category, ::owl::detail::formatMsg(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#else
+
+#define OWL_COUNTER_ADD(name, delta) \
+    do { \
+        (void)sizeof(delta); \
+    } while (0)
+#define OWL_TRACE_EVENT(category, ...) \
+    do { \
+    } while (0)
+
+#endif // OWL_OBS_ENABLED
+
+#define OWL_COUNTER_INC(name) OWL_COUNTER_ADD(name, 1)
+
+#endif // OWL_OBS_OBS_H

@@ -1,6 +1,7 @@
 #include "oyster/symeval.h"
 
 #include "base/logging.h"
+#include "obs/obs.h"
 
 namespace owl::oyster
 {
@@ -192,6 +193,10 @@ SymRun
 SymbolicEvaluator::run(int cycles)
 {
     owl_assert(cycles >= 1, "symbolic run needs at least one cycle");
+    obs::ScopedSpan span("symeval.run");
+    span.attr("cycles", cycles);
+    size_t terms_before = tt.numNodes();
+    OWL_COUNTER_INC("symeval.runs");
     SymRun out;
 
     // Assign stable memory ids by declaration order and register ROM
@@ -289,6 +294,9 @@ SymbolicEvaluator::run(int cycles)
         out.wires.emplace_back(env.begin(), env.end());
         out.states.push_back(std::move(next));
     }
+    size_t terms_added = tt.numNodes() - terms_before;
+    span.attr("terms_added", terms_added);
+    OWL_COUNTER_ADD("symeval.term_nodes", terms_added);
     return out;
 }
 

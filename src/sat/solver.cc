@@ -4,9 +4,59 @@
 #include <cmath>
 
 #include "base/logging.h"
+#include "obs/obs.h"
 
 namespace owl::sat
 {
+
+namespace
+{
+
+/**
+ * Flushes one solve() call's Stats deltas into the obs registry and
+ * times the call as a `sat.solve` span (nested under whatever span the
+ * caller has open, e.g. smt.checkSat). Destructor-driven so every
+ * return path is covered. Costs one branch per solve when obs is
+ * disabled; the CDCL loop itself is untouched.
+ */
+class SolveObs
+{
+  public:
+    explicit SolveObs(const Stats &current)
+        : stats(current), before(current), span("sat.solve")
+    {
+    }
+
+    ~SolveObs()
+    {
+        if (!obs::enabled())
+            return;
+        uint64_t conflicts = stats.conflicts - before.conflicts;
+        uint64_t props = stats.propagations - before.propagations;
+        OWL_COUNTER_INC("sat.solves");
+        OWL_COUNTER_ADD("sat.conflicts", conflicts);
+        OWL_COUNTER_ADD("sat.decisions",
+                        stats.decisions - before.decisions);
+        OWL_COUNTER_ADD("sat.propagations", props);
+        OWL_COUNTER_ADD("sat.restarts",
+                        stats.restarts - before.restarts);
+        OWL_COUNTER_ADD("sat.learned_clauses",
+                        stats.learnedClauses - before.learnedClauses);
+        OWL_COUNTER_ADD("sat.learned_literals",
+                        stats.learnedLiterals - before.learnedLiterals);
+        OWL_COUNTER_ADD("sat.learned_deleted",
+                        stats.learnedDeleted - before.learnedDeleted);
+        span.attr("conflicts", conflicts);
+        span.attr("propagations", props);
+    }
+
+  private:
+    const Stats &stats;
+    Stats before;
+    obs::ScopedSpan span;
+};
+
+} // namespace
 
 Solver::Solver()
 {
@@ -384,6 +434,7 @@ Solver::luby(uint64_t i)
 Result
 Solver::solve(const std::vector<Lit> &assumptions)
 {
+    SolveObs solve_obs(statistics);
     if (unsatisfiable)
         return Result::Unsat;
 
@@ -413,6 +464,8 @@ Solver::solve(const std::vector<Lit> &assumptions)
             }
             int bt_level;
             analyze(confl, learnt, bt_level);
+            statistics.learnedClauses++;
+            statistics.learnedLiterals += learnt.size();
             // If the conflict is below the assumption levels the
             // formula is unsat under these assumptions.
             backtrack(bt_level);

@@ -46,13 +46,21 @@ class Lit
 /** Result of a solve call. */
 enum class Result { Sat, Unsat, Unknown };
 
-/** Solver statistics for benchmarking and tests. */
+/**
+ * Solver statistics for benchmarking and tests. Counted in the hot
+ * loop here (plain uint64 increments); solve() flushes the per-call
+ * deltas into the obs::Registry (sat.* counters) on exit, so SAT
+ * effort shows up in every exported stats file.
+ */
 struct Stats
 {
     uint64_t conflicts = 0;
     uint64_t decisions = 0;
     uint64_t propagations = 0;
     uint64_t restarts = 0;
+    uint64_t learnedClauses = 0;
+    /** Total literals across learned clauses (proof-size proxy). */
+    uint64_t learnedLiterals = 0;
     uint64_t learnedDeleted = 0;
 };
 

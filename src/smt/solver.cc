@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "obs/obs.h"
 #include "smt/bitblast.h"
 
 namespace owl::smt
@@ -41,10 +42,29 @@ Model::toAssignment(const TermTable &tt) const
     return asg;
 }
 
+namespace
+{
+
+const char *
+checkResultName(sat::Result r)
+{
+    switch (r) {
+      case sat::Result::Sat: return "sat";
+      case sat::Result::Unsat: return "unsat";
+      case sat::Result::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+} // namespace
+
 CheckResult
 checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
          Model *model, const SolveLimits &limits, CheckStats *stats)
 {
+    obs::ScopedSpan span("smt.checkSat");
+    OWL_COUNTER_INC("smt.checks");
+
     // Gather leaves to (a) add Ackermann constraints and (b) know what
     // to extract into the model.
     std::vector<TermRef> vars, base_reads;
@@ -55,28 +75,36 @@ checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
     // inside mkImplies/mkEq.
     std::vector<TermRef> all = assertions;
     size_t n_ack = 0;
-    // Deduplicate base reads (collectLeaves already visits each node
-    // once, but be safe).
-    std::sort(base_reads.begin(), base_reads.end(),
-              [](TermRef a, TermRef b) { return a.idx < b.idx; });
-    base_reads.erase(std::unique(base_reads.begin(), base_reads.end()),
-                     base_reads.end());
-    for (size_t i = 0; i < base_reads.size(); i++) {
-        for (size_t j = i + 1; j < base_reads.size(); j++) {
-            // Copy fields out: mk* below may reallocate the node pool.
-            Node ni = tt.node(base_reads[i]);
-            Node nj = tt.node(base_reads[j]);
-            if (ni.a != nj.a)
-                continue; // different memories
-            TermRef addr_eq = tt.mkEq(ni.children[0], nj.children[0]);
-            TermRef val_eq = tt.mkEq(base_reads[i], base_reads[j]);
-            TermRef cong = tt.mkImplies(addr_eq, val_eq);
-            if (tt.isTrue(cong))
-                continue;
-            all.push_back(cong);
-            n_ack++;
+    {
+        obs::ScopedSpan ack_span("smt.ackermann");
+        // Deduplicate base reads (collectLeaves already visits each
+        // node once, but be safe).
+        std::sort(base_reads.begin(), base_reads.end(),
+                  [](TermRef a, TermRef b) { return a.idx < b.idx; });
+        base_reads.erase(
+            std::unique(base_reads.begin(), base_reads.end()),
+            base_reads.end());
+        for (size_t i = 0; i < base_reads.size(); i++) {
+            for (size_t j = i + 1; j < base_reads.size(); j++) {
+                // Copy fields out: mk* below may reallocate the pool.
+                Node ni = tt.node(base_reads[i]);
+                Node nj = tt.node(base_reads[j]);
+                if (ni.a != nj.a)
+                    continue; // different memories
+                TermRef addr_eq =
+                    tt.mkEq(ni.children[0], nj.children[0]);
+                TermRef val_eq =
+                    tt.mkEq(base_reads[i], base_reads[j]);
+                TermRef cong = tt.mkImplies(addr_eq, val_eq);
+                if (tt.isTrue(cong))
+                    continue;
+                all.push_back(cong);
+                n_ack++;
+            }
         }
+        ack_span.attr("constraints", n_ack);
     }
+    OWL_COUNTER_ADD("smt.ackermann_constraints", n_ack);
 
     sat::Solver solver;
     if (limits.timeLimit.count() > 0)
@@ -86,23 +114,46 @@ checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
 
     BitBlaster blaster(tt, solver);
     bool trivially_false = false;
-    for (TermRef a : all) {
-        owl_assert(tt.width(a) == 1, "assertion must be 1-bit");
-        if (tt.isFalse(a)) {
-            trivially_false = true;
-            break;
+    {
+        obs::ScopedSpan bb_span("smt.bitblast");
+        for (TermRef a : all) {
+            owl_assert(tt.width(a) == 1, "assertion must be 1-bit");
+            if (tt.isFalse(a)) {
+                trivially_false = true;
+                break;
+            }
+            blaster.assertTrue(a);
         }
-        blaster.assertTrue(a);
+        bb_span.attr("sat_vars", static_cast<int64_t>(solver.numVars()));
+        bb_span.attr("terms", static_cast<int64_t>(tt.numNodes()));
+    }
+    OWL_COUNTER_ADD("smt.sat_vars",
+                    static_cast<uint64_t>(solver.numVars()));
+    OWL_COUNTER_ADD("smt.term_nodes",
+                    static_cast<uint64_t>(tt.numNodes()));
+
+    if (trivially_false) {
+        span.attr("result", "unsat-trivial");
+        return CheckResult::Unsat;
     }
 
-    if (trivially_false)
-        return CheckResult::Unsat;
-
     sat::Result r = solver.solve();
+    span.attr("result", checkResultName(r));
+    span.attr("sat_vars", static_cast<int64_t>(solver.numVars()));
+    span.attr("conflicts", solver.stats().conflicts);
+    OWL_TRACE_EVENT("smt", "checkSat result=", checkResultName(r),
+                    " assertions=", assertions.size(),
+                    " terms=", tt.numNodes(),
+                    " sat_vars=", solver.numVars(),
+                    " ackermann=", n_ack,
+                    " conflicts=", solver.stats().conflicts,
+                    " propagations=", solver.stats().propagations);
     if (stats) {
         stats->satVars = solver.numVars();
         stats->ackermannConstraints = n_ack;
         stats->conflicts = solver.stats().conflicts;
+        stats->propagations = solver.stats().propagations;
+        stats->termNodes = tt.numNodes();
     }
     switch (r) {
       case sat::Result::Unsat:

@@ -53,6 +53,9 @@ struct CheckStats
     size_t satVars = 0;
     size_t ackermannConstraints = 0;
     uint64_t conflicts = 0;
+    uint64_t propagations = 0;
+    /** Term-DAG nodes in the table after bit-blasting. */
+    size_t termNodes = 0;
 };
 
 /**

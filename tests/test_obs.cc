@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Tests for the owl::obs instrumentation layer: the JSON value type,
+ * counter accumulation (including across threads), span
+ * nesting/ordering, the owl.obs.v1 export schema round-trip, the
+ * runtime disable switch, and a pipeline test asserting that a small
+ * CEGIS run produces the expected span tree and SAT counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <thread>
+
+#include "core/synthesis.h"
+#include "designs/accumulator.h"
+#include "obs/json.h"
+#include "obs/obs.h"
+
+using namespace owl;
+using obs::json::Value;
+
+namespace
+{
+
+/** Depth-first search for a span node by name in exported JSON. */
+const Value *
+findSpan(const Value &spans, const std::string &name)
+{
+    for (const Value &s : spans.items()) {
+        if (s.find("name") && s.find("name")->asString() == name)
+            return &s;
+        if (const Value *children = s.find("children")) {
+            if (const Value *hit = findSpan(*children, name))
+                return hit;
+        }
+    }
+    return nullptr;
+}
+
+class ObsTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!obs::compiledIn())
+            GTEST_SKIP() << "owl::obs compiled out";
+        obs::setEnabled(true);
+        obs::Registry::instance().reset();
+    }
+};
+
+} // namespace
+
+// ---- JSON value/parser -------------------------------------------------
+
+TEST(ObsJson, ParseScalars)
+{
+    Value v;
+    ASSERT_TRUE(Value::parse("42", v));
+    EXPECT_TRUE(v.isInt());
+    EXPECT_EQ(v.asInt(), 42);
+    ASSERT_TRUE(Value::parse("-3.5", v));
+    EXPECT_TRUE(v.isNumber());
+    EXPECT_DOUBLE_EQ(v.asDouble(), -3.5);
+    ASSERT_TRUE(Value::parse("true", v));
+    EXPECT_TRUE(v.isBool());
+    ASSERT_TRUE(Value::parse("null", v));
+    EXPECT_TRUE(v.isNull());
+    ASSERT_TRUE(Value::parse("\"a\\nb\\\"c\\u0041\"", v));
+    EXPECT_EQ(v.asString(), "a\nb\"cA");
+}
+
+TEST(ObsJson, ParseNested)
+{
+    Value v;
+    std::string err;
+    ASSERT_TRUE(Value::parse(
+        R"({"a": [1, 2, {"b": "x"}], "c": {}, "d": []})", v, &err))
+        << err;
+    ASSERT_TRUE(v.isObject());
+    const Value *a = v.find("a");
+    ASSERT_NE(a, nullptr);
+    ASSERT_EQ(a->size(), 3u);
+    EXPECT_EQ(a->items()[0].asInt(), 1);
+    EXPECT_EQ(a->items()[2].find("b")->asString(), "x");
+}
+
+TEST(ObsJson, RejectsMalformed)
+{
+    Value v;
+    EXPECT_FALSE(Value::parse("{", v));
+    EXPECT_FALSE(Value::parse("[1,]", v));
+    EXPECT_FALSE(Value::parse("\"unterminated", v));
+    EXPECT_FALSE(Value::parse("1 2", v));
+    std::string err;
+    EXPECT_FALSE(Value::parse("{\"k\": nope}", v, &err));
+    EXPECT_NE(err.find("offset"), std::string::npos);
+}
+
+TEST(ObsJson, DumpParseRoundTrip)
+{
+    Value v = Value::object();
+    v.set("s", "he\"llo\n");
+    v.set("i", int64_t{-7});
+    v.set("d", 2.25);
+    Value arr = Value::array();
+    arr.push(Value(true));
+    arr.push(Value());
+    v.set("a", std::move(arr));
+
+    for (int indent : {0, 2}) {
+        Value back;
+        std::string err;
+        ASSERT_TRUE(Value::parse(v.dump(indent), back, &err)) << err;
+        EXPECT_EQ(back.find("s")->asString(), "he\"llo\n");
+        EXPECT_EQ(back.find("i")->asInt(), -7);
+        EXPECT_DOUBLE_EQ(back.find("d")->asDouble(), 2.25);
+        EXPECT_TRUE(back.find("a")->items()[1].isNull());
+        // Serialization is stable across a round trip.
+        EXPECT_EQ(back.dump(indent), v.dump(indent));
+    }
+}
+
+// ---- counters ----------------------------------------------------------
+
+TEST_F(ObsTest, CounterAccumulates)
+{
+    OWL_COUNTER_ADD("test.counter", 3);
+    OWL_COUNTER_INC("test.counter");
+    auto &reg = obs::Registry::instance();
+    EXPECT_EQ(reg.counterValue("test.counter"), 4u);
+    EXPECT_EQ(reg.counterValue("test.absent"), 0u);
+}
+
+TEST_F(ObsTest, CounterAccumulatesAcrossThreads)
+{
+    auto &reg = obs::Registry::instance();
+    constexpr int kThreads = 4;
+    constexpr int kIters = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([&reg] {
+            for (int i = 0; i < kIters; i++)
+                reg.counter("test.mt").add(1);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(reg.counterValue("test.mt"),
+              uint64_t{kThreads} * kIters);
+}
+
+TEST_F(ObsTest, ResetZeroesCountersButKeepsReferences)
+{
+    auto &reg = obs::Registry::instance();
+    obs::Counter &c = reg.counter("test.reset");
+    c.add(5);
+    reg.reset();
+    EXPECT_EQ(reg.counterValue("test.reset"), 0u);
+    c.add(2); // reference still valid after reset
+    EXPECT_EQ(reg.counterValue("test.reset"), 2u);
+}
+
+// ---- spans -------------------------------------------------------------
+
+TEST_F(ObsTest, SpanNestingAndOrdering)
+{
+    {
+        obs::ScopedSpan outer("outer");
+        outer.attr("k", 1);
+        {
+            obs::ScopedSpan first("first");
+        }
+        {
+            obs::ScopedSpan second("second");
+        }
+    }
+    {
+        obs::ScopedSpan other("other");
+    }
+
+    Value doc;
+    ASSERT_TRUE(Value::parse(
+        obs::Registry::instance().toJsonString(), doc));
+    const Value &spans = *doc.find("spans");
+    ASSERT_EQ(spans.size(), 2u);
+    // Roots appear in completion order; children in start order.
+    const Value &outer = spans.items()[0];
+    EXPECT_EQ(outer.find("name")->asString(), "outer");
+    EXPECT_EQ(spans.items()[1].find("name")->asString(), "other");
+    const Value &children = *outer.find("children");
+    ASSERT_EQ(children.size(), 2u);
+    EXPECT_EQ(children.items()[0].find("name")->asString(), "first");
+    EXPECT_EQ(children.items()[1].find("name")->asString(), "second");
+    // Children start no earlier than the parent and fit inside it.
+    int64_t outer_start = outer.find("start_ns")->asInt();
+    int64_t outer_dur = outer.find("dur_ns")->asInt();
+    int64_t prev_start = outer_start;
+    for (const Value &c : children.items()) {
+        int64_t start = c.find("start_ns")->asInt();
+        EXPECT_GE(start, prev_start);
+        EXPECT_LE(start + c.find("dur_ns")->asInt(),
+                  outer_start + outer_dur);
+        prev_start = start;
+    }
+    EXPECT_EQ(outer.find("attrs")->find("k")->asInt(), 1);
+}
+
+TEST_F(ObsTest, RuntimeDisableRecordsNothing)
+{
+    obs::setEnabled(false);
+    {
+        obs::ScopedSpan span("invisible");
+        span.attr("k", 1);
+        EXPECT_FALSE(span.active());
+    }
+    OWL_COUNTER_ADD("test.disabled", 10);
+    obs::setEnabled(true);
+    auto &reg = obs::Registry::instance();
+    EXPECT_EQ(reg.rootSpanCount(), 0u);
+    EXPECT_EQ(reg.counterValue("test.disabled"), 0u);
+}
+
+TEST_F(ObsTest, TraceCategories)
+{
+    obs::setTraceCategories("cegis,smt");
+    EXPECT_TRUE(obs::traceEnabled("cegis"));
+    EXPECT_TRUE(obs::traceEnabled("smt"));
+    EXPECT_FALSE(obs::traceEnabled("netlist"));
+    obs::setTraceCategories("all");
+    EXPECT_TRUE(obs::traceEnabled("netlist"));
+    obs::setTraceCategories("");
+    EXPECT_FALSE(obs::traceEnabled("cegis"));
+}
+
+// ---- export schema -----------------------------------------------------
+
+TEST_F(ObsTest, ExportSchemaRoundTrip)
+{
+    OWL_COUNTER_ADD("test.export", 9);
+    {
+        obs::ScopedSpan span("region");
+        span.attr("num", 3);
+        span.attr("label", "abc");
+    }
+    std::string text = obs::Registry::instance().toJsonString(
+        {{"tool", "test"}, {"design", "none"}});
+    Value doc;
+    std::string err;
+    ASSERT_TRUE(Value::parse(text, doc, &err)) << err;
+    EXPECT_EQ(doc.find("schema")->asString(), "owl.obs.v1");
+    EXPECT_EQ(doc.find("meta")->find("tool")->asString(), "test");
+    EXPECT_EQ(doc.find("counters")->find("test.export")->asInt(), 9);
+    const Value *region = findSpan(*doc.find("spans"), "region");
+    ASSERT_NE(region, nullptr);
+    EXPECT_EQ(region->find("attrs")->find("num")->asInt(), 3);
+    EXPECT_EQ(region->find("attrs")->find("label")->asString(),
+              "abc");
+    EXPECT_GE(region->find("dur_ns")->asInt(), 0);
+}
+
+// ---- pipeline ----------------------------------------------------------
+
+TEST_F(ObsTest, CegisRunProducesSpanTreeAndSatCounters)
+{
+    designs::CaseStudy cs = designs::makeAccumulator();
+    synth::SynthesisResult r =
+        synth::synthesizeControl(cs.sketch, cs.spec, cs.alpha);
+    ASSERT_EQ(r.status, synth::SynthStatus::Ok);
+
+    Value doc;
+    ASSERT_TRUE(Value::parse(
+        obs::Registry::instance().toJsonString(), doc));
+    const Value &spans = *doc.find("spans");
+    ASSERT_GT(spans.size(), 0u);
+
+    // The tree must contain the full nesting chain: synthesize >
+    // cegis > cegis.iter > verify > smt.checkSat > sat.solve. Checks
+    // that are refuted trivially during bit-blasting never reach the
+    // SAT solver, so search for a checkSat node that did.
+    const Value *cegis = findSpan(spans, "cegis");
+    ASSERT_NE(cegis, nullptr);
+    const Value *iter = findSpan(*cegis->find("children"),
+                                 "cegis.iter");
+    ASSERT_NE(iter, nullptr) << "cegis span has no cegis.iter child";
+    EXPECT_NE(findSpan(*iter->find("children"), "smt.checkSat"),
+              nullptr);
+    const Value *solve = findSpan(spans, "sat.solve");
+    ASSERT_NE(solve, nullptr);
+    bool solve_under_check = false;
+    std::function<void(const Value &)> scan =
+        [&](const Value &list) {
+            for (const Value &s : list.items()) {
+                if (s.find("name")->asString() == "smt.checkSat" &&
+                    findSpan(*s.find("children"), "sat.solve"))
+                    solve_under_check = true;
+                scan(*s.find("children"));
+            }
+        };
+    scan(spans);
+    EXPECT_TRUE(solve_under_check)
+        << "no smt.checkSat span contains a sat.solve child";
+
+    // SAT effort is visible through the registry.
+    const Value &counters = *doc.find("counters");
+    EXPECT_GT(counters.find("sat.propagations")->asInt(), 0);
+    EXPECT_GT(counters.find("sat.decisions")->asInt(), 0);
+    EXPECT_GT(counters.find("smt.checks")->asInt(), 0);
+    EXPECT_GT(counters.find("cegis.iterations")->asInt(), 0);
+    EXPECT_EQ(counters.find("cegis.iterations")->asInt(),
+              r.cegisIterations);
+}

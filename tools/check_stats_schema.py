@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Validate owl::obs JSON stats files against the owl.obs.v1 schema.
+
+Usage:
+  check_stats_schema.py FILE [options]
+      Validate an already-emitted stats file.
+  check_stats_schema.py --owl PATH/TO/owl [options]
+      Run `owl synth accumulator --stats-json <tmp>` and validate the
+      result, additionally applying the pipeline acceptance checks
+      (cegis / smt.checkSat / sat.solve spans present, nonzero SAT
+      conflict and propagation counters). This is the form wired into
+      CTest so tier-1 runs catch exporter regressions.
+
+Options:
+  --require-span NAME             fail unless a span named NAME exists
+                                  (repeatable)
+  --require-nonzero-counter NAME  fail unless counter NAME > 0
+                                  (repeatable)
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCHEMA = "owl.obs.v1"
+
+
+class SchemaError(Exception):
+    pass
+
+
+def fail(path, msg):
+    raise SchemaError("%s: %s" % (path, msg))
+
+
+def check_span(span, path):
+    if not isinstance(span, dict):
+        fail(path, "span is not an object")
+    for key, typ in (("name", str), ("start_ns", int), ("dur_ns", int)):
+        if key not in span:
+            fail(path, "span missing required key %r" % key)
+        if not isinstance(span[key], typ) or isinstance(span[key], bool):
+            fail(path, "span key %r must be %s" % (key, typ.__name__))
+    if span["start_ns"] < 0 or span["dur_ns"] < 0:
+        fail(path, "span times must be non-negative")
+    attrs = span.get("attrs", {})
+    if not isinstance(attrs, dict):
+        fail(path, "attrs must be an object")
+    for k, v in attrs.items():
+        if not isinstance(k, str):
+            fail(path, "attr key %r must be a string" % (k,))
+        if isinstance(v, bool) or not isinstance(v, (int, float, str)):
+            fail(path, "attr %r must be a number or string" % k)
+    children = span.get("children", [])
+    if not isinstance(children, list):
+        fail(path, "children must be an array")
+    for i, child in enumerate(children):
+        check_span(child, "%s/children[%d]" % (path, i))
+
+
+def span_names(spans):
+    names = set()
+    todo = list(spans)
+    while todo:
+        s = todo.pop()
+        names.add(s["name"])
+        todo.extend(s.get("children", []))
+    return names
+
+
+def validate(doc):
+    if not isinstance(doc, dict):
+        fail("$", "document is not an object")
+    if doc.get("schema") != SCHEMA:
+        fail("$/schema", "expected %r, got %r" % (SCHEMA, doc.get("schema")))
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        fail("$/counters", "missing or not an object")
+    for name, value in counters.items():
+        if not isinstance(name, str):
+            fail("$/counters", "counter key %r must be a string" % (name,))
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            fail("$/counters/%s" % name,
+                 "counter must be a non-negative integer, got %r" % (value,))
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        fail("$/spans", "missing or not an array")
+    for i, span in enumerate(spans):
+        check_span(span, "$/spans[%d]" % i)
+    meta = doc.get("meta", {})
+    if not isinstance(meta, dict):
+        fail("$/meta", "must be an object")
+    for k, v in meta.items():
+        if not isinstance(k, str) or not isinstance(v, str):
+            fail("$/meta", "meta entries must be string -> string")
+
+
+def check_requirements(doc, require_spans, require_nonzero):
+    names = span_names(doc["spans"])
+    for name in require_spans:
+        if name not in names:
+            fail("$/spans", "required span %r not found (have: %s)"
+                 % (name, ", ".join(sorted(names)) or "<none>"))
+    for name in require_nonzero:
+        value = doc["counters"].get(name, 0)
+        if value <= 0:
+            fail("$/counters/%s" % name,
+                 "required nonzero counter is %r" % (value,))
+
+
+def run_owl(owl_bin):
+    """Run the accumulator example and return (stats_path, cleanup)."""
+    fd, path = tempfile.mkstemp(prefix="owl_stats_", suffix=".json")
+    os.close(fd)
+    cmd = [owl_bin, "synth", "accumulator", "--stats-json", path]
+    env = dict(os.environ, OWL_OBS="1")
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True,
+                          timeout=240)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SchemaError("%s exited with %d" % (" ".join(cmd),
+                                                 proc.returncode))
+    return path
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", nargs="?", help="stats JSON file to validate")
+    ap.add_argument("--owl", help="owl binary: run the accumulator "
+                                  "example and validate its stats")
+    ap.add_argument("--require-span", action="append", default=[])
+    ap.add_argument("--require-nonzero-counter", action="append",
+                    default=[])
+    args = ap.parse_args()
+
+    require_spans = list(args.require_span)
+    require_nonzero = list(args.require_nonzero_counter)
+
+    cleanup = None
+    if args.owl:
+        path = run_owl(args.owl)
+        cleanup = path
+        # The acceptance bar for the end-to-end accumulator run.
+        require_spans += ["cegis", "cegis.iter", "smt.checkSat",
+                          "sat.solve"]
+        require_nonzero += ["sat.conflicts", "sat.propagations",
+                            "sat.decisions", "cegis.iterations"]
+    elif args.file:
+        path = args.file
+    else:
+        ap.error("need a FILE or --owl")
+
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+        validate(doc)
+        check_requirements(doc, require_spans, require_nonzero)
+    except json.JSONDecodeError as e:
+        print("FAIL: %s is not valid JSON: %s" % (path, e))
+        return 1
+    except SchemaError as e:
+        print("FAIL: %s" % e)
+        return 1
+    finally:
+        if cleanup and os.path.exists(cleanup):
+            os.unlink(cleanup)
+
+    print("OK: %s conforms to %s (%d counters, %d root spans)"
+          % (args.owl or path, SCHEMA, len(doc["counters"]),
+             len(doc["spans"])))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

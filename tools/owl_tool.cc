@@ -13,6 +13,11 @@
  *       Synthesize control logic; optionally via the monolithic
  *       Equation (1) query; optionally emit Verilog of the completed
  *       design.
+ *
+ * All synthesis commands accept `--stats-json <path>`: on exit the
+ * owl::obs registry (CEGIS span tree, SAT/SMT counters) is exported
+ * to the given file in the owl.obs.v1 schema; see DESIGN.md §6.
+ * OWL_TRACE=cegis,smt enables the structured event log on stderr.
  *   owl control <design>
  *       Synthesize and print just the generated control logic,
  *       PyRTL-style (the Figure 7 view).
@@ -34,6 +39,7 @@
 
 #include "core/absfunc_parser.h"
 #include "core/synthesis.h"
+#include "obs/obs.h"
 #include "designs/accumulator.h"
 #include "designs/aes_accelerator.h"
 #include "designs/alu_machine.h"
@@ -88,6 +94,8 @@ usage()
             "commands: list | sketch | alpha | synth | control | "
             "verify\n"
             "options (synth): --mono, --budget <seconds>, -o <file.v>\n"
+            "options (any): --stats-json <file.json>  export "
+            "owl::obs spans+counters\n"
             "run `owl list` for the design names\n");
     return 2;
 }
@@ -125,6 +133,7 @@ main(int argc, char **argv)
     bool mono = false;
     long budget_s = 0;
     std::string out_verilog;
+    std::string stats_json;
     for (int i = 3; i < argc; i++) {
         if (!strcmp(argv[i], "--mono")) {
             mono = true;
@@ -132,19 +141,40 @@ main(int argc, char **argv)
             budget_s = atol(argv[++i]);
         } else if (!strcmp(argv[i], "-o") && i + 1 < argc) {
             out_verilog = argv[++i];
+        } else if (!strcmp(argv[i], "--stats-json") && i + 1 < argc) {
+            stats_json = argv[++i];
         } else {
             return usage();
         }
     }
 
+    // Export the obs registry on any exit path past this point, so
+    // failed runs still leave an inspectable stats artifact.
+    auto write_stats = [&]() {
+        if (stats_json.empty())
+            return;
+        bool ok = obs::Registry::instance().writeJsonFile(
+            stats_json, {{"tool", "owl"},
+                         {"command", cmd},
+                         {"design", design}});
+        if (ok)
+            fprintf(stderr, "[owl] wrote stats to %s\n",
+                    stats_json.c_str());
+        else
+            fprintf(stderr, "[owl] failed to write stats to %s\n",
+                    stats_json.c_str());
+    };
+
     CaseStudy cs = make(design);
 
     if (cmd == "sketch") {
         fputs(oyster::printOyster(cs.sketch).c_str(), stdout);
+        write_stats();
         return 0;
     }
     if (cmd == "alpha") {
         fputs(printAbsFunc(cs.alpha).c_str(), stdout);
+        write_stats();
         return 0;
     }
     if (cmd != "synth" && cmd != "control" && cmd != "verify")
@@ -166,6 +196,7 @@ main(int argc, char **argv)
     if (r.status != SynthStatus::Ok) {
         fprintf(stderr, "[owl] synthesis failed: %s at %s\n",
                 synthStatusName(r.status), r.failedInstr.c_str());
+        write_stats();
         return 1;
     }
     fprintf(stderr, "[owl] synthesized in %.2f s (%d CEGIS "
@@ -183,6 +214,7 @@ main(int argc, char **argv)
         if (v != SynthStatus::Ok) {
             fprintf(stderr, "[owl] verification failed at %s\n",
                     failed.c_str());
+            write_stats();
             return 1;
         }
         fprintf(stderr, "[owl] verified: every instruction's control "
@@ -193,5 +225,6 @@ main(int argc, char **argv)
         f << oyster::emitVerilog(cs.sketch);
         fprintf(stderr, "[owl] wrote %s\n", out_verilog.c_str());
     }
+    write_stats();
     return 0;
 }
