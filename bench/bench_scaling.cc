@@ -138,7 +138,7 @@ main()
             Design sketch = makeSketch();
             AbsFunc alpha = makeAlpha();
             SynthesisOptions opts;
-            opts.perInstruction = false;
+            opts.strategy = Strategy::Monolithic;
             opts.timeLimit = std::chrono::milliseconds(budget_s * 1000);
             SynthesisResult r =
                 synthesizeControl(sketch, spec, alpha, opts);

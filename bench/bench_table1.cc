@@ -54,7 +54,8 @@ row(const char *design, const char *variant, designs::CaseStudy cs,
 
     int loc = oyster::sketchSizeLoc(cs.sketch);
     SynthesisOptions opts;
-    opts.perInstruction = per_instruction;
+    opts.strategy = per_instruction ? Strategy::PerInstruction
+                                 : Strategy::Monolithic;
     opts.timeLimit = budget;
     if (!per_instruction) {
         // The wall-clock budget, not the CEGIS iteration cap, should

@@ -40,6 +40,19 @@ CegisOptions::remaining() const
         deadline - now);
 }
 
+smt::SolveLimits
+CegisOptions::solveLimits() const
+{
+    smt::SolveLimits limits;
+    limits.conflictLimit = conflictLimit;
+    if (hasDeadline())
+        limits.timeLimit = remaining();
+    limits.cancelFlag = cancelFlag;
+    limits.portfolioJobs = satPortfolio;
+    limits.portfolioSeed = satPortfolioSeed;
+    return limits;
+}
+
 std::map<int, std::string>
 memoryNames(const oyster::Design &sketch)
 {
@@ -177,12 +190,9 @@ InstrSynthesizer::verifyCandidate(const ila::Instr &instr,
         all_posts = tt.mkAnd(all_posts, p);
     assertions.push_back(tt.mkNot(all_posts));
 
-    smt::SolveLimits limits;
-    limits.conflictLimit = opts.conflictLimit;
-    if (opts.hasDeadline())
-        limits.timeLimit = opts.remaining();
     smt::Model model;
-    CheckResult r = smt::checkSat(tt, assertions, &model, limits);
+    CheckResult r =
+        smt::checkSat(tt, assertions, &model, opts.solveLimits());
     switch (r) {
       case CheckResult::Unsat:
         span.attr("result", "valid");
@@ -260,12 +270,9 @@ InstrSynthesizer::synthStep(const ila::Instr &instr,
         assertions.push_back(tt.mkImplies(lhs, rhs));
     }
 
-    smt::SolveLimits limits;
-    limits.conflictLimit = opts.conflictLimit;
-    if (opts.hasDeadline())
-        limits.timeLimit = opts.remaining();
     smt::Model model;
-    CheckResult r = smt::checkSat(tt, assertions, &model, limits);
+    CheckResult r =
+        smt::checkSat(tt, assertions, &model, opts.solveLimits());
     switch (r) {
       case CheckResult::Unsat:
         return SynthStatus::Unsat;

@@ -70,17 +70,39 @@ struct CegisOptions
     std::chrono::steady_clock::time_point deadline{};
     /** Per-SAT-call conflict cap; 0 = unlimited. */
     uint64_t conflictLimit = 0;
+    /**
+     * Cooperative cancellation, polled between CEGIS steps and inside
+     * the SAT loop. The parallel strategy uses it to abort sibling
+     * instruction tasks once the overall run has failed. May be null.
+     */
+    const std::atomic<bool> *cancelFlag = nullptr;
+    /**
+     * >1 races that many diversified SAT solver configurations per
+     * check (owl::exec::Portfolio). Latency win on hard queries at
+     * the cost of bit-reproducible counterexamples; see DESIGN.md §7.
+     */
+    int satPortfolio = 0;
+    uint64_t satPortfolioSeed = 1;
 
     bool hasDeadline() const
     {
         return deadline != std::chrono::steady_clock::time_point{};
     }
+    bool cancelled() const
+    {
+        return cancelFlag &&
+               cancelFlag->load(std::memory_order_relaxed);
+    }
     bool expired() const
     {
+        if (cancelled())
+            return true;
         return hasDeadline() &&
                std::chrono::steady_clock::now() > deadline;
     }
     std::chrono::milliseconds remaining() const;
+    /** SolveLimits carrying this run's budget + execution policy. */
+    smt::SolveLimits solveLimits() const;
 };
 
 /** Result of synthesizing one instruction's hole constants. */

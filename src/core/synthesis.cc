@@ -1,8 +1,11 @@
 #include "core/synthesis.h"
 
+#include <future>
 #include <iostream>
+#include <vector>
 
 #include "base/logging.h"
+#include "exec/thread_pool.h"
 #include "obs/obs.h"
 #include "oyster/symeval.h"
 #include "smt/solver.h"
@@ -16,6 +19,18 @@ using smt::CheckResult;
 using smt::TermRef;
 using smt::TermTable;
 
+const char *
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::Monolithic: return "monolithic";
+      case Strategy::PerInstruction: return "per-instruction";
+      case Strategy::PerInstructionParallel:
+        return "per-instruction-parallel";
+    }
+    return "?";
+}
+
 namespace
 {
 
@@ -27,6 +42,7 @@ cegisOptionsFrom(const SynthesisOptions &opts,
     c.maxIterations = opts.maxIterations;
     c.conflictLimit = opts.conflictLimit;
     c.deadline = deadline;
+    c.satPortfolio = opts.satPortfolio;
     return c;
 }
 
@@ -163,12 +179,9 @@ class MonolithicSynthesizer
         }
         assertions.push_back(tt.mkNot(all));
 
-        smt::SolveLimits limits;
-        limits.conflictLimit = opts.conflictLimit;
-        if (opts.hasDeadline())
-            limits.timeLimit = opts.remaining();
         smt::Model model;
-        CheckResult r = smt::checkSat(tt, assertions, &model, limits);
+        CheckResult r = smt::checkSat(tt, assertions, &model,
+                                      opts.solveLimits());
         if (r == CheckResult::Unsat)
             return SynthStatus::Ok;
         if (r == CheckResult::Unknown)
@@ -234,12 +247,9 @@ class MonolithicSynthesizer
             }
         }
 
-        smt::SolveLimits limits;
-        limits.conflictLimit = opts.conflictLimit;
-        if (opts.hasDeadline())
-            limits.timeLimit = opts.remaining();
         smt::Model model;
-        CheckResult r = smt::checkSat(tt, assertions, &model, limits);
+        CheckResult r = smt::checkSat(tt, assertions, &model,
+                                      opts.solveLimits());
         if (r == CheckResult::Unsat)
             return SynthStatus::Unsat;
         if (r == CheckResult::Unknown)
@@ -294,7 +304,7 @@ synthesizeControl(oyster::Design &sketch, const ila::Ila &spec,
 {
     obs::ScopedSpan span("synthesize");
     span.attr("instrs", spec.instrs().size());
-    span.attr("per_instruction", opts.perInstruction ? 1 : 0);
+    span.attr("strategy", strategyName(opts.strategy));
     OWL_COUNTER_INC("synth.runs");
 
     SynthesisResult result;
@@ -304,7 +314,8 @@ synthesizeControl(oyster::Design &sketch, const ila::Ila &spec,
         deadline = start + opts.timeLimit;
     CegisOptions copts = cegisOptionsFrom(opts, deadline);
 
-    if (opts.perInstruction) {
+    switch (opts.strategy) {
+      case Strategy::PerInstruction: {
         InstrSynthesizer synth(sketch, spec, alpha);
         const HoleValues *pin = nullptr;
         HoleValues last;
@@ -324,11 +335,96 @@ synthesizeControl(oyster::Design &sketch, const ila::Ila &spec,
             last = r.holes;
             pin = &last;
         }
-    } else {
+        break;
+      }
+      case Strategy::PerInstructionParallel: {
+        int jobs = opts.jobs > 0 ? opts.jobs : exec::defaultJobs();
+        span.attr("jobs", jobs);
+        if (opts.verbose)
+            std::cerr << "[owl] synthesizing "
+                      << spec.instrs().size() << " instructions on "
+                      << jobs << " worker(s)...\n";
+        exec::ThreadPool pool(jobs);
+        exec::CancelToken cancel;
+        // Tasks poll the token so sibling instructions stop early
+        // once the overall run is doomed.
+        CegisOptions task_opts = copts;
+        task_opts.cancelFlag = cancel.flag();
+        obs::TaskSpanContext ctx = obs::TaskSpanContext::capture();
+
+        // A task that fails *after* cancellation fired may be an
+        // artifact of the abort (its SAT calls return Unknown), not a
+        // genuine result — remember, for failure attribution below.
+        struct TaskOut
+        {
+            CegisResult r;
+            bool sawCancel = false;
+        };
+        std::vector<std::future<TaskOut>> futures;
+        futures.reserve(spec.instrs().size());
+        for (const auto &i : spec.instrs()) {
+            const ila::Instr *instr = i.get();
+            futures.push_back(pool.submit([&sketch, &spec, &alpha,
+                                           &task_opts, &cancel, &ctx,
+                                           instr]() {
+                obs::TaskSpanScope scope(ctx);
+                TaskOut out;
+                // No pinning: each instruction starts from the zero
+                // candidate, exactly like a sequential
+                // pinFirst=false run, which is what makes the merged
+                // result bit-identical to that run.
+                InstrSynthesizer isynth(sketch, spec, alpha);
+                out.r = isynth.synthesize(*instr, nullptr, task_opts);
+                if (out.r.status != SynthStatus::Ok) {
+                    out.sawCancel = cancel.cancelled();
+                    cancel.cancel();
+                }
+                return out;
+            }));
+        }
+
+        // Join in instruction order (deterministic merge). Waiting
+        // helps execute queued tasks, so this cannot starve even on
+        // a single-worker pool.
+        std::string first_genuine, first_any;
+        SynthStatus genuine_status = SynthStatus::Ok;
+        SynthStatus any_status = SynthStatus::Ok;
+        size_t idx = 0;
+        for (const auto &i : spec.instrs()) {
+            TaskOut out = pool.waitFor(futures[idx++]);
+            result.cegisIterations += out.r.iterations;
+            if (out.r.status == SynthStatus::Ok) {
+                result.perInstr.emplace_back(i->name(),
+                                             out.r.holes);
+                continue;
+            }
+            bool artifact = out.sawCancel &&
+                            out.r.status == SynthStatus::Timeout;
+            if (first_any.empty()) {
+                first_any = i->name();
+                any_status = out.r.status;
+            }
+            if (!artifact && first_genuine.empty()) {
+                first_genuine = i->name();
+                genuine_status = out.r.status;
+            }
+        }
+        if (!first_genuine.empty()) {
+            result.status = genuine_status;
+            result.failedInstr = first_genuine;
+        } else if (!first_any.empty()) {
+            result.status = any_status;
+            result.failedInstr = first_any;
+        }
+        break;
+      }
+      case Strategy::Monolithic: {
         MonolithicSynthesizer mono(sketch, spec, alpha);
         int iters = 0;
         result.status = mono.run(result.perInstr, copts, iters);
         result.cegisIterations = iters;
+        break;
+      }
     }
 
     if (result.status == SynthStatus::Ok)
@@ -370,15 +466,11 @@ checkMutualExclusion(const oyster::Design &design, const ila::Ila &spec,
         pres.push_back(sc.compileInstr(*i).pre);
         names.push_back(i->name());
     }
-    smt::SolveLimits limits;
-    limits.conflictLimit = opts.conflictLimit;
     for (size_t a = 0; a < pres.size(); a++) {
         for (size_t b = a + 1; b < pres.size(); b++) {
-            if (opts.hasDeadline())
-                limits.timeLimit = opts.remaining();
             CheckResult r =
                 smt::checkSat(tt, {tt.mkAnd(pres[a], pres[b])},
-                              nullptr, limits);
+                              nullptr, opts.solveLimits());
             if (r == CheckResult::Unsat)
                 continue;
             if (failed_pair)
@@ -473,11 +565,8 @@ verifyDesign(const oyster::Design &design, const ila::Ila &spec,
             all_posts = tt.mkAnd(all_posts, p);
         assertions.push_back(tt.mkNot(all_posts));
 
-        smt::SolveLimits limits;
-        limits.conflictLimit = opts.conflictLimit;
-        if (opts.hasDeadline())
-            limits.timeLimit = opts.remaining();
-        CheckResult r = smt::checkSat(tt, assertions, nullptr, limits);
+        CheckResult r = smt::checkSat(tt, assertions, nullptr,
+                                      opts.solveLimits());
         if (r == CheckResult::Unsat)
             continue;
         if (failed_instr)

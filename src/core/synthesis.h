@@ -39,13 +39,47 @@
 namespace owl::synth
 {
 
+/** How synthesizeControl() decomposes and schedules the CEGIS work. */
+enum class Strategy
+{
+    /** Equation (1): one joint query (the † rows of Table 1). */
+    Monolithic,
+    /** §3.3.1 decomposition, sequential, pin-and-relax (default). */
+    PerInstruction,
+    /**
+     * §3.3.1 decomposition with every instruction's CEGIS dispatched
+     * as an independent task on an owl::exec::ThreadPool. Results are
+     * merged in instruction order, and each task runs without pinning
+     * with its own solver state, so hole values and the control union
+     * are bit-identical to a sequential pinFirst=false run.
+     */
+    PerInstructionParallel,
+};
+
+const char *strategyName(Strategy s);
+
 /** Options for synthesizeControl(). */
 struct SynthesisOptions
 {
-    /** Use the per-instruction optimization (§3.3.1). */
-    bool perInstruction = true;
-    /** Try earlier instructions' hole values first (DESIGN.md §3). */
+    Strategy strategy = Strategy::PerInstruction;
+    /**
+     * Try earlier instructions' hole values first (DESIGN.md §3).
+     * Sequential per-instruction only; the parallel strategy has no
+     * "earlier instruction" to pin from.
+     */
     bool pinFirst = true;
+    /**
+     * Worker threads for PerInstructionParallel; 0 = OWL_JOBS env or
+     * hardware concurrency (exec::defaultJobs()).
+     */
+    int jobs = 0;
+    /**
+     * >1 races that many diversified SAT configurations per check
+     * (exec::Portfolio). Off by default: counterexamples then depend
+     * on which config wins, which perturbs (not corrupts) the CEGIS
+     * trajectory — see DESIGN.md §7.
+     */
+    int satPortfolio = 0;
     /** Whole-run wall-clock budget; zero = unlimited. */
     std::chrono::milliseconds timeLimit{0};
     /** Per-SAT-call conflict cap; 0 = unlimited. */

@@ -1,0 +1,137 @@
+#include "exec/portfolio.h"
+
+#include <mutex>
+
+#include "obs/obs.h"
+
+namespace owl::exec
+{
+
+std::vector<sat::Solver::Options>
+diversifiedConfigs(int k, uint64_t base_seed)
+{
+    std::vector<sat::Solver::Options> configs;
+    configs.reserve(k > 0 ? k : 0);
+    for (int i = 0; i < k; i++) {
+        sat::Solver::Options o;
+        if (i == 0) {
+            // The deterministic baseline: guarantees the race never
+            // answers differently from a sequential solve.
+            configs.push_back(o);
+            continue;
+        }
+        o.seed = base_seed + static_cast<uint64_t>(i);
+        o.initialPhase = (i % 2) == 1;
+        // Odd configs lean on decision randomness, even ones on
+        // restart pacing, so the portfolio spreads across orthogonal
+        // heuristic axes rather than re-rolling one knob.
+        o.randomDecisionFreq = (i % 2) == 1 ? 0.02 * ((i + 1) / 2)
+                                            : 0.0;
+        o.restartBase = (i % 3 == 0) ? 50 : (i % 3 == 1 ? 100 : 200);
+        configs.push_back(o);
+    }
+    return configs;
+}
+
+Portfolio::Portfolio(ThreadPool *pool_in)
+    : pool(pool_in ? pool_in : &globalPool())
+{
+}
+
+namespace
+{
+
+/** First-definitive-result collector, shared by all racers. */
+struct RaceState
+{
+    std::mutex mu;
+    PortfolioOutcome outcome;
+};
+
+void
+runConfig(const sat::Cnf &cnf, const sat::Solver::Options &config,
+          int index, std::chrono::milliseconds time_limit,
+          uint64_t conflict_limit, CancelToken race,
+          const std::atomic<bool> *external, RaceState &state)
+{
+    if (race.cancelled())
+        return;
+    obs::ScopedSpan span("sat.portfolio.config");
+    span.attr("config", index);
+    span.attr("seed", config.seed);
+
+    sat::Solver solver(config);
+    solver.setCancelFlag(race.flag(), external);
+    if (time_limit.count() > 0)
+        solver.setTimeLimit(time_limit);
+    if (conflict_limit > 0)
+        solver.setConflictLimit(conflict_limit);
+    solver.loadCnf(cnf);
+
+    sat::Result r = solver.solve();
+    span.attr("result", r == sat::Result::Sat
+                            ? "sat"
+                            : (r == sat::Result::Unsat ? "unsat"
+                                                       : "unknown"));
+    if (r == sat::Result::Unknown)
+        return; // cancelled or out of budget: not a winner
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.outcome.winner != -1)
+        return; // someone already won
+    state.outcome.winner = index;
+    state.outcome.result = r;
+    state.outcome.winnerStats = solver.stats();
+    if (r == sat::Result::Sat) {
+        state.outcome.model.resize(cnf.numVars);
+        for (int v = 0; v < cnf.numVars; v++)
+            state.outcome.model[v] = solver.modelValue(v);
+    }
+    race.cancel(); // losers abort within a few conflicts
+}
+
+} // namespace
+
+PortfolioOutcome
+Portfolio::solve(const sat::Cnf &cnf,
+                 const std::vector<sat::Solver::Options> &configs,
+                 std::chrono::milliseconds time_limit,
+                 uint64_t conflict_limit,
+                 const std::atomic<bool> *external)
+{
+    obs::ScopedSpan span("sat.portfolio");
+    span.attr("configs", configs.size());
+    span.attr("vars", cnf.numVars);
+    span.attr("clauses", cnf.clauses.size());
+    OWL_COUNTER_INC("exec.portfolio.races");
+
+    RaceState state;
+    if (configs.empty())
+        return state.outcome;
+
+    CancelToken race;
+    obs::TaskSpanContext ctx = obs::TaskSpanContext::capture();
+    std::vector<std::future<void>> rivals;
+    rivals.reserve(configs.size() - 1);
+    for (size_t i = 1; i < configs.size(); i++) {
+        rivals.push_back(pool->submit(
+            [&, i, race, ctx] {
+                obs::TaskSpanScope scope(ctx);
+                runConfig(cnf, configs[i], static_cast<int>(i),
+                          time_limit, conflict_limit, race, external,
+                          state);
+            }));
+    }
+    // The caller is racer 0: guaranteed progress even when the pool
+    // is saturated (e.g. a race inside a parallel synthesis task).
+    runConfig(cnf, configs[0], 0, time_limit, conflict_limit, race,
+              external, state);
+    for (auto &f : rivals)
+        pool->waitFor(f);
+
+    span.attr("winner", state.outcome.winner);
+    if (state.outcome.winner > 0)
+        OWL_COUNTER_INC("exec.portfolio.rival_wins");
+    return state.outcome;
+}
+
+} // namespace owl::exec

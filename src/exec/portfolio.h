@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Portfolio SAT: race K diversified CDCL configurations on one
+ * formula and take the first definitive answer, cancelling the
+ * losers (the standard trick behind parallel solvers à la
+ * plingeling/painless, applied here to the hardest synthesis
+ * queries — monolithic Equation (1) checks and late CEGIS
+ * iterations).
+ *
+ * Every configuration is individually deterministic, and config 0 is
+ * always the unseeded default solver, so the *answer* (sat/unsat)
+ * matches a plain sequential solve; which configuration wins — and
+ * therefore which model comes back on satisfiable queries — depends
+ * on timing. Callers that need bit-reproducible models (the
+ * determinism contract of Strategy::PerInstructionParallel) must not
+ * enable the portfolio.
+ */
+
+#ifndef OWL_EXEC_PORTFOLIO_H
+#define OWL_EXEC_PORTFOLIO_H
+
+#include <chrono>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "sat/solver.h"
+
+namespace owl::exec
+{
+
+/** Outcome of one portfolio race. */
+struct PortfolioOutcome
+{
+    sat::Result result = sat::Result::Unknown;
+    /** Index of the winning configuration, -1 if none finished. */
+    int winner = -1;
+    /** Variable assignment (by var index) when result == Sat. */
+    std::vector<bool> model;
+    /** The winning solver's per-call statistics. */
+    sat::Stats winnerStats;
+};
+
+/**
+ * K diversified solver configurations. Config 0 is the deterministic
+ * default; the rest vary the decision RNG, default phase, random
+ * decision frequency, and restart pacing around base_seed.
+ */
+std::vector<sat::Solver::Options> diversifiedConfigs(
+    int k, uint64_t base_seed = 1);
+
+/**
+ * Race the configurations on a captured CNF. The calling thread runs
+ * config 0 itself while the others go to the pool, and helps drain
+ * the pool during the join — so a race issued from inside a pool task
+ * still makes progress when every worker is busy.
+ */
+class Portfolio
+{
+  public:
+    /** @param pool pool for the rival configs; null = globalPool(). */
+    explicit Portfolio(ThreadPool *pool = nullptr);
+
+    /**
+     * @param cnf the formula (replayed into each solver).
+     * @param configs one solver configuration per racer.
+     * @param time_limit per-solver wall-clock limit; 0 = none.
+     * @param conflict_limit per-solver conflict cap; 0 = none.
+     * @param external cancels the whole race from outside.
+     */
+    PortfolioOutcome solve(
+        const sat::Cnf &cnf,
+        const std::vector<sat::Solver::Options> &configs,
+        std::chrono::milliseconds time_limit =
+            std::chrono::milliseconds{0},
+        uint64_t conflict_limit = 0,
+        const std::atomic<bool> *external = nullptr);
+
+  private:
+    ThreadPool *pool;
+};
+
+} // namespace owl::exec
+
+#endif // OWL_EXEC_PORTFOLIO_H

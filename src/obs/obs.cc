@@ -1,5 +1,6 @@
 #include "obs/obs.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +41,9 @@ epoch()
 
 /** Per-thread stack of open spans (innermost last). */
 thread_local std::vector<SpanNode *> tlSpanStack;
+
+/** Delivery target for this thread's top-level spans (TaskSpanScope). */
+thread_local std::shared_ptr<AdoptionSlot> tlAdoptTarget;
 
 struct TraceState
 {
@@ -97,6 +101,48 @@ nowNs()
         .count();
 }
 
+// ---- cross-thread span attribution -------------------------------------
+
+/**
+ * The mailbox between a dispatching span and its workers. Workers
+ * append completed spans under the mutex while `open`; the owner
+ * flips `open` and drains `pending` into its children exactly once,
+ * at close. Late workers (owner already closed) fall back to the
+ * root forest.
+ */
+struct AdoptionSlot
+{
+    std::mutex mu;
+    bool open = true;
+    std::vector<std::unique_ptr<SpanNode>> pending;
+};
+
+TaskSpanContext
+TaskSpanContext::capture()
+{
+    TaskSpanContext ctx;
+    if (!enabled() || tlSpanStack.empty())
+        return ctx;
+    SpanNode *n = tlSpanStack.back();
+    // Only this thread touches n->slot while the span is open, so no
+    // lock is needed to lazily create it.
+    if (!n->slot)
+        n->slot = std::make_shared<AdoptionSlot>();
+    ctx.slot = n->slot;
+    return ctx;
+}
+
+TaskSpanScope::TaskSpanScope(const TaskSpanContext &ctx)
+    : prev(std::move(tlAdoptTarget))
+{
+    tlAdoptTarget = ctx.slot;
+}
+
+TaskSpanScope::~TaskSpanScope()
+{
+    tlAdoptTarget = std::move(prev);
+}
+
 // ---- spans -------------------------------------------------------------
 
 void
@@ -115,12 +161,41 @@ ScopedSpan::end()
     // The innermost open span on this thread is necessarily this one:
     // ScopedSpan is stack-allocated and spans strictly nest.
     tlSpanStack.pop_back();
+    // Merge spans delivered by worker threads this span dispatched to
+    // (TaskSpanContext). Sorting by start time keeps the exported
+    // child order meaningful even though workers finish out of order.
+    if (node->slot) {
+        std::vector<std::unique_ptr<SpanNode>> adopted;
+        {
+            std::lock_guard<std::mutex> lock(node->slot->mu);
+            node->slot->open = false;
+            adopted.swap(node->slot->pending);
+        }
+        std::sort(adopted.begin(), adopted.end(),
+                  [](const auto &a, const auto &b) {
+                      return a->startNs < b->startNs;
+                  });
+        for (auto &a : adopted)
+            node->children.push_back(std::move(a));
+        node->slot.reset();
+    }
     std::unique_ptr<SpanNode> owned(node);
     node = nullptr;
-    if (!tlSpanStack.empty())
+    if (!tlSpanStack.empty()) {
         tlSpanStack.back()->children.push_back(std::move(owned));
-    else
-        Registry::instance().addRoot(std::move(owned));
+        return;
+    }
+    if (tlAdoptTarget) {
+        {
+            std::lock_guard<std::mutex> lock(tlAdoptTarget->mu);
+            if (tlAdoptTarget->open) {
+                tlAdoptTarget->pending.push_back(std::move(owned));
+                return;
+            }
+        }
+        // Dispatcher already closed: fall through to the root forest.
+    }
+    Registry::instance().addRoot(std::move(owned));
 }
 
 void

@@ -102,6 +102,8 @@ struct SpanAttr
     std::string str;
 };
 
+struct AdoptionSlot; // cross-thread child delivery, see TaskSpanContext
+
 /** A completed timed region; children are fully nested sub-regions. */
 struct SpanNode
 {
@@ -110,6 +112,8 @@ struct SpanNode
     uint64_t durNs = 0;
     std::vector<SpanAttr> attrs;
     std::vector<std::unique_ptr<SpanNode>> children;
+    /** Lazily created when this span dispatches work to other threads. */
+    std::shared_ptr<AdoptionSlot> slot;
 };
 
 /**
@@ -159,6 +163,54 @@ class ScopedSpan
 
     void begin(const char *name);
     void end();
+};
+
+// ---- cross-thread span attribution -------------------------------------
+
+/**
+ * Captured handle to the innermost open span on the *dispatching*
+ * thread. A task scheduled onto a worker (exec::ThreadPool) carries a
+ * copy; spans the worker completes at its own top level are then
+ * delivered to the dispatching span — they appear as its children
+ * (sorted by start time) when it closes — instead of piling up as
+ * unattributed roots. If the dispatching span closes before a worker
+ * finishes, that worker's spans fall back to the root forest, so the
+ * tree stays well-formed without blocking anyone.
+ *
+ * capture() must run on the thread that currently has the span open.
+ * A default-constructed (invalid) context is a safe no-op: workers
+ * root their spans exactly as before.
+ */
+class TaskSpanContext
+{
+  public:
+    TaskSpanContext() = default;
+
+    /** Snapshot the current thread's innermost open span. */
+    static TaskSpanContext capture();
+
+    bool valid() const { return slot != nullptr; }
+
+  private:
+    friend class TaskSpanScope;
+    std::shared_ptr<AdoptionSlot> slot;
+};
+
+/**
+ * Worker-side RAII guard: while alive, top-level spans completed on
+ * this thread are delivered to the captured dispatching span. Nests
+ * (the previous target is restored on destruction).
+ */
+class TaskSpanScope
+{
+  public:
+    explicit TaskSpanScope(const TaskSpanContext &ctx);
+    ~TaskSpanScope();
+    TaskSpanScope(const TaskSpanScope &) = delete;
+    TaskSpanScope &operator=(const TaskSpanScope &) = delete;
+
+  private:
+    std::shared_ptr<AdoptionSlot> prev;
 };
 
 // ---- registry ----------------------------------------------------------

@@ -58,8 +58,24 @@ class SolveObs
 
 } // namespace
 
-Solver::Solver()
+Solver::Solver(const Options &options)
+    : opts(options), rngState(options.seed ? options.seed : 1)
 {
+    if (opts.restartBase == 0)
+        opts.restartBase = 100;
+}
+
+uint64_t
+Solver::rngNext()
+{
+    // xorshift64*: deterministic per seed, cheap, good enough for
+    // decision diversification.
+    uint64_t x = rngState;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    rngState = x;
+    return x * 0x2545F4914F6CDD1DULL;
 }
 
 int
@@ -71,18 +87,35 @@ Solver::newVar()
     assigns.push_back(lUndef);
     levels.push_back(0);
     reasons.push_back(-1);
-    activity.push_back(0.0);
+    // A seeded solver jitters the initial variable order so tied
+    // activities break differently per configuration.
+    activity.push_back(
+        opts.seed ? 1e-9 * static_cast<double>(rngNext() & 1023)
+                  : 0.0);
     heapPos.push_back(-1);
-    savedPhase.push_back(false);
+    savedPhase.push_back(opts.initialPhase);
     seen.push_back(0);
     heapInsert(v);
+    if (capture)
+        capture->numVars = nVars;
     return v;
+}
+
+void
+Solver::loadCnf(const Cnf &cnf)
+{
+    while (nVars < cnf.numVars)
+        newVar();
+    for (const auto &c : cnf.clauses)
+        addClause(c);
 }
 
 bool
 Solver::addClause(std::vector<Lit> lits)
 {
     owl_assert(decisionLevel() == 0, "clauses must be added at level 0");
+    if (capture)
+        capture->clauses.push_back(lits);
     if (unsatisfiable)
         return false;
 
@@ -341,6 +374,17 @@ Solver::backtrack(int level)
 Lit
 Solver::pickBranchLit()
 {
+    // Diversification: occasionally branch on a random unassigned
+    // variable instead of the VSIDS maximum (seeded configs only).
+    if (opts.seed && opts.randomDecisionFreq > 0 && nVars > 0 &&
+        static_cast<double>(rngNext() >> 11) * 0x1.0p-53 <
+            opts.randomDecisionFreq) {
+        for (int tries = 0; tries < 8; tries++) {
+            int v = static_cast<int>(rngNext() % nVars);
+            if (assigns[v] == lUndef)
+                return Lit(v, !savedPhase[v]);
+        }
+    }
     while (!heap.empty()) {
         int v = heapPop();
         if (assigns[v] == lUndef)
@@ -437,11 +481,13 @@ Solver::solve(const std::vector<Lit> &assumptions)
     SolveObs solve_obs(statistics);
     if (unsatisfiable)
         return Result::Unsat;
+    if (cancelRequested())
+        return Result::Unknown;
 
     auto start_time = std::chrono::steady_clock::now();
     uint64_t conflicts_at_start = statistics.conflicts;
     uint64_t restart_num = 0;
-    uint64_t conflict_budget = 100 * luby(restart_num);
+    uint64_t conflict_budget = opts.restartBase * luby(restart_num);
     uint64_t conflicts_this_restart = 0;
     uint64_t live_learned = 0;
 
@@ -502,6 +548,11 @@ Solver::solve(const std::vector<Lit> &assumptions)
                     return Result::Unknown;
                 }
             }
+            if ((statistics.conflicts & 0x3f) == 0 &&
+                cancelRequested()) {
+                backtrack(0);
+                return Result::Unknown;
+            }
             if (live_learned >= learnedLimit) {
                 reduceDb();
                 live_learned /= 2;
@@ -510,10 +561,18 @@ Solver::solve(const std::vector<Lit> &assumptions)
             if (conflicts_this_restart >= conflict_budget) {
                 statistics.restarts++;
                 restart_num++;
-                conflict_budget = 100 * luby(restart_num);
+                conflict_budget = opts.restartBase * luby(restart_num);
                 conflicts_this_restart = 0;
                 backtrack(0);
                 continue;
+            }
+            // Conflict-free stretches (e.g. a huge satisfiable
+            // instance being filled in) must also notice
+            // cancellation, so poll on a decision stride too.
+            if ((statistics.decisions & 0x3ff) == 0 &&
+                cancelRequested()) {
+                backtrack(0);
+                return Result::Unknown;
             }
             // Apply pending assumptions as decisions.
             if (decisionLevel() < static_cast<int>(assumptions.size())) {

@@ -8,11 +8,19 @@
  * two-watched-literal propagation, first-UIP conflict analysis with
  * clause minimization, exponential VSIDS activities with phase saving,
  * Luby restarts, and LBD-based learned-clause database reduction.
+ *
+ * Solver::Options diversifies the search (decision RNG, default
+ * phase, restart pacing) for portfolio solving (owl::exec::Portfolio):
+ * every configuration is individually deterministic — the same
+ * Options on the same formula reproduce the same model and the same
+ * statistics — so racing config 0 (the defaults) preserves the
+ * engine's answer while seeded variants explore differently.
  */
 
 #ifndef OWL_SAT_SOLVER_H
 #define OWL_SAT_SOLVER_H
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <vector>
@@ -65,6 +73,19 @@ struct Stats
 };
 
 /**
+ * A plain CNF snapshot: a variable count plus raw clauses, exactly as
+ * they were handed to Solver::addClause. Captured via
+ * setCaptureCnf() during bit-blasting and replayed into fresh solvers
+ * by the portfolio racer (identical variable numbering, so any
+ * racer's model maps back onto the original encoding).
+ */
+struct Cnf
+{
+    int numVars = 0;
+    std::vector<std::vector<Lit>> clauses;
+};
+
+/**
  * CDCL SAT solver over CNF.
  *
  * Usage: newVar() to allocate variables, addClause() to add clauses,
@@ -73,7 +94,32 @@ struct Stats
 class Solver
 {
   public:
-    Solver();
+    /**
+     * Search diversification knobs. The defaults reproduce the
+     * classic heuristics bit-for-bit; every configuration is
+     * deterministic (same Options + same formula -> same run).
+     */
+    struct Options
+    {
+        /**
+         * Decision RNG seed. 0 disables all randomization (the
+         * deterministic baseline); nonzero seeds jitter the initial
+         * variable order and enable randomDecisionFreq.
+         */
+        uint64_t seed = 0;
+        /**
+         * Probability of branching on a random unassigned variable
+         * instead of the VSIDS maximum. Only active with seed != 0.
+         */
+        double randomDecisionFreq = 0.0;
+        /** Default phase for variables never flipped by phase saving. */
+        bool initialPhase = false;
+        /** Luby restart unit, in conflicts. */
+        uint64_t restartBase = 100;
+    };
+
+    Solver() : Solver(Options()) {}
+    explicit Solver(const Options &options);
 
     /** Allocate a fresh variable; returns its index. */
     int newVar();
@@ -109,6 +155,31 @@ class Solver
     void setTimeLimit(std::chrono::milliseconds limit) { timeLimit = limit; }
     /** Limit conflicts for subsequent solve() calls; 0 = none. */
     void setConflictLimit(uint64_t limit) { conflictLimit = limit; }
+
+    /**
+     * Cooperative cancellation: solve() polls the flags (every few
+     * conflicts/decisions) and returns Unknown once either reads
+     * true. Two slots so a portfolio racer can watch both its race's
+     * first-winner flag and the caller's own token. Pointees must
+     * outlive the solver; null disables polling.
+     */
+    void setCancelFlag(const std::atomic<bool> *flag,
+                       const std::atomic<bool> *flag2 = nullptr)
+    {
+        cancelFlag = flag;
+        cancelFlag2 = flag2;
+    }
+
+    /**
+     * Mirror every newVar()/addClause() into the sink (raw clauses,
+     * pre-simplification) so the formula can be replayed into fresh
+     * diversified solvers. Set before adding the formula; null stops
+     * capturing. The sink must outlive the capture window.
+     */
+    void setCaptureCnf(Cnf *sink) { capture = sink; }
+
+    /** Replay a captured formula (same variable numbering). */
+    void loadCnf(const Cnf &cnf);
 
     const Stats &stats() const { return statistics; }
 
@@ -158,6 +229,11 @@ class Solver
 
     std::chrono::milliseconds timeLimit{0};
     uint64_t conflictLimit = 0;
+    const std::atomic<bool> *cancelFlag = nullptr;
+    const std::atomic<bool> *cancelFlag2 = nullptr;
+    Cnf *capture = nullptr;
+    Options opts;
+    uint64_t rngState = 0;
     Stats statistics;
 
     // Scratch for conflict analysis.
@@ -194,6 +270,15 @@ class Solver
     }
     void heapSiftUp(int i);
     void heapSiftDown(int i);
+
+    uint64_t rngNext();
+    bool cancelRequested() const
+    {
+        return (cancelFlag &&
+                cancelFlag->load(std::memory_order_relaxed)) ||
+               (cancelFlag2 &&
+                cancelFlag2->load(std::memory_order_relaxed));
+    }
 
     static uint64_t luby(uint64_t i);
 };

@@ -45,6 +45,14 @@ class BitBlaster
      */
     BitVec modelValue(TermRef t) const;
 
+    /**
+     * Same, but against an external model (var index -> value), e.g.
+     * a portfolio winner's assignment. Variable numbering must match
+     * this blaster's solver (the portfolio replays the captured CNF,
+     * so it does).
+     */
+    BitVec modelValue(TermRef t, const std::vector<bool> &model) const;
+
   private:
     const TermTable &tt;
     sat::Solver &solver;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "exec/portfolio.h"
 #include "obs/obs.h"
 #include "smt/bitblast.h"
 
@@ -111,6 +112,14 @@ checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
         solver.setTimeLimit(limits.timeLimit);
     if (limits.conflictLimit > 0)
         solver.setConflictLimit(limits.conflictLimit);
+    solver.setCancelFlag(limits.cancelFlag);
+
+    // Portfolio mode: record the bit-blasted formula so diversified
+    // racers can replay it with identical variable numbering.
+    bool use_portfolio = limits.portfolioJobs > 1;
+    sat::Cnf cnf;
+    if (use_portfolio)
+        solver.setCaptureCnf(&cnf);
 
     BitBlaster blaster(tt, solver);
     bool trivially_false = false;
@@ -137,22 +146,41 @@ checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
         return CheckResult::Unsat;
     }
 
-    sat::Result r = solver.solve();
+    sat::Result r;
+    std::vector<bool> portfolio_model;
+    sat::Stats run_stats;
+    if (use_portfolio) {
+        solver.setCaptureCnf(nullptr);
+        exec::Portfolio portfolio;
+        exec::PortfolioOutcome out = portfolio.solve(
+            cnf,
+            exec::diversifiedConfigs(limits.portfolioJobs,
+                                     limits.portfolioSeed),
+            limits.timeLimit, limits.conflictLimit,
+            limits.cancelFlag);
+        r = out.result;
+        portfolio_model = std::move(out.model);
+        run_stats = out.winnerStats;
+        span.attr("portfolio_winner", out.winner);
+    } else {
+        r = solver.solve();
+        run_stats = solver.stats();
+    }
     span.attr("result", checkResultName(r));
     span.attr("sat_vars", static_cast<int64_t>(solver.numVars()));
-    span.attr("conflicts", solver.stats().conflicts);
+    span.attr("conflicts", run_stats.conflicts);
     OWL_TRACE_EVENT("smt", "checkSat result=", checkResultName(r),
                     " assertions=", assertions.size(),
                     " terms=", tt.numNodes(),
                     " sat_vars=", solver.numVars(),
                     " ackermann=", n_ack,
-                    " conflicts=", solver.stats().conflicts,
-                    " propagations=", solver.stats().propagations);
+                    " conflicts=", run_stats.conflicts,
+                    " propagations=", run_stats.propagations);
     if (stats) {
         stats->satVars = solver.numVars();
         stats->ackermannConstraints = n_ack;
-        stats->conflicts = solver.stats().conflicts;
-        stats->propagations = solver.stats().propagations;
+        stats->conflicts = run_stats.conflicts;
+        stats->propagations = run_stats.propagations;
         stats->termNodes = tt.numNodes();
     }
     switch (r) {
@@ -166,10 +194,18 @@ checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
 
     if (model) {
         model->leafValues.clear();
-        for (TermRef v : vars)
-            model->leafValues.emplace(v.idx, blaster.modelValue(v));
-        for (TermRef b : base_reads)
-            model->leafValues.emplace(b.idx, blaster.modelValue(b));
+        for (TermRef v : vars) {
+            model->leafValues.emplace(
+                v.idx, use_portfolio
+                           ? blaster.modelValue(v, portfolio_model)
+                           : blaster.modelValue(v));
+        }
+        for (TermRef b : base_reads) {
+            model->leafValues.emplace(
+                b.idx, use_portfolio
+                           ? blaster.modelValue(b, portfolio_model)
+                           : blaster.modelValue(b));
+        }
     }
     return CheckResult::Sat;
 }

@@ -12,6 +12,7 @@
 #ifndef OWL_SMT_SOLVER_H
 #define OWL_SMT_SOLVER_H
 
+#include <atomic>
 #include <chrono>
 #include <unordered_map>
 
@@ -40,11 +41,22 @@ class Model
     std::unordered_map<uint32_t, BitVec> leafValues;
 };
 
-/** Resource limits for a single checkSat call. */
+/** Resource limits and execution policy for a single checkSat call. */
 struct SolveLimits
 {
     std::chrono::milliseconds timeLimit{0}; ///< 0 = unlimited
     uint64_t conflictLimit = 0;             ///< 0 = unlimited
+    /** Cooperative cancellation (polled by the SAT loop); may be null. */
+    const std::atomic<bool> *cancelFlag = nullptr;
+    /**
+     * >1 races that many diversified CDCL configurations on the
+     * bit-blasted formula (owl::exec::Portfolio) and takes the first
+     * definitive answer. The answer matches a sequential solve but
+     * the *model* of a Sat query depends on which config wins — keep
+     * this off where bit-reproducible counterexamples matter.
+     */
+    int portfolioJobs = 0;
+    uint64_t portfolioSeed = 1; ///< base seed for diversification
 };
 
 /** Statistics from the most recent checkSat call. */

@@ -149,7 +149,7 @@ TEST(AesAccelerator, MonolithicSynthesisAlsoWorks)
     // produces an equally correct design.
     CaseStudy cs = makeAesAccelerator();
     SynthesisOptions mono;
-    mono.perInstruction = false;
+    mono.strategy = Strategy::Monolithic;
     SynthesisResult r =
         synthesizeControl(cs.sketch, cs.spec, cs.alpha, mono);
     ASSERT_EQ(r.status, SynthStatus::Ok);

@@ -103,7 +103,7 @@ TEST(CoreAccumulator, MonolithicMatchesPerInstruction)
     // small design and both produce verifying control.
     CaseStudy a = makeAccumulator();
     SynthesisOptions mono;
-    mono.perInstruction = false;
+    mono.strategy = Strategy::Monolithic;
     SynthesisResult r = synthesizeControl(a.sketch, a.spec, a.alpha,
                                           mono);
     ASSERT_EQ(r.status, SynthStatus::Ok);

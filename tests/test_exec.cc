@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Tests for owl::exec — the work-stealing thread pool, cancellation
+ * tokens, the portfolio SAT racer, and the determinism contract of
+ * Strategy::PerInstructionParallel (bit-identical hole values to a
+ * sequential no-pinning run).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "core/synthesis.h"
+#include "designs/accumulator.h"
+#include "designs/riscv_single_cycle.h"
+#include "exec/portfolio.h"
+#include "exec/thread_pool.h"
+
+using namespace owl;
+using namespace owl::exec;
+using namespace owl::synth;
+using owl::sat::Lit;
+
+// ---- thread pool -------------------------------------------------------
+
+TEST(ExecPool, SubmitReturnsResults)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; i++)
+        futures.push_back(pool.submit([i] { return i * i; }));
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(pool.waitFor(futures[i]), i * i);
+}
+
+TEST(ExecPool, PropagatesExceptions)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.waitFor(f), std::runtime_error);
+}
+
+TEST(ExecPool, NestedJoinDoesNotDeadlock)
+{
+    // A task that submits sub-tasks and joins them, on a single-worker
+    // pool: only the helping join (waitFor runs pending work) can make
+    // this terminate.
+    ThreadPool pool(1);
+    auto outer = pool.submit([&pool] {
+        int sum = 0;
+        std::vector<std::future<int>> subs;
+        for (int i = 0; i < 8; i++)
+            subs.push_back(pool.submit([i] { return i; }));
+        for (auto &s : subs)
+            sum += pool.waitFor(s);
+        return sum;
+    });
+    EXPECT_EQ(pool.waitFor(outer), 28);
+}
+
+TEST(ExecPool, ExternalThreadCanHelp)
+{
+    ThreadPool pool(1);
+    // Saturate the single worker so tryRunOne from this thread has
+    // something to steal.
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; i++)
+        futures.push_back(pool.submit([&ran] { ran.fetch_add(1); }));
+    while (ran.load() < 64) {
+        if (!pool.tryRunOne())
+            std::this_thread::yield();
+    }
+    for (auto &f : futures)
+        pool.waitFor(f);
+    EXPECT_EQ(ran.load(), 64);
+    EXPECT_EQ(pool.pendingTasks(), 0u);
+}
+
+TEST(ExecPool, DestructorDrainsQueue)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 32; i++)
+            pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ExecPool, DefaultJobsIsPositive)
+{
+    EXPECT_GE(defaultJobs(), 1);
+    ThreadPool pool; // 0 = defaultJobs()
+    EXPECT_GE(pool.workerCount(), 1);
+}
+
+// ---- cancel token ------------------------------------------------------
+
+TEST(ExecCancel, CopiesShareState)
+{
+    CancelToken a;
+    CancelToken b = a;
+    EXPECT_FALSE(a.cancelled());
+    b.cancel();
+    EXPECT_TRUE(a.cancelled());
+    EXPECT_TRUE(a.expired());
+    EXPECT_TRUE(a.flag()->load());
+}
+
+TEST(ExecCancel, DeadlineExpires)
+{
+    CancelToken t;
+    EXPECT_FALSE(t.hasDeadline());
+    EXPECT_FALSE(t.expired());
+    t.setDeadline(std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1));
+    EXPECT_TRUE(t.hasDeadline());
+    EXPECT_TRUE(t.expired());
+    EXPECT_FALSE(t.cancelled()); // deadline is not cancellation
+}
+
+// ---- portfolio ---------------------------------------------------------
+
+namespace
+{
+
+/** PHP(p, h) as a raw Cnf; UNSAT when p > h. */
+sat::Cnf
+pigeonholeCnf(int p, int h)
+{
+    sat::Cnf cnf;
+    cnf.numVars = p * h;
+    auto var = [h](int i, int j) { return i * h + j; };
+    for (int i = 0; i < p; i++) {
+        std::vector<Lit> cl;
+        for (int j = 0; j < h; j++)
+            cl.push_back(Lit(var(i, j), false));
+        cnf.clauses.push_back(cl);
+    }
+    for (int j = 0; j < h; j++)
+        for (int i1 = 0; i1 < p; i1++)
+            for (int i2 = i1 + 1; i2 < p; i2++)
+                cnf.clauses.push_back({Lit(var(i1, j), true),
+                                       Lit(var(i2, j), true)});
+    return cnf;
+}
+
+/** Random 3-SAT with a planted solution, as a raw Cnf. */
+sat::Cnf
+plantedCnf(int n, int m, uint32_t seed)
+{
+    sat::Cnf cnf;
+    cnf.numVars = n;
+    std::mt19937 rng(seed);
+    std::vector<bool> planted(n);
+    for (int i = 0; i < n; i++)
+        planted[i] = rng() % 2;
+    for (int c = 0; c < m; c++) {
+        std::vector<Lit> cl;
+        for (int k = 0; k < 3; k++)
+            cl.push_back(Lit(rng() % n, rng() % 2));
+        int fix = rng() % 3;
+        cl[fix] = Lit(cl[fix].var(), planted[cl[fix].var()]);
+        cnf.clauses.push_back(cl);
+    }
+    return cnf;
+}
+
+bool
+satisfies(const sat::Cnf &cnf, const std::vector<bool> &model)
+{
+    for (const auto &cl : cnf.clauses) {
+        bool sat = false;
+        for (Lit l : cl)
+            sat |= model[l.var()] != l.negated();
+        if (!sat)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+TEST(ExecPortfolio, DiversifiedConfigZeroIsDefault)
+{
+    auto configs = diversifiedConfigs(4);
+    ASSERT_EQ(configs.size(), 4u);
+    EXPECT_EQ(configs[0].seed, 0u); // the deterministic baseline
+    for (size_t i = 1; i < configs.size(); i++)
+        EXPECT_NE(configs[i].seed, 0u) << "config " << i;
+}
+
+TEST(ExecPortfolio, UnsatRaceMatchesSequential)
+{
+    Portfolio race;
+    PortfolioOutcome out =
+        race.solve(pigeonholeCnf(6, 5), diversifiedConfigs(4));
+    EXPECT_EQ(out.result, sat::Result::Unsat);
+    EXPECT_GE(out.winner, 0);
+    EXPECT_GT(out.winnerStats.conflicts, 0u);
+}
+
+TEST(ExecPortfolio, SatRaceModelSatisfiesFormula)
+{
+    sat::Cnf cnf = plantedCnf(50, 210, 11);
+    Portfolio race;
+    PortfolioOutcome out = race.solve(cnf, diversifiedConfigs(4));
+    ASSERT_EQ(out.result, sat::Result::Sat);
+    ASSERT_EQ(out.model.size(), static_cast<size_t>(cnf.numVars));
+    EXPECT_TRUE(satisfies(cnf, out.model));
+}
+
+TEST(ExecPortfolio, ExternalCancelStopsRace)
+{
+    std::atomic<bool> external{true};
+    Portfolio race;
+    PortfolioOutcome out =
+        race.solve(pigeonholeCnf(8, 7), diversifiedConfigs(3),
+                   std::chrono::milliseconds(0), 0, &external);
+    EXPECT_EQ(out.result, sat::Result::Unknown);
+    EXPECT_EQ(out.winner, -1);
+}
+
+TEST(ExecPortfolio, RaceFromInsidePoolTask)
+{
+    // Portfolio issued from within a pool task on the same pool: the
+    // helping join must let the race finish even with one worker.
+    ThreadPool pool(1);
+    auto f = pool.submit([&pool] {
+        Portfolio race(&pool);
+        return race
+            .solve(pigeonholeCnf(5, 4), diversifiedConfigs(3))
+            .result;
+    });
+    EXPECT_EQ(pool.waitFor(f), sat::Result::Unsat);
+}
+
+// ---- parallel synthesis determinism ------------------------------------
+
+namespace
+{
+
+void
+expectIdenticalResults(const SynthesisResult &a,
+                       const SynthesisResult &b)
+{
+    ASSERT_EQ(a.status, SynthStatus::Ok);
+    ASSERT_EQ(b.status, SynthStatus::Ok);
+    // Same total work: without pinning both run the exact same CEGIS
+    // trajectory per instruction.
+    EXPECT_EQ(a.cegisIterations, b.cegisIterations);
+    ASSERT_EQ(a.perInstr.size(), b.perInstr.size());
+    for (size_t i = 0; i < a.perInstr.size(); i++) {
+        EXPECT_EQ(a.perInstr[i].first, b.perInstr[i].first);
+        const HoleValues &ha = a.perInstr[i].second;
+        const HoleValues &hb = b.perInstr[i].second;
+        ASSERT_EQ(ha.size(), hb.size());
+        for (const auto &[name, va] : ha) {
+            auto it = hb.find(name);
+            ASSERT_NE(it, hb.end()) << name;
+            EXPECT_TRUE(va == it->second)
+                << a.perInstr[i].first << "." << name;
+        }
+    }
+}
+
+} // namespace
+
+TEST(ExecSynth, ParallelMatchesSequentialAccumulator)
+{
+    designs::CaseStudy seq = designs::makeAccumulator();
+    SynthesisOptions seq_opts;
+    seq_opts.pinFirst = false; // the contract's sequential reference
+    SynthesisResult rs =
+        synthesizeControl(seq.sketch, seq.spec, seq.alpha, seq_opts);
+
+    designs::CaseStudy par = designs::makeAccumulator();
+    SynthesisOptions par_opts;
+    par_opts.strategy = Strategy::PerInstructionParallel;
+    par_opts.jobs = 4;
+    SynthesisResult rp =
+        synthesizeControl(par.sketch, par.spec, par.alpha, par_opts);
+
+    expectIdenticalResults(rs, rp);
+    EXPECT_EQ(verifyDesign(seq.sketch, seq.spec, seq.alpha),
+              SynthStatus::Ok);
+    EXPECT_EQ(verifyDesign(par.sketch, par.spec, par.alpha),
+              SynthStatus::Ok);
+}
+
+TEST(ExecSynth, ParallelMatchesSequentialRiscv)
+{
+    using designs::RiscvVariant;
+    designs::CaseStudy seq =
+        designs::makeRiscvSingleCycle(RiscvVariant::RV32I);
+    SynthesisOptions seq_opts;
+    seq_opts.pinFirst = false;
+    SynthesisResult rs =
+        synthesizeControl(seq.sketch, seq.spec, seq.alpha, seq_opts);
+
+    designs::CaseStudy par =
+        designs::makeRiscvSingleCycle(RiscvVariant::RV32I);
+    SynthesisOptions par_opts;
+    par_opts.strategy = Strategy::PerInstructionParallel;
+    par_opts.jobs = 4;
+    SynthesisResult rp =
+        synthesizeControl(par.sketch, par.spec, par.alpha, par_opts);
+
+    expectIdenticalResults(rs, rp);
+    EXPECT_EQ(verifyDesign(par.sketch, par.spec, par.alpha),
+              SynthStatus::Ok);
+}
+
+TEST(ExecSynth, ParallelReportsFirstFailureInInstructionOrder)
+{
+    // maxIterations = 0 fails every instruction immediately; the
+    // deterministic merge must still attribute the failure to the
+    // first instruction, like the sequential path does.
+    designs::CaseStudy seq = designs::makeAccumulator();
+    SynthesisOptions seq_opts;
+    seq_opts.pinFirst = false;
+    seq_opts.maxIterations = 0;
+    SynthesisResult rs =
+        synthesizeControl(seq.sketch, seq.spec, seq.alpha, seq_opts);
+
+    designs::CaseStudy par = designs::makeAccumulator();
+    SynthesisOptions par_opts;
+    par_opts.strategy = Strategy::PerInstructionParallel;
+    par_opts.jobs = 4;
+    par_opts.maxIterations = 0;
+    SynthesisResult rp =
+        synthesizeControl(par.sketch, par.spec, par.alpha, par_opts);
+
+    EXPECT_EQ(rs.status, SynthStatus::IterLimit);
+    EXPECT_EQ(rp.status, SynthStatus::IterLimit);
+    EXPECT_EQ(rp.failedInstr, rs.failedInstr);
+}
+
+TEST(ExecSynth, PortfolioSynthesisVerifies)
+{
+    // The SAT portfolio perturbs which counterexamples come back but
+    // must never change what verifies.
+    designs::CaseStudy cs = designs::makeAccumulator();
+    SynthesisOptions opts;
+    opts.satPortfolio = 3;
+    SynthesisResult r =
+        synthesizeControl(cs.sketch, cs.spec, cs.alpha, opts);
+    ASSERT_EQ(r.status, SynthStatus::Ok);
+    CegisOptions vopts;
+    vopts.satPortfolio = 3;
+    EXPECT_EQ(verifyDesign(cs.sketch, cs.spec, cs.alpha, nullptr,
+                           vopts),
+              SynthStatus::Ok);
+}

@@ -312,3 +312,124 @@ TEST_F(ObsTest, CegisRunProducesSpanTreeAndSatCounters)
     EXPECT_EQ(counters.find("cegis.iterations")->asInt(),
               r.cegisIterations);
 }
+
+// ---- cross-thread span adoption ----------------------------------------
+
+TEST_F(ObsTest, WorkerSpansAdoptedUnderDispatchingSpan)
+{
+    {
+        obs::ScopedSpan parent("parent");
+        // Captured on the dispatching thread while "parent" is open.
+        obs::TaskSpanContext ctx = obs::TaskSpanContext::capture();
+        std::vector<std::thread> workers;
+        for (int t = 0; t < 4; t++) {
+            workers.emplace_back([&ctx, t] {
+                obs::TaskSpanScope scope(ctx);
+                obs::ScopedSpan span("task");
+                span.attr("n", t);
+                obs::ScopedSpan inner("task.inner");
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+    }
+
+    Value doc;
+    ASSERT_TRUE(Value::parse(
+        obs::Registry::instance().toJsonString(), doc));
+    const Value &spans = *doc.find("spans");
+    // Every worker span was adopted: one root, four children.
+    ASSERT_EQ(spans.size(), 1u);
+    const Value &parent = spans.items()[0];
+    EXPECT_EQ(parent.find("name")->asString(), "parent");
+    const Value &children = *parent.find("children");
+    ASSERT_EQ(children.size(), 4u);
+    int64_t prev = 0;
+    for (const Value &c : children.items()) {
+        EXPECT_EQ(c.find("name")->asString(), "task");
+        // Adopted children are merged sorted by start time.
+        int64_t start = c.find("start_ns")->asInt();
+        EXPECT_GE(start, prev);
+        prev = start;
+        // Nesting inside the worker thread is preserved.
+        EXPECT_NE(findSpan(*c.find("children"), "task.inner"),
+                  nullptr);
+    }
+}
+
+TEST_F(ObsTest, LateWorkerFallsBackToRootWhenParentClosed)
+{
+    obs::TaskSpanContext ctx;
+    {
+        obs::ScopedSpan parent("parent");
+        ctx = obs::TaskSpanContext::capture();
+        EXPECT_TRUE(ctx.valid());
+    } // parent closes before the worker runs
+    std::thread late([&ctx] {
+        obs::TaskSpanScope scope(ctx);
+        obs::ScopedSpan span("late-task");
+    });
+    late.join();
+
+    Value doc;
+    ASSERT_TRUE(Value::parse(
+        obs::Registry::instance().toJsonString(), doc));
+    const Value &spans = *doc.find("spans");
+    // The adoption slot was already merged, so the late span becomes
+    // its own root instead of being lost.
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans.items()[0].find("name")->asString(), "parent");
+    EXPECT_EQ(spans.items()[1].find("name")->asString(), "late-task");
+    EXPECT_EQ(spans.items()[0].find("children")->size(), 0u);
+}
+
+TEST_F(ObsTest, InvalidContextIsNoOp)
+{
+    // capture() outside any span yields an invalid context; scoping it
+    // changes nothing about where spans land.
+    obs::TaskSpanContext ctx = obs::TaskSpanContext::capture();
+    EXPECT_FALSE(ctx.valid());
+    {
+        obs::TaskSpanScope scope(ctx);
+        obs::ScopedSpan span("solo");
+    }
+    Value doc;
+    ASSERT_TRUE(Value::parse(
+        obs::Registry::instance().toJsonString(), doc));
+    const Value &spans = *doc.find("spans");
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans.items()[0].find("name")->asString(), "solo");
+}
+
+TEST_F(ObsTest, ConcurrentSynthesisTasksProduceCoherentTree)
+{
+    // The parallel strategy end-to-end: spans recorded by pool workers
+    // must all land under the dispatching "synthesize" span, and the
+    // aggregate counters must match the result exactly as they do in
+    // the sequential pipeline test.
+    designs::CaseStudy cs = designs::makeAccumulator();
+    synth::SynthesisOptions opts;
+    opts.strategy = synth::Strategy::PerInstructionParallel;
+    opts.jobs = 4;
+    synth::SynthesisResult r =
+        synth::synthesizeControl(cs.sketch, cs.spec, cs.alpha, opts);
+    ASSERT_EQ(r.status, synth::SynthStatus::Ok);
+
+    Value doc;
+    ASSERT_TRUE(Value::parse(
+        obs::Registry::instance().toJsonString(), doc));
+    const Value &spans = *doc.find("spans");
+    ASSERT_EQ(spans.size(), 1u) << "worker spans leaked to the root";
+    const Value &root = spans.items()[0];
+    EXPECT_EQ(root.find("name")->asString(), "synthesize");
+    // One adopted cegis span per instruction.
+    const Value &children = *root.find("children");
+    size_t cegis_count = 0;
+    for (const Value &c : children.items())
+        cegis_count += c.find("name")->asString() == "cegis";
+    EXPECT_EQ(cegis_count, cs.spec.instrs().size());
+    const Value &counters = *doc.find("counters");
+    EXPECT_EQ(counters.find("cegis.iterations")->asInt(),
+              r.cegisIterations);
+    EXPECT_GT(counters.find("exec.tasks")->asInt(), 0);
+}

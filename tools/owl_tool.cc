@@ -9,10 +9,14 @@
  *       Print a design's datapath sketch in Oyster concrete syntax.
  *   owl alpha <design>
  *       Print a design's abstraction function (§3.2 syntax).
- *   owl synth <design> [--mono] [--budget <s>] [-o out.v]
+ *   owl synth <design> [--mono] [--jobs <n>] [--portfolio <k>]
+ *             [--budget <s>] [-o out.v]
  *       Synthesize control logic; optionally via the monolithic
  *       Equation (1) query; optionally emit Verilog of the completed
- *       design.
+ *       design. `--jobs N` (or the OWL_JOBS environment variable)
+ *       runs per-instruction CEGIS tasks on an N-worker thread pool;
+ *       `--portfolio K` races K diversified SAT configurations per
+ *       solver call. See DESIGN.md §7 for the determinism contract.
  *
  * All synthesis commands accept `--stats-json <path>`: on exit the
  * owl::obs registry (CEGIS span tree, SAT/SMT counters) is exported
@@ -31,6 +35,7 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <functional>
@@ -93,7 +98,8 @@ usage()
             "usage: owl <command> [<design>] [options]\n"
             "commands: list | sketch | alpha | synth | control | "
             "verify\n"
-            "options (synth): --mono, --budget <seconds>, -o <file.v>\n"
+            "options (synth): --mono, --jobs <n> (or OWL_JOBS), "
+            "--portfolio <k>, --budget <seconds>, -o <file.v>\n"
             "options (any): --stats-json <file.json>  export "
             "owl::obs spans+counters\n"
             "run `owl list` for the design names\n");
@@ -132,6 +138,11 @@ main(int argc, char **argv)
 
     bool mono = false;
     long budget_s = 0;
+    // OWL_JOBS is the default for --jobs; an explicit flag wins.
+    int jobs = 0;
+    if (const char *env = getenv("OWL_JOBS"))
+        jobs = atoi(env);
+    int portfolio = 0;
     std::string out_verilog;
     std::string stats_json;
     for (int i = 3; i < argc; i++) {
@@ -139,6 +150,10 @@ main(int argc, char **argv)
             mono = true;
         } else if (!strcmp(argv[i], "--budget") && i + 1 < argc) {
             budget_s = atol(argv[++i]);
+        } else if (!strcmp(argv[i], "--jobs") && i + 1 < argc) {
+            jobs = atoi(argv[++i]);
+        } else if (!strcmp(argv[i], "--portfolio") && i + 1 < argc) {
+            portfolio = atoi(argv[++i]);
         } else if (!strcmp(argv[i], "-o") && i + 1 < argc) {
             out_verilog = argv[++i];
         } else if (!strcmp(argv[i], "--stats-json") && i + 1 < argc) {
@@ -146,6 +161,12 @@ main(int argc, char **argv)
         } else {
             return usage();
         }
+    }
+    if (mono && jobs > 1) {
+        fprintf(stderr, "owl: --mono and --jobs are mutually "
+                        "exclusive (the monolithic query is one "
+                        "task)\n");
+        return 2;
     }
 
     // Export the obs registry on any exit path past this point, so
@@ -181,14 +202,19 @@ main(int argc, char **argv)
         return usage();
 
     SynthesisOptions opts;
-    opts.perInstruction = !mono;
+    if (mono)
+        opts.strategy = Strategy::Monolithic;
+    else if (jobs > 1)
+        opts.strategy = Strategy::PerInstructionParallel;
+    opts.jobs = jobs;
+    opts.satPortfolio = portfolio;
     if (budget_s > 0)
         opts.timeLimit = std::chrono::milliseconds(budget_s * 1000);
     if (mono)
         opts.maxIterations = 1 << 20;
     fprintf(stderr, "[owl] synthesizing %s control for %s (%zu "
                     "instructions, sketch %d LoC)...\n",
-            mono ? "monolithic" : "per-instruction", design.c_str(),
+            strategyName(opts.strategy), design.c_str(),
             cs.spec.instrs().size(),
             oyster::sketchSizeLoc(cs.sketch));
     SynthesisResult r = synthesizeControl(cs.sketch, cs.spec, cs.alpha,
