@@ -50,6 +50,7 @@ CegisOptions::solveLimits() const
     limits.cancelFlag = cancelFlag;
     limits.portfolioJobs = satPortfolio;
     limits.portfolioSeed = satPortfolioSeed;
+    limits.checkProofs = checkProofs;
     return limits;
 }
 

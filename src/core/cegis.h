@@ -83,6 +83,13 @@ struct CegisOptions
      */
     int satPortfolio = 0;
     uint64_t satPortfolioSeed = 1;
+    /**
+     * Record and independently replay a DRAT proof for every Unsat
+     * SAT verdict (smt::SolveLimits::checkProofs). Certifies the
+     * verdicts CEGIS builds on: "no counterexample" in verify and
+     * "no candidate" in refinement.
+     */
+    bool checkProofs = false;
 
     bool hasDeadline() const
     {

@@ -1,6 +1,7 @@
 #include "core/control_union.h"
 
 #include "base/logging.h"
+#include "oyster/lint.h"
 #include "core/spec_compiler.h"
 #include "oyster/builder.h"
 
@@ -64,7 +65,7 @@ applyControlUnion(oyster::Design &design, const ila::Ila &spec,
     // Generated statements were appended; re-establish def-before-use
     // order (also rejects combinational feedback through the control).
     design.sortStatements();
-    design.validate(/*allow_holes=*/false);
+    lint::checkDesign(design, /*allow_holes=*/false);
 }
 
 } // namespace owl::synth

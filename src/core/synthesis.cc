@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/logging.h"
+#include "oyster/lint.h"
 #include "exec/thread_pool.h"
 #include "obs/obs.h"
 #include "oyster/symeval.h"
@@ -43,6 +44,7 @@ cegisOptionsFrom(const SynthesisOptions &opts,
     c.conflictLimit = opts.conflictLimit;
     c.deadline = deadline;
     c.satPortfolio = opts.satPortfolio;
+    c.checkProofs = opts.checkProofs;
     return c;
 }
 
@@ -526,7 +528,7 @@ verifyDesign(const oyster::Design &design, const ila::Ila &spec,
     obs::ScopedSpan span("verifyDesign");
     span.attr("instrs", spec.instrs().size());
     OWL_COUNTER_INC("verify.designs");
-    design.validate(/*allow_holes=*/false);
+    lint::checkDesign(design, /*allow_holes=*/false);
     // With pairwise-disjoint decode conditions, the generated
     // precondition wires can be pinned to constants in the decode
     // cycle (case split), which folds the control union's selection

@@ -80,6 +80,14 @@ struct SynthesisOptions
      * trajectory — see DESIGN.md §7.
      */
     int satPortfolio = 0;
+    /**
+     * Certify every Unsat SAT verdict with a DRAT proof replayed
+     * through the in-repo forward checker (`owl synth
+     * --check-proofs`). Composes with satPortfolio and jobs: each
+     * portfolio racer records its own proof and the winner's is the
+     * one checked.
+     */
+    bool checkProofs = false;
     /** Whole-run wall-clock budget; zero = unlimited. */
     std::chrono::milliseconds timeLimit{0};
     /** Per-SAT-call conflict cap; 0 = unlimited. */

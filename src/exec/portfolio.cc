@@ -52,7 +52,8 @@ void
 runConfig(const sat::Cnf &cnf, const sat::Solver::Options &config,
           int index, std::chrono::milliseconds time_limit,
           uint64_t conflict_limit, CancelToken race,
-          const std::atomic<bool> *external, RaceState &state)
+          const std::atomic<bool> *external, bool capture_proofs,
+          RaceState &state)
 {
     if (race.cancelled())
         return;
@@ -66,6 +67,11 @@ runConfig(const sat::Cnf &cnf, const sat::Solver::Options &config,
         solver.setTimeLimit(time_limit);
     if (conflict_limit > 0)
         solver.setConflictLimit(conflict_limit);
+    // The sink must be attached before loadCnf: replaying the formula
+    // can already refute it (empty-clause step) or learn units.
+    sat::DratProof proof;
+    if (capture_proofs)
+        solver.setProofSink(&proof);
     solver.loadCnf(cnf);
 
     sat::Result r = solver.solve();
@@ -81,6 +87,8 @@ runConfig(const sat::Cnf &cnf, const sat::Solver::Options &config,
     state.outcome.winner = index;
     state.outcome.result = r;
     state.outcome.winnerStats = solver.stats();
+    if (r == sat::Result::Unsat && capture_proofs)
+        state.outcome.proof = std::move(proof);
     if (r == sat::Result::Sat) {
         state.outcome.model.resize(cnf.numVars);
         for (int v = 0; v < cnf.numVars; v++)
@@ -96,7 +104,8 @@ Portfolio::solve(const sat::Cnf &cnf,
                  const std::vector<sat::Solver::Options> &configs,
                  std::chrono::milliseconds time_limit,
                  uint64_t conflict_limit,
-                 const std::atomic<bool> *external)
+                 const std::atomic<bool> *external,
+                 bool capture_proofs)
 {
     obs::ScopedSpan span("sat.portfolio");
     span.attr("configs", configs.size());
@@ -118,13 +127,13 @@ Portfolio::solve(const sat::Cnf &cnf,
                 obs::TaskSpanScope scope(ctx);
                 runConfig(cnf, configs[i], static_cast<int>(i),
                           time_limit, conflict_limit, race, external,
-                          state);
+                          capture_proofs, state);
             }));
     }
     // The caller is racer 0: guaranteed progress even when the pool
     // is saturated (e.g. a race inside a parallel synthesis task).
     runConfig(cnf, configs[0], 0, time_limit, conflict_limit, race,
-              external, state);
+              external, capture_proofs, state);
     for (auto &f : rivals)
         pool->waitFor(f);
 

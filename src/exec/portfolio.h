@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "sat/drat.h"
 #include "sat/solver.h"
 
 namespace owl::exec
@@ -38,6 +39,13 @@ struct PortfolioOutcome
     std::vector<bool> model;
     /** The winning solver's per-call statistics. */
     sat::Stats winnerStats;
+    /**
+     * The winning solver's DRAT proof when result == Unsat and proof
+     * capture was requested. Each racer records its own independent
+     * proof against the shared CNF, so the winner's refutation is
+     * checkable no matter which configuration finished first.
+     */
+    sat::DratProof proof;
 };
 
 /**
@@ -66,6 +74,8 @@ class Portfolio
      * @param time_limit per-solver wall-clock limit; 0 = none.
      * @param conflict_limit per-solver conflict cap; 0 = none.
      * @param external cancels the whole race from outside.
+     * @param capture_proofs record per-racer DRAT proofs; the winner's
+     *        lands in PortfolioOutcome::proof on Unsat.
      */
     PortfolioOutcome solve(
         const sat::Cnf &cnf,
@@ -73,7 +83,8 @@ class Portfolio
         std::chrono::milliseconds time_limit =
             std::chrono::milliseconds{0},
         uint64_t conflict_limit = 0,
-        const std::atomic<bool> *external = nullptr);
+        const std::atomic<bool> *external = nullptr,
+        bool capture_proofs = false);
 
   private:
     ThreadPool *pool;

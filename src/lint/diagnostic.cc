@@ -1,0 +1,109 @@
+#include "lint/diagnostic.h"
+
+#include <sstream>
+
+namespace owl::lint
+{
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+std::string
+Diagnostic::toString() const
+{
+    std::ostringstream os;
+    os << severityName(severity) << "[" << rule << "] ";
+    if (!location.empty())
+        os << location << ": ";
+    os << message;
+    return os.str();
+}
+
+void
+Report::add(Severity severity, std::string rule, std::string location,
+            std::string message)
+{
+    diags.push_back(Diagnostic{severity, std::move(rule),
+                               std::move(location),
+                               std::move(message)});
+}
+
+size_t
+Report::count(Severity s) const
+{
+    size_t n = 0;
+    for (const Diagnostic &d : diags) {
+        if (d.severity == s)
+            n++;
+    }
+    return n;
+}
+
+bool
+Report::hasRule(const std::string &rule) const
+{
+    for (const Diagnostic &d : diags) {
+        if (d.rule == rule)
+            return true;
+    }
+    return false;
+}
+
+std::vector<Diagnostic>
+Report::byRule(const std::string &rule) const
+{
+    std::vector<Diagnostic> out;
+    for (const Diagnostic &d : diags) {
+        if (d.rule == rule)
+            out.push_back(d);
+    }
+    return out;
+}
+
+std::string
+Report::toString() const
+{
+    std::string out;
+    for (const Diagnostic &d : diags) {
+        out += d.toString();
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+Report::errorsToString() const
+{
+    std::string out;
+    for (const Diagnostic &d : diags) {
+        if (d.severity != Severity::Error)
+            continue;
+        if (!out.empty())
+            out += '\n';
+        out += d.toString();
+    }
+    return out;
+}
+
+std::string
+Report::summary() const
+{
+    std::ostringstream os;
+    size_t e = errorCount();
+    size_t w = warningCount();
+    size_t i = count(Severity::Info);
+    os << e << (e == 1 ? " error, " : " errors, ") << w
+       << (w == 1 ? " warning, " : " warnings, ") << i
+       << (i == 1 ? " info" : " infos");
+    return os.str();
+}
+
+} // namespace owl::lint

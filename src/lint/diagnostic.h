@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The shared diagnostic model of the owl::lint static-analysis
+ * subsystem.
+ *
+ * Every lint pass — the Oyster design walk, the SMT term-DAG checker,
+ * the CNF checker, the netlist lint — reports through one Report of
+ * Diagnostic records instead of panicking on the first problem. Each
+ * diagnostic carries a stable machine-readable rule id (the catalogue
+ * lives in DESIGN.md §8 and tests assert on exact ids), a severity,
+ * and a human-readable location + message.
+ *
+ * Severity contract:
+ *  - Error:   the IR violates an invariant another layer relies on;
+ *             consuming it could produce a wrong synthesized design.
+ *  - Warning: suspicious but sound (duplicate literals, a hole no
+ *             statement reads).
+ *  - Info:    reports feeding other tooling (dead-gate counts for the
+ *             Table 2 optimizer).
+ */
+
+#ifndef OWL_LINT_DIAGNOSTIC_H
+#define OWL_LINT_DIAGNOSTIC_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace owl::lint
+{
+
+enum class Severity
+{
+    Info,
+    Warning,
+    Error,
+};
+
+const char *severityName(Severity s);
+
+/** One finding from a lint pass. */
+struct Diagnostic
+{
+    Severity severity = Severity::Error;
+    /** Stable rule id, e.g. "netlist.comb-cycle". */
+    std::string rule;
+    /** Human-readable location, e.g. "design rv32i, stmt #12". */
+    std::string location;
+    std::string message;
+
+    /** `error[netlist.comb-cycle] design rv32i: message`. */
+    std::string toString() const;
+};
+
+/**
+ * An append-only collection of diagnostics shared across passes. One
+ * Report typically accumulates a whole lint run so the caller can
+ * render, count, or export everything at once.
+ */
+class Report
+{
+  public:
+    void add(Severity severity, std::string rule, std::string location,
+             std::string message);
+    void error(std::string rule, std::string location,
+               std::string message)
+    {
+        add(Severity::Error, std::move(rule), std::move(location),
+            std::move(message));
+    }
+    void warning(std::string rule, std::string location,
+                 std::string message)
+    {
+        add(Severity::Warning, std::move(rule), std::move(location),
+            std::move(message));
+    }
+    void info(std::string rule, std::string location,
+              std::string message)
+    {
+        add(Severity::Info, std::move(rule), std::move(location),
+            std::move(message));
+    }
+
+    const std::vector<Diagnostic> &diagnostics() const { return diags; }
+    size_t size() const { return diags.size(); }
+    bool empty() const { return diags.empty(); }
+
+    size_t count(Severity s) const;
+    size_t errorCount() const { return count(Severity::Error); }
+    size_t warningCount() const { return count(Severity::Warning); }
+    bool hasErrors() const { return errorCount() > 0; }
+
+    /** True if any diagnostic carries the exact rule id. */
+    bool hasRule(const std::string &rule) const;
+    /** All diagnostics with the exact rule id. */
+    std::vector<Diagnostic> byRule(const std::string &rule) const;
+
+    /** One line per diagnostic, in insertion order. */
+    std::string toString() const;
+    /** Error diagnostics only, one per line (for thrown messages). */
+    std::string errorsToString() const;
+    /** `3 errors, 1 warning, 0 infos`. */
+    std::string summary() const;
+
+  private:
+    std::vector<Diagnostic> diags;
+};
+
+} // namespace owl::lint
+
+#endif // OWL_LINT_DIAGNOSTIC_H

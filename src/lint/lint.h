@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Umbrella header for the owl::lint static-analysis subsystem.
+ *
+ * One pass per IR, all reporting through the shared Diagnostic model:
+ *   lint/diagnostic.h    Diagnostic / Report (severity, rule,
+ *                        location, message)
+ *   oyster/lint.h        Oyster design lint + the checkDesign()
+ *                        validation entry point (lives in owl_oyster)
+ *   lint/lint_smt.h      SMT term-DAG pass
+ *   lint/lint_cnf.h      CNF pass (+ sat::Solver watched-literal
+ *                        audit)
+ *   lint/lint_netlist.h  netlist pass with dead-gate report
+ *   lint/runner.h        whole-sketch driver behind `owl lint`
+ *   sat/drat.h           DRAT proof logging + forward checker
+ *                        (lives in owl_sat)
+ *
+ * See DESIGN.md §8 for the architecture and the full rule catalogue.
+ */
+
+#ifndef OWL_LINT_LINT_H
+#define OWL_LINT_LINT_H
+
+#include "lint/diagnostic.h"
+#include "lint/lint_cnf.h"
+#include "lint/lint_netlist.h"
+#include "lint/lint_smt.h"
+#include "lint/runner.h"
+#include "oyster/lint.h"
+#include "sat/drat.h"
+
+#endif // OWL_LINT_LINT_H

@@ -1,0 +1,75 @@
+#include "lint/lint_cnf.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace owl::lint
+{
+
+using sat::Lit;
+
+void
+lintCnf(const sat::Cnf &cnf, Report &report)
+{
+    if (cnf.numVars < 0) {
+        report.error("cnf.var-bounds", "formula header",
+                     "negative variable count " +
+                         std::to_string(cnf.numVars));
+        return;
+    }
+
+    std::vector<Lit> sorted;
+    for (size_t ci = 0; ci < cnf.clauses.size(); ci++) {
+        const auto &clause = cnf.clauses[ci];
+        const std::string loc = "clause #" + std::to_string(ci);
+
+        if (clause.empty()) {
+            report.error("cnf.empty-clause", loc,
+                         "clause has no literals (formula trivially "
+                         "unsatisfiable)");
+            continue;
+        }
+        bool bounds_ok = true;
+        for (Lit l : clause) {
+            if (!l.valid() || l.var() >= cnf.numVars) {
+                report.error(
+                    "cnf.var-bounds", loc,
+                    "literal references variable " +
+                        std::to_string(l.valid() ? l.var() : -1) +
+                        " outside the declared " +
+                        std::to_string(cnf.numVars) + " variables");
+                bounds_ok = false;
+            }
+        }
+        if (!bounds_ok)
+            continue;
+
+        sorted.assign(clause.begin(), clause.end());
+        std::sort(sorted.begin(), sorted.end(),
+                  [](Lit a, Lit b) { return a.index() < b.index(); });
+        for (size_t i = 1; i < sorted.size(); i++) {
+            if (sorted[i] == sorted[i - 1]) {
+                report.warning("cnf.duplicate-literal", loc,
+                               "literal for variable " +
+                                   std::to_string(sorted[i].var()) +
+                                   " repeats");
+            } else if (sorted[i] == ~sorted[i - 1]) {
+                report.warning("cnf.tautology", loc,
+                               "clause contains both polarities of "
+                               "variable " +
+                                   std::to_string(sorted[i].var()));
+            }
+        }
+    }
+}
+
+Report
+lintCnf(const sat::Cnf &cnf)
+{
+    Report report;
+    lintCnf(cnf, report);
+    return report;
+}
+
+} // namespace owl::lint

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Lint pass over captured CNF formulas (sat::Cnf).
+ *
+ * The bit-blaster hands raw Tseitin clauses to the solver, which
+ * performs its own level-0 simplification; this pass inspects the raw
+ * capture. Structural violations (empty clause, variable out of
+ * bounds) are errors; redundancies a correct encoder may legitimately
+ * emit pre-simplification (duplicate literals, tautologies) are
+ * warnings — the solver removes them, but they signal encoder sloppiness
+ * worth knowing about.
+ *
+ * The two-watched-literal invariant inside a live sat::Solver is the
+ * other half of CNF health; it needs the solver's internals and so
+ * lives on the solver itself (sat::Solver::auditWatchInvariants,
+ * reporting cnf.watch-* rules into the same Report type). Debug builds
+ * run the audit automatically at every solve() entry.
+ *
+ * Rule catalogue (DESIGN.md §8):
+ *   cnf.empty-clause       a clause with no literals (error)
+ *   cnf.var-bounds         literal outside the declared variable
+ *                          count, or invalid (error)
+ *   cnf.duplicate-literal  repeated literal in one clause (warning)
+ *   cnf.tautology          clause contains l and ~l (warning)
+ *   cnf.watch-range        watcher references a nonexistent clause
+ *                          (error; from auditWatchInvariants)
+ *   cnf.watch-position     watched literal not at position 0/1
+ *                          (error; from auditWatchInvariants)
+ *   cnf.watch-count        live clause not watched exactly twice
+ *                          (error; from auditWatchInvariants)
+ */
+
+#ifndef OWL_LINT_LINT_CNF_H
+#define OWL_LINT_LINT_CNF_H
+
+#include "lint/diagnostic.h"
+#include "sat/solver.h"
+
+namespace owl::lint
+{
+
+/** Lint a captured CNF, appending findings. */
+void lintCnf(const sat::Cnf &cnf, Report &report);
+
+/** Convenience: lint into a fresh report. */
+Report lintCnf(const sat::Cnf &cnf);
+
+} // namespace owl::lint
+
+#endif // OWL_LINT_LINT_CNF_H

@@ -1,0 +1,328 @@
+#include "lint/lint_netlist.h"
+
+#include <map>
+#include <string>
+
+namespace owl::lint
+{
+
+using netlist::Gate;
+using netlist::GateOp;
+using netlist::Netlist;
+
+namespace
+{
+
+const char *
+gateOpName(GateOp op)
+{
+    switch (op) {
+      case GateOp::Const0: return "const0";
+      case GateOp::Const1: return "const1";
+      case GateOp::Input: return "input";
+      case GateOp::MemData: return "memdata";
+      case GateOp::And: return "and";
+      case GateOp::Or: return "or";
+      case GateOp::Xor: return "xor";
+      case GateOp::Not: return "not";
+      case GateOp::Dff: return "dff";
+    }
+    return "?";
+}
+
+std::string
+gateLoc(const Netlist &nl, int32_t g)
+{
+    std::string loc = "gate #" + std::to_string(g);
+    if (g >= 0 && static_cast<size_t>(g) < nl.gates.size()) {
+        loc += " (";
+        loc += gateOpName(nl.gates[g].op);
+        if (!nl.gates[g].name.empty())
+            loc += " '" + nl.gates[g].name + "'";
+        loc += ")";
+    }
+    return loc;
+}
+
+bool
+inRange(const Netlist &nl, int32_t g)
+{
+    return g >= 0 && static_cast<size_t>(g) < nl.gates.size();
+}
+
+/** Fanin arity of each gate kind: how many of a/b must be driven. */
+int
+faninCount(GateOp op)
+{
+    switch (op) {
+      case GateOp::And:
+      case GateOp::Or:
+      case GateOp::Xor:
+        return 2;
+      case GateOp::Not:
+      case GateOp::Dff:
+        return 1;
+      default:
+        return 0;
+    }
+}
+
+void
+checkBus(const Netlist &nl, Report &report, const std::string &what,
+         const netlist::Bus &bus)
+{
+    for (int32_t g : bus) {
+        if (!inRange(nl, g)) {
+            report.error("netlist.port-range", what,
+                         "bus references gate #" + std::to_string(g) +
+                             " outside the netlist of " +
+                             std::to_string(nl.gates.size()) +
+                             " gates");
+        }
+    }
+}
+
+/**
+ * Combinational cycle detection: iterative DFS over fanin edges with
+ * tri-color marking, cutting traversal at Dff nodes (their fanin is
+ * next-state logic evaluated across a clock edge, not a combinational
+ * dependency).
+ */
+void
+findCombCycles(const Netlist &nl, Report &report)
+{
+    const size_t n = nl.gates.size();
+    enum : uint8_t { White, Gray, Black };
+    std::vector<uint8_t> color(n, White);
+    std::vector<std::pair<int32_t, int>> stack; // gate, next fanin slot
+
+    for (size_t root = 0; root < n; root++) {
+        if (color[root] != White || nl.gates[root].op == GateOp::Dff)
+            continue;
+        stack.push_back({static_cast<int32_t>(root), 0});
+        color[root] = Gray;
+        while (!stack.empty()) {
+            auto &[g, slot] = stack.back();
+            const Gate &gate = nl.gates[g];
+            int32_t fanin = slot == 0 ? gate.a : gate.b;
+            if (slot >= faninCount(gate.op) ||
+                gate.op == GateOp::Dff) {
+                color[g] = Black;
+                stack.pop_back();
+                continue;
+            }
+            slot++;
+            if (!inRange(nl, fanin))
+                continue; // netlist.fanin-range reports this
+            if (nl.gates[fanin].op == GateOp::Dff)
+                continue; // sequential edge: cycle legitimately cut
+            if (color[fanin] == Gray) {
+                report.error(
+                    "netlist.comb-cycle", gateLoc(nl, fanin),
+                    "combinational cycle: gate feeds back into "
+                    "itself without passing through a flip-flop "
+                    "(via " +
+                        gateLoc(nl, g) + ")");
+                continue;
+            }
+            if (color[fanin] == White) {
+                color[fanin] = Gray;
+                stack.push_back({fanin, 0});
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<int32_t>
+deadGates(const Netlist &nl)
+{
+    // Mirror of the optimizer's dead-code-elimination root set
+    // (netlist/optimize.cc deadCodeElim) so the report matches what
+    // optimize() would strip.
+    const size_t n = nl.gates.size();
+    std::vector<bool> live(n, false);
+    std::vector<int32_t> stack;
+    auto mark = [&](int32_t g) {
+        if (g >= 0 && static_cast<size_t>(g) < n && !live[g]) {
+            live[g] = true;
+            stack.push_back(g);
+        }
+    };
+    mark(0);
+    mark(1);
+    for (const auto &[name, bus] : nl.outputs)
+        for (int32_t g : bus)
+            mark(g);
+    for (const auto &[name, bus] : nl.registers)
+        for (int32_t g : bus)
+            mark(g);
+    for (const auto &rp : nl.readPorts) {
+        for (int32_t g : rp.addr)
+            mark(g);
+        for (int32_t g : rp.data)
+            mark(g);
+    }
+    for (const auto &wp : nl.writePorts) {
+        for (int32_t g : wp.addr)
+            mark(g);
+        for (int32_t g : wp.data)
+            mark(g);
+        mark(wp.enable);
+    }
+    for (const auto &[name, bus] : nl.inputs)
+        for (int32_t g : bus)
+            mark(g);
+    while (!stack.empty()) {
+        int32_t g = stack.back();
+        stack.pop_back();
+        mark(nl.gates[g].a);
+        mark(nl.gates[g].b);
+    }
+
+    std::vector<int32_t> dead;
+    for (size_t i = 0; i < n; i++) {
+        if (live[i])
+            continue;
+        GateOp op = nl.gates[i].op;
+        if (op == GateOp::And || op == GateOp::Or ||
+            op == GateOp::Xor || op == GateOp::Not ||
+            op == GateOp::Dff) {
+            dead.push_back(static_cast<int32_t>(i));
+        }
+    }
+    return dead;
+}
+
+void
+lintNetlist(const Netlist &nl, Report &report)
+{
+    // ---- per-gate fanin checks -----------------------------------------
+    for (size_t i = 0; i < nl.gates.size(); i++) {
+        const Gate &g = nl.gates[i];
+        int needed = faninCount(g.op);
+        const int32_t fanins[2] = {g.a, g.b};
+        for (int s = 0; s < needed; s++) {
+            int32_t f = fanins[s];
+            if (f == -1) {
+                report.error("netlist.undriven",
+                             gateLoc(nl, static_cast<int32_t>(i)),
+                             std::string(s == 0 ? "first" : "second") +
+                                 " fanin is unconnected");
+            } else if (!inRange(nl, f)) {
+                report.error("netlist.fanin-range",
+                             gateLoc(nl, static_cast<int32_t>(i)),
+                             "fanin references gate #" +
+                                 std::to_string(f) +
+                                 " outside the netlist");
+            }
+        }
+    }
+
+    // ---- port structure ------------------------------------------------
+    for (const auto &[name, bus] : nl.inputs)
+        checkBus(nl, report, "input '" + name + "'", bus);
+    for (const auto &[name, bus] : nl.outputs)
+        checkBus(nl, report, "output '" + name + "'", bus);
+    for (const auto &[name, bus] : nl.registers) {
+        checkBus(nl, report, "register '" + name + "'", bus);
+        for (int32_t g : bus) {
+            if (inRange(nl, g) && nl.gates[g].op != GateOp::Dff) {
+                report.error("netlist.port-kind",
+                             "register '" + name + "'",
+                             gateLoc(nl, g) +
+                                 " in a register bus is not a dff");
+            }
+        }
+    }
+
+    // Read/write ports of one memory must agree on geometry; the
+    // compiled macro block has exactly one address and data width.
+    std::map<std::string, std::pair<size_t, size_t>> memShape;
+    auto checkShape = [&](const std::string &kind,
+                          const std::string &mem, size_t addr_w,
+                          size_t data_w) {
+        auto [it, fresh] =
+            memShape.emplace(mem, std::make_pair(addr_w, data_w));
+        if (fresh)
+            return;
+        if (it->second.first != addr_w) {
+            report.error("netlist.port-width", kind + " of '" + mem + "'",
+                         "address bus is " + std::to_string(addr_w) +
+                             " bits, other ports use " +
+                             std::to_string(it->second.first));
+        }
+        if (it->second.second != data_w) {
+            report.error("netlist.port-width", kind + " of '" + mem + "'",
+                         "data bus is " + std::to_string(data_w) +
+                             " bits, other ports use " +
+                             std::to_string(it->second.second));
+        }
+    };
+    for (size_t p = 0; p < nl.readPorts.size(); p++) {
+        const auto &rp = nl.readPorts[p];
+        const std::string what =
+            "read port #" + std::to_string(p) + " of '" + rp.mem + "'";
+        checkBus(nl, report, what, rp.addr);
+        checkBus(nl, report, what, rp.data);
+        for (int32_t g : rp.data) {
+            if (inRange(nl, g) && nl.gates[g].op != GateOp::MemData) {
+                report.error("netlist.port-kind", what,
+                             gateLoc(nl, g) +
+                                 " in a read-port data bus is not a "
+                                 "memdata source");
+            }
+        }
+        checkShape("read port", rp.mem, rp.addr.size(),
+                   rp.data.size());
+    }
+    for (size_t p = 0; p < nl.writePorts.size(); p++) {
+        const auto &wp = nl.writePorts[p];
+        const std::string what =
+            "write port #" + std::to_string(p) + " of '" + wp.mem +
+            "'";
+        checkBus(nl, report, what, wp.addr);
+        checkBus(nl, report, what, wp.data);
+        if (!inRange(nl, wp.enable)) {
+            report.error("netlist.port-range", what,
+                         "enable references gate #" +
+                             std::to_string(wp.enable) +
+                             " outside the netlist");
+        }
+        checkShape("write port", wp.mem, wp.addr.size(),
+                   wp.data.size());
+    }
+
+    // ---- combinational cycles ------------------------------------------
+    findCombCycles(nl, report);
+
+    // ---- dead-gate report ----------------------------------------------
+    std::vector<int32_t> dead = deadGates(nl);
+    if (!dead.empty()) {
+        std::string ids;
+        for (size_t i = 0; i < dead.size() && i < 8; i++) {
+            if (i)
+                ids += ", ";
+            ids += "#" + std::to_string(dead[i]);
+        }
+        if (dead.size() > 8)
+            ids += ", ...";
+        report.info("netlist.dead-gate", "netlist",
+                    std::to_string(dead.size()) +
+                        " logic gate(s) unreachable from any "
+                        "output, register, or memory port (" +
+                        ids + "); optimize() dead-code elimination "
+                              "would remove them");
+    }
+}
+
+Report
+lintNetlist(const Netlist &nl)
+{
+    Report report;
+    lintNetlist(nl, report);
+    return report;
+}
+
+} // namespace owl::lint

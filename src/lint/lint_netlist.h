@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Lint pass over gate-level netlists (netlist::Netlist).
+ *
+ * Checks the structural contract the simulator and optimizer rely on:
+ * every fanin id resolves to a gate, logic gates are fully driven,
+ * port buses reference valid gates of the right kind (register buses
+ * are Dffs, read-port data bits are MemData sources), read/write ports
+ * of one memory agree on address and data widths, and no combinational
+ * cycle exists — a path of And/Or/Xor/Not fanin edges that returns to
+ * its origin without passing through a Dff. Dffs legitimately close
+ * sequential loops (their D fanin is next-state logic), so cycle
+ * detection cuts traversal at Dff nodes.
+ *
+ * The pass also reports dead gates — logic unreachable from any
+ * output, register, or memory port — using the same root set as the
+ * optimizer's dead-code elimination, so the report predicts exactly
+ * what `optimize()` would strip (the Table 2 size delta).
+ *
+ * Rule catalogue (DESIGN.md §8):
+ *   netlist.fanin-range   fanin id out of range (error)
+ *   netlist.undriven      logic gate or Dff missing a required fanin
+ *                         (error)
+ *   netlist.port-range    port/bus gate id out of range (error)
+ *   netlist.port-kind     register bus entry is not a Dff, or
+ *                         read-port data bit is not MemData (error)
+ *   netlist.port-width    read/write ports of one memory disagree on
+ *                         address or data width (error)
+ *   netlist.comb-cycle    combinational cycle through non-Dff fanin
+ *                         (error)
+ *   netlist.dead-gate     logic unreachable from any root (info)
+ */
+
+#ifndef OWL_LINT_LINT_NETLIST_H
+#define OWL_LINT_LINT_NETLIST_H
+
+#include <vector>
+
+#include "lint/diagnostic.h"
+#include "netlist/netlist.h"
+
+namespace owl::lint
+{
+
+/** Lint a netlist, appending findings. */
+void lintNetlist(const netlist::Netlist &nl, Report &report);
+
+/** Convenience: lint into a fresh report. */
+Report lintNetlist(const netlist::Netlist &nl);
+
+/**
+ * Ids of logic gates (And/Or/Xor/Not/Dff) unreachable from any
+ * output, register, or memory port — what dead-code elimination
+ * would remove. Exposed separately so tools can feed the list to the
+ * optimizer report.
+ */
+std::vector<int32_t> deadGates(const netlist::Netlist &nl);
+
+} // namespace owl::lint
+
+#endif // OWL_LINT_LINT_NETLIST_H

@@ -1,0 +1,240 @@
+#include "lint/lint_smt.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace owl::lint
+{
+
+using smt::Node;
+using smt::Op;
+using smt::TermRef;
+using smt::TermTable;
+
+namespace
+{
+
+std::string
+nodeLoc(uint32_t idx, const Node &n)
+{
+    return "term #" + std::to_string(idx) + " (" + smt::opName(n.op) +
+           ")";
+}
+
+/** Structural identity key — the hash-consing equivalence class. */
+std::string
+structuralKey(const Node &n)
+{
+    std::string k;
+    k += static_cast<char>(n.op);
+    k += '|';
+    k += std::to_string(n.width) + '|' + std::to_string(n.a) + '|' +
+         std::to_string(n.b);
+    for (TermRef c : n.children) {
+        k += ',';
+        k += std::to_string(c.idx);
+    }
+    return k;
+}
+
+} // namespace
+
+void
+lintTerms(const TermTable &tt, Report &report)
+{
+    const size_t n_nodes = tt.numNodes();
+    std::unordered_map<std::string, uint32_t> firstByKey;
+    // Per-memory (addr_width, data_width) agreement for BaseRead.
+    std::unordered_map<int, std::pair<int, int>> memShape;
+
+    for (uint32_t i = 0; i < n_nodes; i++) {
+        const Node &n = tt.node(TermRef{i});
+        const std::string loc = nodeLoc(i, n);
+
+        // -- acyclicity / reference validity ----------------------------
+        bool kids_ok = true;
+        for (TermRef c : n.children) {
+            if (!c.valid() || c.idx >= n_nodes) {
+                report.error("smt.child-ref", loc,
+                             "child reference #" +
+                                 std::to_string(c.idx) +
+                                 " is out of range (table has " +
+                                 std::to_string(n_nodes) + " nodes)");
+                kids_ok = false;
+            } else if (c.idx >= i) {
+                report.error(
+                    "smt.child-ref", loc,
+                    "child #" + std::to_string(c.idx) +
+                        " does not precede its parent — the "
+                        "append-only table cannot contain forward "
+                        "edges, so the DAG may be cyclic");
+                kids_ok = false;
+            }
+        }
+
+        // -- hash-consing uniqueness ------------------------------------
+        auto [it, inserted] = firstByKey.emplace(structuralKey(n), i);
+        if (!inserted) {
+            report.error("smt.hash-consing", loc,
+                         "structurally identical to term #" +
+                             std::to_string(it->second) +
+                             "; hash-consing must make them one node");
+        }
+
+        if (!kids_ok)
+            continue; // width checks below would index out of range
+
+        auto kidw = [&](size_t k) {
+            return tt.width(n.children[k]);
+        };
+        auto arity = [&](size_t want) {
+            if (n.children.size() != want) {
+                report.error("smt.width-mismatch", loc,
+                             "expected " + std::to_string(want) +
+                                 " children, found " +
+                                 std::to_string(n.children.size()));
+                return false;
+            }
+            return true;
+        };
+        auto bad_width = [&](const std::string &msg) {
+            report.error("smt.width-mismatch", loc, msg);
+        };
+
+        switch (n.op) {
+          case Op::Const:
+            if (n.width != tt.constValue(TermRef{i}).width())
+                bad_width("node width disagrees with constant value");
+            break;
+          case Op::Var:
+            if (n.a < 0 || n.a >= tt.numVars()) {
+                report.error("smt.leaf-ref", loc,
+                             "unknown variable id " +
+                                 std::to_string(n.a));
+            } else if (n.width != tt.varInfo(n.a).width) {
+                bad_width("node width " + std::to_string(n.width) +
+                          " disagrees with variable '" +
+                          tt.varInfo(n.a).name + "' width " +
+                          std::to_string(tt.varInfo(n.a).width));
+            }
+            break;
+          case Op::BaseRead: {
+            if (!arity(1))
+                break;
+            auto [it2, fresh] = memShape.emplace(
+                n.a, std::make_pair(kidw(0), n.width));
+            if (!fresh) {
+                // One uninterpreted read function per memory: every
+                // application must agree on both widths.
+                if (it2->second.first != kidw(0)) {
+                    report.error(
+                        "smt.uf-arity", loc,
+                        "memory " + std::to_string(n.a) +
+                            " read with " + std::to_string(kidw(0)) +
+                            "-bit address, elsewhere " +
+                            std::to_string(it2->second.first) +
+                            "-bit");
+                }
+                if (it2->second.second != n.width) {
+                    report.error(
+                        "smt.uf-arity", loc,
+                        "memory " + std::to_string(n.a) +
+                            " read returns " + std::to_string(n.width) +
+                            " bits, elsewhere " +
+                            std::to_string(it2->second.second));
+                }
+            }
+            break;
+          }
+          case Op::Lookup:
+            if (n.a < 0 || n.a >= tt.numTables()) {
+                report.error("smt.leaf-ref", loc,
+                             "unknown table id " + std::to_string(n.a));
+                break;
+            }
+            if (!arity(1))
+                break;
+            if (n.width != tt.tableInfo(n.a).elemWidth) {
+                bad_width("node width disagrees with table '" +
+                          tt.tableInfo(n.a).name + "' element width");
+            }
+            break;
+          case Op::Not:
+          case Op::Neg:
+            if (arity(1) && n.width != kidw(0))
+                bad_width("unary op must keep its operand width");
+            break;
+          case Op::And:
+          case Op::Or:
+          case Op::Xor:
+          case Op::Add:
+          case Op::Sub:
+          case Op::Mul:
+          case Op::Clmul:
+          case Op::Clmulh:
+            if (!arity(2))
+                break;
+            if (kidw(0) != kidw(1) || n.width != kidw(0))
+                bad_width("binary op operand/result widths disagree");
+            break;
+          case Op::Eq:
+          case Op::Ult:
+          case Op::Ule:
+          case Op::Slt:
+          case Op::Sle:
+            if (!arity(2))
+                break;
+            if (kidw(0) != kidw(1))
+                bad_width("comparison operands differ in width");
+            if (n.width != 1)
+                bad_width("comparison result must be 1 bit");
+            break;
+          case Op::Ite:
+            if (!arity(3))
+                break;
+            if (kidw(0) != 1)
+                bad_width("ite condition must be 1 bit");
+            if (kidw(1) != kidw(2) || n.width != kidw(1))
+                bad_width("ite branch/result widths disagree");
+            break;
+          case Op::Extract:
+            if (!arity(1))
+                break;
+            if (!(n.b >= 0 && n.a >= n.b && n.a < kidw(0))) {
+                bad_width("extract [" + std::to_string(n.a) + ":" +
+                          std::to_string(n.b) + "] of a " +
+                          std::to_string(kidw(0)) + "-bit term");
+            } else if (n.width != n.a - n.b + 1) {
+                bad_width("extract result width is not high-low+1");
+            }
+            break;
+          case Op::Concat:
+            if (arity(2) && n.width != kidw(0) + kidw(1))
+                bad_width("concat width is not the operand sum");
+            break;
+          case Op::ZExt:
+          case Op::SExt:
+            if (arity(1) && n.width < kidw(0))
+                bad_width("extension must not shrink the term");
+            break;
+          case Op::Shl:
+          case Op::Lshr:
+          case Op::Ashr:
+            // The amount operand's width is unconstrained.
+            if (arity(2) && n.width != kidw(0))
+                bad_width("shift must keep its value operand width");
+            break;
+        }
+    }
+}
+
+Report
+lintTerms(const TermTable &tt)
+{
+    Report report;
+    lintTerms(tt, report);
+    return report;
+}
+
+} // namespace owl::lint

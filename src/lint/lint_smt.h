@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Lint pass over the hash-consed SMT term DAG (smt::TermTable).
+ *
+ * The term table is append-only and hash-consed, so a healthy table
+ * satisfies strong structural invariants: children precede parents
+ * (which makes the DAG acyclic by construction), no two live nodes are
+ * structurally identical, every leaf reference (variable id, table id)
+ * resolves, per-operator widths are consistent, and all BaseRead nodes
+ * of one memory agree on address/data widths (the Ackermann expansion
+ * assumes one uninterpreted read function per memory, so disagreeing
+ * widths would silently weaken congruence). The pass re-derives all of
+ * this from the nodes alone — the factory methods enforce it at
+ * construction, the lint catches anything that corrupts it after.
+ *
+ * Rule catalogue (DESIGN.md §8):
+ *   smt.child-ref       child index out of range or not preceding its
+ *                       parent (error; a forward edge can cycle)
+ *   smt.leaf-ref        Var/Lookup node referencing an unknown
+ *                       variable or table id (error)
+ *   smt.width-mismatch  per-operator width inconsistency (error)
+ *   smt.hash-consing    two live structurally identical nodes (error)
+ *   smt.uf-arity        BaseRead nodes of one memory disagree on
+ *                       address or data width (error)
+ */
+
+#ifndef OWL_LINT_LINT_SMT_H
+#define OWL_LINT_LINT_SMT_H
+
+#include "lint/diagnostic.h"
+#include "smt/term.h"
+
+namespace owl::lint
+{
+
+/** Lint every node of the term table, appending findings. */
+void lintTerms(const smt::TermTable &tt, Report &report);
+
+/** Convenience: lint into a fresh report. */
+Report lintTerms(const smt::TermTable &tt);
+
+} // namespace owl::lint
+
+#endif // OWL_LINT_LINT_SMT_H

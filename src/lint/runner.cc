@@ -1,0 +1,129 @@
+#include "lint/runner.h"
+
+#include "base/logging.h"
+#include "lint/lint_cnf.h"
+#include "lint/lint_netlist.h"
+#include "lint/lint_smt.h"
+#include "netlist/compile.h"
+#include "obs/obs.h"
+#include "oyster/lint.h"
+#include "oyster/symeval.h"
+#include "smt/bitblast.h"
+
+namespace owl::lint
+{
+
+void
+lintAll(const oyster::Design &design, const LintRunOptions &opts,
+        Report &report, LintRunStats *stats)
+{
+    obs::ScopedSpan span("lint.run");
+    span.attr("design", design.name());
+
+    // ---- stage 1: design lint ------------------------------------------
+    {
+        obs::ScopedSpan stage("lint.design");
+        DesignLintOptions dopts;
+        dopts.allowHoles = true;
+        dopts.holeReachability = true;
+        lintDesign(design, dopts, report);
+    }
+    if (report.hasErrors()) {
+        // Downstream stages rebuild the design through code paths
+        // that validate their input; rerunning them on a broken
+        // design would just throw.
+        span.attr("errors", report.errorCount());
+        OWL_COUNTER_ADD("lint.errors", report.errorCount());
+        return;
+    }
+
+    // ---- stage 2: symbolic evaluation + term-DAG lint ------------------
+    smt::TermTable tt;
+    if (opts.smtPass) {
+        obs::ScopedSpan stage("lint.smt");
+        oyster::SymbolicEvaluator ev(design, tt);
+        for (const std::string &hole : design.holeNames()) {
+            ev.setHole(hole,
+                       tt.freshVar("lint_hole_" + hole,
+                                   design.decl(hole).width));
+        }
+        oyster::SymRun run =
+            ev.run(opts.cycles > 0 ? opts.cycles : 1);
+        lintTerms(tt, report);
+        if (stats)
+            stats->termNodes = tt.numNodes();
+        stage.attr("terms", tt.numNodes());
+
+        // ---- stage 3: bit-blast + CNF lint -----------------------------
+        if (opts.cnfPass) {
+            obs::ScopedSpan cnf_stage("lint.cnf");
+            sat::Solver solver;
+            sat::Cnf cnf;
+            solver.setCaptureCnf(&cnf);
+            smt::BitBlaster blaster(tt, solver);
+            // Blasting the final state's registers (plus every
+            // memory-port term through them) emits the Tseitin CNF of
+            // the whole transition relation without asserting
+            // anything — exactly the clauses a synthesis query would
+            // start from.
+            const oyster::SymState &last = run.states.back();
+            for (const auto &[name, term] : last.regs)
+                blaster.blast(term);
+            for (const auto &[name, mem] : last.mems) {
+                for (const auto &w : mem.writes) {
+                    blaster.blast(w.addr);
+                    blaster.blast(w.data);
+                    blaster.blast(w.enable);
+                }
+            }
+            for (const auto &cycle_wires : run.wires) {
+                for (const auto &[name, term] : cycle_wires)
+                    blaster.blast(term);
+            }
+            solver.setCaptureCnf(nullptr);
+            lintCnf(cnf, report);
+            solver.auditWatchInvariants(&report);
+            if (stats) {
+                stats->cnfVars = cnf.numVars;
+                stats->cnfClauses = cnf.clauses.size();
+            }
+            cnf_stage.attr("vars", cnf.numVars);
+            cnf_stage.attr("clauses", cnf.clauses.size());
+        }
+    }
+
+    // ---- stage 4: hole-stubbed netlist + netlist lint ------------------
+    if (opts.netlistPass) {
+        obs::ScopedSpan stage("lint.netlist");
+        oyster::Design stub = design;
+        for (const std::string &hole : design.holeNames()) {
+            int width = design.decl(hole).width;
+            stub.convertHoleToWire(hole);
+            stub.assign(hole, stub.lit(width, 0));
+        }
+        stub.sortStatements();
+        netlist::Netlist nl = netlist::compile(stub);
+        lintNetlist(nl, report);
+        if (stats) {
+            stats->netlistGates = nl.gateCount();
+            stats->deadGates = deadGates(nl).size();
+        }
+        stage.attr("gates", nl.gateCount());
+    }
+
+    span.attr("errors", report.errorCount());
+    span.attr("warnings", report.warningCount());
+    OWL_COUNTER_ADD("lint.errors", report.errorCount());
+    OWL_COUNTER_ADD("lint.warnings", report.warningCount());
+    OWL_COUNTER_INC("lint.runs");
+}
+
+Report
+lintAll(const oyster::Design &design)
+{
+    Report report;
+    lintAll(design, LintRunOptions{}, report);
+    return report;
+}
+
+} // namespace owl::lint

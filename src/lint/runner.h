@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Whole-sketch lint driver: runs every IR's pass over one Oyster
+ * design (the engine behind `owl lint <design>`).
+ *
+ * Pipeline, mirroring how synthesis itself lowers a sketch:
+ *   1. design lint (oyster/lint.h) with holes allowed, including
+ *      hole-reachability analysis;
+ *   2. symbolic evaluation with fresh variables standing in for the
+ *      holes, then the term-DAG pass (lint_smt.h) over the resulting
+ *      table;
+ *   3. bit-blasting of the evaluated state into a captured CNF, then
+ *      the CNF pass (lint_cnf.h) plus the solver's watched-literal
+ *      audit;
+ *   4. netlist compilation of a hole-stubbed copy (each hole becomes
+ *      a zero-driven wire), then the netlist pass (lint_netlist.h)
+ *      with its dead-gate report.
+ *
+ * Stages 2-4 are skipped when stage 1 reports errors: the downstream
+ * IRs are built by code that validates its input and would throw.
+ */
+
+#ifndef OWL_LINT_RUNNER_H
+#define OWL_LINT_RUNNER_H
+
+#include "lint/diagnostic.h"
+#include "oyster/ir.h"
+
+namespace owl::lint
+{
+
+/** Knobs for one whole-sketch lint run. */
+struct LintRunOptions
+{
+    /** Cycles of symbolic evaluation feeding stages 2 and 3. */
+    int cycles = 1;
+    /** Run the term-DAG pass (stage 2). */
+    bool smtPass = true;
+    /** Run the CNF pass (stage 3; requires smtPass). */
+    bool cnfPass = true;
+    /** Run the netlist pass (stage 4). */
+    bool netlistPass = true;
+};
+
+/** Sizes of the intermediate artifacts a lint run produced. */
+struct LintRunStats
+{
+    size_t termNodes = 0;
+    size_t cnfVars = 0;
+    size_t cnfClauses = 0;
+    size_t netlistGates = 0;
+    size_t deadGates = 0;
+};
+
+/**
+ * Run all lint passes over the design, appending findings to the
+ * report. Also exports lint.* counters through owl::obs.
+ */
+void lintAll(const oyster::Design &design, const LintRunOptions &opts,
+             Report &report, LintRunStats *stats = nullptr);
+
+/** Convenience: lint into a fresh report with default options. */
+Report lintAll(const oyster::Design &design);
+
+} // namespace owl::lint
+
+#endif // OWL_LINT_RUNNER_H

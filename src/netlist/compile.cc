@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "base/logging.h"
+#include "oyster/lint.h"
 
 namespace owl::netlist
 {
@@ -344,7 +345,7 @@ class Compiler
 Netlist
 compile(const oyster::Design &design)
 {
-    design.validate(/*allow_holes=*/false);
+    lint::checkDesign(design, /*allow_holes=*/false);
     Compiler c(design);
     return c.run();
 }

@@ -1,6 +1,7 @@
 #include "oyster/interp.h"
 
 #include "base/logging.h"
+#include "oyster/lint.h"
 
 namespace owl::oyster
 {
@@ -22,7 +23,7 @@ shiftAmount(const BitVec &v)
 
 Interpreter::Interpreter(const Design &design) : design(design)
 {
-    design.validate(/*allow_holes=*/false);
+    lint::checkDesign(design, /*allow_holes=*/false);
     reset();
 }
 

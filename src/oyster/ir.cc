@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "base/logging.h"
+#include "oyster/lint.h"
 
 namespace owl::oyster
 {
@@ -477,27 +478,7 @@ Design::hasHoles() const
 void
 Design::validate(bool allow_holes) const
 {
-    if (!allow_holes && hasHoles())
-        owl_fatal("design ", designName, " still contains holes");
-
-    std::unordered_set<std::string> assigned;
-    for (const Stmt &s : stmtList) {
-        if (s.kind != Stmt::Assign)
-            continue;
-        if (!assigned.insert(s.target).second)
-            owl_fatal("multiple assignments to '", s.target,
-                      "' in design ", designName);
-    }
-    // Wires and outputs must be assigned; holes must not be.
-    for (const Decl &d : declList) {
-        if ((d.kind == DeclKind::Wire || d.kind == DeclKind::Output) &&
-            !assigned.count(d.name)) {
-            owl_fatal("unassigned ", declKindName(d.kind), " '", d.name,
-                      "' in design ", designName);
-        }
-        if (d.kind == DeclKind::Hole && assigned.count(d.name))
-            owl_fatal("hole '", d.name, "' must not be assigned");
-    }
+    lint::checkDesign(*this, allow_holes);
 }
 
 } // namespace owl::oyster

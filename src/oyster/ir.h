@@ -191,6 +191,8 @@ class Design
 
     const Expr &expr(ExprRef r) const { return exprPool[r.idx]; }
     int exprWidth(ExprRef r) const { return exprPool[r.idx].width; }
+    /** Number of expression nodes in the pool (lint walks). */
+    size_t exprCount() const { return exprPool.size(); }
 
     // ---- statements ----
     /** target := value. Target must be wire/output/register/hole. */
@@ -205,7 +207,10 @@ class Design
     /**
      * Sanity-check the design: every wire/output/register assigned at
      * most once, every referenced name declared, widths consistent.
-     * Throws FatalError on violations.
+     * Throws FatalError on violations. This is a thin wrapper over the
+     * full diagnostic walk in oyster/lint.h (lint::checkDesign); use
+     * lint::lintDesign directly to collect every finding instead of
+     * failing on the aggregated first report.
      */
     void validate(bool allow_holes = true) const;
 

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Oyster design lint — the full-diagnostic upgrade of the old
+ * panic-on-first-error Design::validate().
+ *
+ * The pass walks declarations, statements, and every expression node
+ * reachable from a statement, reporting all findings through the
+ * shared owl::lint Diagnostic model instead of throwing on the first.
+ * Beyond the historical validate() checks it re-derives expression
+ * widths per operator (catching pool corruption the factory methods
+ * can no longer see) and runs hole-reachability analysis: a hole no
+ * statement reads can never influence the datapath, so no opcode path
+ * reaches it and the sketch is under-constrained.
+ *
+ * Rule catalogue (DESIGN.md §8):
+ *   oyster.holes-remain      design still contains holes (error; only
+ *                            when holes are disallowed)
+ *   oyster.multiple-assign   a target assigned more than once (error)
+ *   oyster.unassigned        wire/output never assigned (error)
+ *   oyster.hole-assigned     a hole used as an assignment target
+ *                            (error)
+ *   oyster.undeclared        reference to an undeclared name (error)
+ *   oyster.expr-ref          expression child index out of range or
+ *                            non-topological (error)
+ *   oyster.width-mismatch    operator/assignment width inconsistency
+ *                            (error)
+ *   oyster.read-width        memory read/write address or data width
+ *                            mismatch (error)
+ *   oyster.hole-unreachable  hole never read by any statement
+ *                            (warning)
+ *   oyster.hole-dep-unknown  hole dependency names an undeclared wire
+ *                            (error)
+ *
+ * checkDesign() is the single validation entry point used by every
+ * consumer of completed designs (netlist compile, the interpreter,
+ * Verilog emission, verifyDesign, the control union): it runs the
+ * full walk and throws one FatalError carrying every error
+ * diagnostic, so callers get consistent, complete reports instead of
+ * five diverging bare panics.
+ */
+
+#ifndef OWL_OYSTER_LINT_H
+#define OWL_OYSTER_LINT_H
+
+#include "lint/diagnostic.h"
+#include "oyster/ir.h"
+
+namespace owl::lint
+{
+
+/** Options for the design lint pass. */
+struct DesignLintOptions
+{
+    /** Accept remaining holes (sketches); completed designs set false. */
+    bool allowHoles = true;
+    /** Also run the hole-reachability analysis (warnings). */
+    bool holeReachability = true;
+};
+
+/** Run the design lint pass, appending findings to the report. */
+void lintDesign(const oyster::Design &design,
+                const DesignLintOptions &opts, Report &report);
+
+/** Convenience: run the pass into a fresh report. */
+Report lintDesign(const oyster::Design &design,
+                  const DesignLintOptions &opts = {});
+
+/**
+ * The one lint-backed validation entry point: lint the design and
+ * throw FatalError listing every error diagnostic if any were found.
+ * Warnings and infos are not fatal.
+ */
+void checkDesign(const oyster::Design &design, bool allow_holes);
+
+} // namespace owl::lint
+
+#endif // OWL_OYSTER_LINT_H

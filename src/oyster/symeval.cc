@@ -1,6 +1,7 @@
 #include "oyster/symeval.h"
 
 #include "base/logging.h"
+#include "oyster/lint.h"
 #include "obs/obs.h"
 
 namespace owl::oyster
@@ -92,7 +93,7 @@ SymRun::readMemAt(TermTable &tt, const std::string &name, int t,
 SymbolicEvaluator::SymbolicEvaluator(const Design &design, TermTable &tt)
     : design(design), tt(tt)
 {
-    design.validate(/*allow_holes=*/true);
+    lint::checkDesign(design, /*allow_holes=*/true);
 }
 
 void

@@ -1,0 +1,328 @@
+#include "sat/drat.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace owl::sat
+{
+
+namespace
+{
+
+/**
+ * A minimal two-watched-literal propagation engine, independent of
+ * Solver. Root-level assignments (units and their consequences) are
+ * persistent; RUP checks push temporary assumption assignments and
+ * roll them back.
+ */
+class ForwardChecker
+{
+  public:
+    explicit ForwardChecker(int num_vars)
+        : nVars(num_vars), assigns(num_vars, lUndef),
+          watches(2 * static_cast<size_t>(num_vars))
+    {
+    }
+
+    bool contradiction() const { return contradictionFound; }
+
+    /** Add a clause (original or verified lemma) and propagate roots. */
+    void
+    addClause(const std::vector<Lit> &lits)
+    {
+        if (contradictionFound)
+            return;
+        int ci = static_cast<int>(db.size());
+        db.push_back(C{lits, false});
+        liveByKey[key(lits)].push_back(ci);
+
+        // Pick watches among literals not false at root so the clause
+        // participates in future propagation; a clause with fewer than
+        // two such literals is unit or conflicting right now.
+        C &c = db.back();
+        size_t nonfalse = 0;
+        for (size_t i = 0; i < c.lits.size() && nonfalse < 2; i++) {
+            if (value(c.lits[i]) != lFalse)
+                std::swap(c.lits[nonfalse++], c.lits[i]);
+        }
+        if (nonfalse >= 2) {
+            watch(ci, c.lits[0], c.lits[1]);
+            return;
+        }
+        if (nonfalse == 1) {
+            if (value(c.lits[0]) == lUndef)
+                enqueue(c.lits[0]);
+            // A root-true clause never propagates; skip watching it.
+            if (!propagate())
+                contradictionFound = true;
+            return;
+        }
+        contradictionFound = true; // all literals false (or empty)
+    }
+
+    /**
+     * RUP check: assume the negation of every literal, propagate, and
+     * require a conflict. Leaves the root state untouched.
+     */
+    bool
+    isRup(const std::vector<Lit> &lits)
+    {
+        if (contradictionFound)
+            return true;
+        size_t saved_trail = trail.size();
+        size_t saved_head = head;
+        bool conflict = false;
+        for (Lit l : lits) {
+            if (value(l) == lTrue) {
+                // The root assignment already satisfies the clause, so
+                // its negation cannot be assumed: the lemma is implied.
+                conflict = true;
+                break;
+            }
+            if (value(l) == lUndef)
+                enqueue(~l);
+        }
+        if (!conflict)
+            conflict = !propagate();
+        // Roll the assumptions back.
+        while (trail.size() > saved_trail) {
+            assigns[trail.back().var()] = lUndef;
+            trail.pop_back();
+        }
+        head = saved_head;
+        return conflict;
+    }
+
+    /** Delete a live clause by literal multiset; false if not found. */
+    bool
+    deleteClause(const std::vector<Lit> &lits)
+    {
+        auto it = liveByKey.find(key(lits));
+        if (it == liveByKey.end() || it->second.empty())
+            return false;
+        int ci = it->second.back();
+        it->second.pop_back();
+        db[ci].deleted = true; // watch lists are purged lazily
+        return true;
+    }
+
+  private:
+    static constexpr uint8_t lTrue = 0;
+    static constexpr uint8_t lFalse = 1;
+    static constexpr uint8_t lUndef = 2;
+
+    struct C
+    {
+        std::vector<Lit> lits;
+        bool deleted;
+    };
+    struct Watcher
+    {
+        int clauseIdx;
+        Lit blocker;
+    };
+
+    int nVars;
+    std::vector<C> db;
+    std::vector<uint8_t> assigns;
+    std::vector<std::vector<Watcher>> watches; // by lit code
+    std::vector<Lit> trail;
+    size_t head = 0;
+    bool contradictionFound = false;
+    std::unordered_map<std::string, std::vector<int>> liveByKey;
+
+    /** Sorted-literal key for delete-step matching. */
+    static std::string
+    key(std::vector<Lit> lits)
+    {
+        std::sort(lits.begin(), lits.end(),
+                  [](Lit a, Lit b) { return a.index() < b.index(); });
+        std::string k;
+        k.reserve(lits.size() * sizeof(int32_t));
+        for (Lit l : lits) {
+            int32_t code = l.index();
+            k.append(reinterpret_cast<const char *>(&code),
+                     sizeof(code));
+        }
+        return k;
+    }
+
+    uint8_t
+    value(Lit l) const
+    {
+        uint8_t v = assigns[l.var()];
+        return v == lUndef ? lUndef : (v ^ (l.negated() ? 1 : 0));
+    }
+
+    void
+    enqueue(Lit l)
+    {
+        assigns[l.var()] = l.negated() ? lFalse : lTrue;
+        trail.push_back(l);
+    }
+
+    void
+    watch(int ci, Lit a, Lit b)
+    {
+        watches[(~a).index()].push_back({ci, b});
+        watches[(~b).index()].push_back({ci, a});
+    }
+
+    /** Propagate to fixpoint; false on conflict. */
+    bool
+    propagate()
+    {
+        while (head < trail.size()) {
+            Lit p = trail[head++];
+            auto &ws = watches[p.index()];
+            size_t i = 0, j = 0;
+            bool conflict = false;
+            while (i < ws.size()) {
+                Watcher w = ws[i];
+                if (value(w.blocker) == lTrue) {
+                    ws[j++] = ws[i++];
+                    continue;
+                }
+                C &c = db[w.clauseIdx];
+                if (c.deleted) {
+                    i++;
+                    continue;
+                }
+                Lit not_p = ~p;
+                if (c.lits[0] == not_p)
+                    std::swap(c.lits[0], c.lits[1]);
+                if (value(c.lits[0]) == lTrue) {
+                    ws[j++] = {w.clauseIdx, c.lits[0]};
+                    i++;
+                    continue;
+                }
+                bool found = false;
+                for (size_t k = 2; k < c.lits.size(); k++) {
+                    if (value(c.lits[k]) != lFalse) {
+                        std::swap(c.lits[1], c.lits[k]);
+                        watches[(~c.lits[1]).index()].push_back(
+                            {w.clauseIdx, c.lits[0]});
+                        found = true;
+                        break;
+                    }
+                }
+                if (found) {
+                    i++;
+                    continue;
+                }
+                ws[j++] = ws[i++];
+                if (value(c.lits[0]) == lFalse) {
+                    conflict = true;
+                    while (i < ws.size())
+                        ws[j++] = ws[i++];
+                } else {
+                    enqueue(c.lits[0]);
+                }
+            }
+            ws.resize(j);
+            if (conflict)
+                return false;
+        }
+        return true;
+    }
+};
+
+bool
+inBounds(const std::vector<Lit> &lits, int num_vars)
+{
+    for (Lit l : lits) {
+        if (!l.valid() || l.var() >= num_vars)
+            return false;
+    }
+    return true;
+}
+
+std::string
+clauseString(const std::vector<Lit> &lits)
+{
+    if (lits.empty())
+        return "(empty clause)";
+    std::string s = "(";
+    for (size_t i = 0; i < lits.size(); i++) {
+        if (i)
+            s += ' ';
+        if (lits[i].negated())
+            s += '-';
+        s += std::to_string(lits[i].var() + 1); // DIMACS numbering
+    }
+    s += ')';
+    return s;
+}
+
+} // namespace
+
+bool
+checkDrat(const Cnf &cnf, const DratProof &proof, lint::Report *report)
+{
+    ForwardChecker checker(cnf.numVars);
+    bool ok = true;
+    auto fail = [&](const std::string &rule, size_t step,
+                    const std::string &msg) {
+        ok = false;
+        if (report) {
+            report->error(rule, "proof step #" + std::to_string(step),
+                          msg);
+        }
+    };
+
+    for (const auto &clause : cnf.clauses) {
+        if (!inBounds(clause, cnf.numVars)) {
+            fail("drat.var-bounds", 0,
+                 "formula clause " + clauseString(clause) +
+                     " exceeds the declared " +
+                     std::to_string(cnf.numVars) + " variables");
+            return false;
+        }
+        checker.addClause(clause);
+    }
+
+    for (size_t i = 0; i < proof.steps.size(); i++) {
+        if (checker.contradiction())
+            break; // everything after a derived contradiction is moot
+        const DratStep &s = proof.steps[i];
+        if (!inBounds(s.lits, cnf.numVars)) {
+            fail("drat.var-bounds", i,
+                 "literal outside the formula's " +
+                     std::to_string(cnf.numVars) + " variables in " +
+                     clauseString(s.lits));
+            break;
+        }
+        if (s.isDelete) {
+            if (!checker.deleteClause(s.lits)) {
+                fail("drat.delete-unknown", i,
+                     "deletion of clause " + clauseString(s.lits) +
+                         " which is not live");
+                // Non-fatal for replay: continue checking the rest.
+            }
+            continue;
+        }
+        if (!checker.isRup(s.lits)) {
+            fail("drat.step-not-rup", i,
+                 "lemma " + clauseString(s.lits) +
+                     " is not derivable by reverse unit propagation");
+            break;
+        }
+        checker.addClause(s.lits);
+    }
+
+    if (ok && !checker.contradiction()) {
+        ok = false;
+        if (report) {
+            report->error("drat.no-empty-clause", "proof end",
+                          "proof verifies but never derives a "
+                          "contradiction (" +
+                              std::to_string(proof.steps.size()) +
+                              " steps)");
+        }
+    }
+    return ok;
+}
+
+} // namespace owl::sat

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "base/logging.h"
+#include "lint/diagnostic.h"
 #include "obs/obs.h"
+#include "sat/drat.h"
 
 namespace owl::sat
 {
@@ -138,12 +140,19 @@ Solver::addClause(std::vector<Lit> lits)
 
     if (out.empty()) {
         unsatisfiable = true;
+        // The input clause's literals are all falsified by root-level
+        // propagation, so the checker derives the conflict from the
+        // formula alone; the empty clause records the refutation.
+        if (proof)
+            proof->addClause({});
         return false;
     }
     if (out.size() == 1) {
         enqueue(out[0], -1);
         if (propagate() != -1) {
             unsatisfiable = true;
+            if (proof)
+                proof->addClause({});
             return false;
         }
         return true;
@@ -452,6 +461,8 @@ Solver::reduceDb()
     for (size_t i = 0; i < cand.size() / 2; i++) {
         clauses[cand[i]].deleted = true;
         statistics.learnedDeleted++;
+        if (proof)
+            proof->deleteClause(clauses[cand[i]].lits);
     }
     learnedLimit = learnedLimit + learnedLimit / 2;
 }
@@ -475,10 +486,82 @@ Solver::luby(uint64_t i)
     return 1ULL << seq;
 }
 
+int
+Solver::auditWatchInvariants(lint::Report *report) const
+{
+    int violations = 0;
+    auto diag = [&](const std::string &rule, const std::string &loc,
+                    const std::string &msg) {
+        violations++;
+        if (report)
+            report->error(rule, loc, msg);
+    };
+
+    // Occurrences of each live clause across all watch lists; deleted
+    // clauses may linger in lists (they are purged lazily).
+    std::vector<int> occurrences(clauses.size(), 0);
+    for (size_t idx = 0; idx < watches.size(); idx++) {
+        for (const Watcher &w : watches[idx]) {
+            const std::string loc =
+                "watch list for literal code " + std::to_string(idx);
+            if (w.clauseIdx < 0 ||
+                static_cast<size_t>(w.clauseIdx) >= clauses.size()) {
+                diag("cnf.watch-range", loc,
+                     "watcher references clause #" +
+                         std::to_string(w.clauseIdx) +
+                         " outside the database of " +
+                         std::to_string(clauses.size()) + " clauses");
+                continue;
+            }
+            const Clause &c = clauses[w.clauseIdx];
+            if (c.deleted)
+                continue;
+            occurrences[w.clauseIdx]++;
+            // List idx holds watchers triggered when the literal with
+            // that code becomes true, i.e. clauses whose watched
+            // literal is its negation — and watched literals always
+            // sit at positions 0/1.
+            Lit watched;
+            for (int b = 0; b < 2; b++) {
+                if (c.lits.size() > static_cast<size_t>(b) &&
+                    (~c.lits[b]).index() == static_cast<int>(idx)) {
+                    watched = c.lits[b];
+                }
+            }
+            if (!watched.valid()) {
+                diag("cnf.watch-position", loc,
+                     "clause #" + std::to_string(w.clauseIdx) +
+                         " is watched through a literal not at "
+                         "position 0 or 1");
+            }
+        }
+    }
+    for (size_t ci = 0; ci < clauses.size(); ci++) {
+        const Clause &c = clauses[ci];
+        if (c.deleted || c.lits.size() < 2)
+            continue;
+        if (occurrences[ci] != 2) {
+            diag("cnf.watch-count",
+                 "clause #" + std::to_string(ci),
+                 "live clause is watched " +
+                     std::to_string(occurrences[ci]) +
+                     " times, expected exactly 2");
+        }
+    }
+    return violations;
+}
+
 Result
 Solver::solve(const std::vector<Lit> &assumptions)
 {
     SolveObs solve_obs(statistics);
+#ifndef NDEBUG
+    // Debug builds audit the watcher invariants at this quiescent
+    // point (addClause propagates units to fixpoint, so no
+    // propagation is pending at solve entry).
+    owl_assert(auditWatchInvariants() == 0,
+               "two-watched-literal invariant violated at solve entry");
+#endif
     if (unsatisfiable)
         return Result::Unsat;
     if (cancelRequested())
@@ -502,9 +585,13 @@ Solver::solve(const std::vector<Lit> &assumptions)
                 // Conflict under no decisions: with assumptions this
                 // only means the assumptions are inconsistent with
                 // the formula, so do not latch unsatisfiable unless
-                // there are no assumptions.
-                if (assumptions.empty())
+                // there are no assumptions. An assumption-caused
+                // Unsat is conditional, so it gets no proof step.
+                if (assumptions.empty()) {
                     unsatisfiable = true;
+                    if (proof)
+                        proof->addClause({});
+                }
                 backtrack(0);
                 return Result::Unsat;
             }
@@ -512,14 +599,25 @@ Solver::solve(const std::vector<Lit> &assumptions)
             analyze(confl, learnt, bt_level);
             statistics.learnedClauses++;
             statistics.learnedLiterals += learnt.size();
+            // Learned clauses are derived by resolution over reason
+            // clauses only, so they are RUP lemmas with or without
+            // assumptions in play.
+            if (proof)
+                proof->addClause(learnt);
             // If the conflict is below the assumption levels the
             // formula is unsat under these assumptions.
             backtrack(bt_level);
             if (learnt.size() == 1) {
                 if (decisionLevel() > 0)
                     backtrack(0);
-                if (value(learnt[0]) == lFalse)
+                if (value(learnt[0]) == lFalse) {
+                    if (assumptions.empty()) {
+                        unsatisfiable = true;
+                        if (proof)
+                            proof->addClause({});
+                    }
                     return Result::Unsat;
+                }
                 if (value(learnt[0]) == lUndef)
                     enqueue(learnt[0], -1);
             } else {

@@ -25,6 +25,11 @@
 #include <cstdint>
 #include <vector>
 
+namespace owl::lint
+{
+class Report;
+}
+
 namespace owl::sat
 {
 
@@ -84,6 +89,8 @@ struct Cnf
     int numVars = 0;
     std::vector<std::vector<Lit>> clauses;
 };
+
+struct DratProof; // sat/drat.h
 
 /**
  * CDCL SAT solver over CNF.
@@ -181,7 +188,32 @@ class Solver
     /** Replay a captured formula (same variable numbering). */
     void loadCnf(const Cnf &cnf);
 
+    /**
+     * Record a DRAT proof of unsatisfiability into the sink: learned
+     * clauses as lemma additions, reduceDb() victims as deletions, and
+     * the empty clause once the formula is refuted. Set before adding
+     * the formula; null stops recording. Input clauses are the proof's
+     * axioms and are not recorded (pair with setCaptureCnf to snapshot
+     * them). The empty clause is suppressed for Unsat verdicts caused
+     * by assumptions — such verdicts are conditional and carry no
+     * proof. The sink must outlive the solver's use of it.
+     */
+    void setProofSink(DratProof *sink) { proof = sink; }
+
     const Stats &stats() const { return statistics; }
+
+    /**
+     * Audit the two-watched-literal invariants at a quiescent point
+     * (no propagation pending): every watcher references a live
+     * clause, watched literals sit at positions 0/1, and every live
+     * clause of size >= 2 is watched exactly once from each of its
+     * first two literals. Appended to the report as cnf.watch-*
+     * diagnostics by the CNF lint pass; debug builds also run it at
+     * solve() entry and exit.
+     *
+     * @return number of violations found (0 = invariants hold).
+     */
+    int auditWatchInvariants(lint::Report *report = nullptr) const;
 
   private:
     // Truth values: 0 = true, 1 = false, 2 = unassigned; chosen so
@@ -232,6 +264,7 @@ class Solver
     const std::atomic<bool> *cancelFlag = nullptr;
     const std::atomic<bool> *cancelFlag2 = nullptr;
     Cnf *capture = nullptr;
+    DratProof *proof = nullptr;
     Options opts;
     uint64_t rngState = 0;
     Stats statistics;

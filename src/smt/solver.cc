@@ -4,7 +4,9 @@
 
 #include "base/logging.h"
 #include "exec/portfolio.h"
+#include "lint/diagnostic.h"
 #include "obs/obs.h"
+#include "sat/drat.h"
 #include "smt/bitblast.h"
 
 namespace owl::smt
@@ -115,11 +117,16 @@ checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
     solver.setCancelFlag(limits.cancelFlag);
 
     // Portfolio mode: record the bit-blasted formula so diversified
-    // racers can replay it with identical variable numbering.
+    // racers can replay it with identical variable numbering. Proof
+    // checking records it too — the DRAT checker replays the proof
+    // against exactly these clauses.
     bool use_portfolio = limits.portfolioJobs > 1;
     sat::Cnf cnf;
-    if (use_portfolio)
+    if (use_portfolio || limits.checkProofs)
         solver.setCaptureCnf(&cnf);
+    sat::DratProof proof;
+    if (limits.checkProofs && !use_portfolio)
+        solver.setProofSink(&proof);
 
     BitBlaster blaster(tt, solver);
     bool trivially_false = false;
@@ -142,6 +149,11 @@ checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
                     static_cast<uint64_t>(tt.numNodes()));
 
     if (trivially_false) {
+        // A constant-false assertion is refuted in the term DAG before
+        // any clause exists; there is no SAT proof to replay, and none
+        // is needed — the verdict is by evaluation, not by search.
+        if (limits.checkProofs)
+            OWL_COUNTER_INC("drat.unsat_trivial");
         span.attr("result", "unsat-trivial");
         return CheckResult::Unsat;
     }
@@ -157,14 +169,36 @@ checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
             exec::diversifiedConfigs(limits.portfolioJobs,
                                      limits.portfolioSeed),
             limits.timeLimit, limits.conflictLimit,
-            limits.cancelFlag);
+            limits.cancelFlag, limits.checkProofs);
         r = out.result;
         portfolio_model = std::move(out.model);
         run_stats = out.winnerStats;
+        proof = std::move(out.proof);
         span.attr("portfolio_winner", out.winner);
     } else {
+        solver.setCaptureCnf(nullptr);
         r = solver.solve();
         run_stats = solver.stats();
+    }
+
+    // Certify Unsat verdicts: replay the recorded DRAT proof through
+    // the independent forward checker. CEGIS trusts Unsat twice over
+    // (verify says "no counterexample" -> the candidate ships), so a
+    // proof that does not check is treated as a solver bug and panics
+    // instead of returning an unsound verdict.
+    bool proof_checked = false;
+    if (limits.checkProofs && r == sat::Result::Unsat) {
+        obs::ScopedSpan drat_span("smt.checkDrat");
+        lint::Report drat_report;
+        if (!sat::checkDrat(cnf, proof, &drat_report)) {
+            owl_panic("UNSAT verdict failed DRAT proof replay (",
+                      proof.size(), " steps, ", cnf.clauses.size(),
+                      " clauses):\n", drat_report.toString());
+        }
+        proof_checked = true;
+        drat_span.attr("steps", proof.size());
+        OWL_COUNTER_INC("drat.proofs_checked");
+        OWL_COUNTER_ADD("drat.proof_steps", proof.size());
     }
     span.attr("result", checkResultName(r));
     span.attr("sat_vars", static_cast<int64_t>(solver.numVars()));
@@ -182,6 +216,8 @@ checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
         stats->conflicts = run_stats.conflicts;
         stats->propagations = run_stats.propagations;
         stats->termNodes = tt.numNodes();
+        stats->proofChecked = proof_checked;
+        stats->proofSteps = proof.size();
     }
     switch (r) {
       case sat::Result::Unsat:

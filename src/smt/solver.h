@@ -57,6 +57,16 @@ struct SolveLimits
      */
     int portfolioJobs = 0;
     uint64_t portfolioSeed = 1; ///< base seed for diversification
+    /**
+     * Record a DRAT proof during CDCL search and replay it through the
+     * independent forward checker (sat::checkDrat) whenever the
+     * verdict is Unsat — including the winning racer's proof under
+     * portfolio mode. A proof that fails to check is a solver bug and
+     * panics rather than returning an unsound Unsat. Adds proof
+     * logging overhead to every solve, so this is opt-in
+     * (`owl synth --check-proofs`).
+     */
+    bool checkProofs = false;
 };
 
 /** Statistics from the most recent checkSat call. */
@@ -68,6 +78,10 @@ struct CheckStats
     uint64_t propagations = 0;
     /** Term-DAG nodes in the table after bit-blasting. */
     size_t termNodes = 0;
+    /** True if an Unsat verdict was certified by the DRAT checker. */
+    bool proofChecked = false;
+    /** Steps in the checked proof (adds + deletes). */
+    size_t proofSteps = 0;
 };
 
 /**

@@ -99,6 +99,16 @@ TermTable::intern(Node n)
 }
 
 TermRef
+TermTable::unsafeIntern(Node n)
+{
+    // Deliberately bypasses nodeIndex so the new node can duplicate an
+    // existing one — the exact corruption lint::lintTerms exists to
+    // detect (test backdoor; see header comment).
+    nodes.push_back(std::move(n));
+    return TermRef{static_cast<uint32_t>(nodes.size() - 1)};
+}
+
+TermRef
 TermTable::constant(const BitVec &v)
 {
     Node n;

@@ -190,7 +190,16 @@ class TermTable
     {
         return tables[table_id];
     }
+    int numTables() const { return tables.size(); }
     size_t numNodes() const { return nodes.size(); }
+
+    /**
+     * Append a node verbatim — no simplification, no hash-consing, no
+     * width checking. Exists solely so tests can plant corrupted or
+     * duplicate nodes for the lint pass (lint::lintTerms) to catch;
+     * never use it to build real terms.
+     */
+    TermRef unsafeIntern(Node n);
 
     /** Collect all Var and BaseRead terms reachable from the roots. */
     void collectLeaves(const std::vector<TermRef> &roots,

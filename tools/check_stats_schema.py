@@ -111,11 +111,11 @@ def check_requirements(doc, require_spans, require_nonzero):
                  "required nonzero counter is %r" % (value,))
 
 
-def run_owl(owl_bin):
-    """Run the accumulator example and return (stats_path, cleanup)."""
+def run_owl(owl_bin, owl_args):
+    """Run one owl command with --stats-json and return the stats path."""
     fd, path = tempfile.mkstemp(prefix="owl_stats_", suffix=".json")
     os.close(fd)
-    cmd = [owl_bin, "synth", "accumulator", "--stats-json", path]
+    cmd = [owl_bin] + owl_args + ["--stats-json", path]
     env = dict(os.environ, OWL_OBS="1")
     proc = subprocess.run(cmd, env=env, capture_output=True, text=True,
                           timeout=240)
@@ -124,6 +124,23 @@ def run_owl(owl_bin):
         raise SchemaError("%s exited with %d" % (" ".join(cmd),
                                                  proc.returncode))
     return path
+
+
+def check_proof_coverage(doc):
+    """Under --check-proofs every Unsat is either replayed through the
+    DRAT checker or refuted at the term level; either way the run must
+    account for all of them in the counters."""
+    counters = doc["counters"]
+    checked = counters.get("drat.proofs_checked", 0)
+    trivial = counters.get("drat.unsat_trivial", 0)
+    if checked + trivial <= 0:
+        fail("$/counters",
+             "--check-proofs run recorded no proof activity "
+             "(drat.proofs_checked=%d, drat.unsat_trivial=%d)"
+             % (checked, trivial))
+    if checked > 0 and counters.get("drat.proof_steps", 0) <= 0:
+        fail("$/counters/drat.proof_steps",
+             "proofs were checked but no steps were counted")
 
 
 def main():
@@ -139,38 +156,61 @@ def main():
     require_spans = list(args.require_span)
     require_nonzero = list(args.require_nonzero_counter)
 
-    cleanup = None
+    # In --owl mode, three end-to-end accumulator runs exercise the
+    # exporter: plain synthesis, synthesis under --check-proofs, and
+    # the lint pipeline. Each run has its own required spans/counters
+    # on top of the schema check; extra checks run arbitrary doc
+    # predicates (proof-coverage accounting).
+    runs = []
     if args.owl:
-        path = run_owl(args.owl)
-        cleanup = path
-        # The acceptance bar for the end-to-end accumulator run.
-        require_spans += ["cegis", "cegis.iter", "smt.checkSat",
-                          "sat.solve"]
-        require_nonzero += ["sat.conflicts", "sat.propagations",
-                            "sat.decisions", "cegis.iterations"]
+        runs.append((["synth", "accumulator"],
+                     ["cegis", "cegis.iter", "smt.checkSat",
+                      "sat.solve"],
+                     ["sat.conflicts", "sat.propagations",
+                      "sat.decisions", "cegis.iterations"],
+                     []))
+        runs.append((["synth", "accumulator", "--check-proofs"],
+                     ["cegis", "smt.checkSat"],
+                     [],
+                     [check_proof_coverage]))
+        runs.append((["lint", "accumulator"],
+                     ["lint.run", "lint.design", "lint.smt",
+                      "lint.cnf", "lint.netlist"],
+                     ["lint.runs"],
+                     []))
     elif args.file:
-        path = args.file
+        runs.append((None, [], [], []))
     else:
         ap.error("need a FILE or --owl")
 
-    try:
-        with open(path) as f:
-            doc = json.load(f)
-        validate(doc)
-        check_requirements(doc, require_spans, require_nonzero)
-    except json.JSONDecodeError as e:
-        print("FAIL: %s is not valid JSON: %s" % (path, e))
-        return 1
-    except SchemaError as e:
-        print("FAIL: %s" % e)
-        return 1
-    finally:
-        if cleanup and os.path.exists(cleanup):
-            os.unlink(cleanup)
-
-    print("OK: %s conforms to %s (%d counters, %d root spans)"
-          % (args.owl or path, SCHEMA, len(doc["counters"]),
-             len(doc["spans"])))
+    for owl_args, run_spans, run_nonzero, extra_checks in runs:
+        cleanup = None
+        if owl_args is not None:
+            path = run_owl(args.owl, owl_args)
+            cleanup = path
+            what = "%s %s" % (args.owl, " ".join(owl_args))
+        else:
+            path = args.file
+            what = path
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+            validate(doc)
+            check_requirements(doc, require_spans + run_spans,
+                               require_nonzero + run_nonzero)
+            for check in extra_checks:
+                check(doc)
+        except json.JSONDecodeError as e:
+            print("FAIL: %s is not valid JSON: %s" % (path, e))
+            return 1
+        except SchemaError as e:
+            print("FAIL: [%s] %s" % (what, e))
+            return 1
+        finally:
+            if cleanup and os.path.exists(cleanup):
+                os.unlink(cleanup)
+        print("OK: %s conforms to %s (%d counters, %d root spans)"
+              % (what, SCHEMA, len(doc["counters"]), len(doc["spans"])))
     return 0
 
 

@@ -28,6 +28,16 @@
  *   owl verify <design>
  *       Synthesize, then independently re-verify the completed design
  *       against the specification.
+ *   owl lint <design>
+ *       Run the static-analysis passes (DESIGN.md §8) over the
+ *       design's four IRs — Oyster sketch, SMT term DAG, bit-blasted
+ *       CNF, and hole-stubbed netlist — and print every diagnostic.
+ *       Exit status 1 if any error-severity finding exists.
+ *
+ * `owl synth --check-proofs` additionally records a DRAT proof for
+ * every UNSAT SAT verdict and replays it through the independent
+ * forward checker (sat/drat.h); a proof that fails to check aborts
+ * the run instead of trusting the solver.
  *
  * Designs: accumulator, alu-machine, rv32i, rv32i-zbkb, rv32i-zbkc,
  * rv32i-2stage, rv32i-zbkb-2stage, rv32i-zbkc-2stage, crypto-core,
@@ -44,6 +54,7 @@
 
 #include "core/absfunc_parser.h"
 #include "core/synthesis.h"
+#include "lint/lint.h"
 #include "obs/obs.h"
 #include "designs/accumulator.h"
 #include "designs/aes_accelerator.h"
@@ -97,9 +108,11 @@ usage()
     fprintf(stderr,
             "usage: owl <command> [<design>] [options]\n"
             "commands: list | sketch | alpha | synth | control | "
-            "verify\n"
+            "verify | lint\n"
             "options (synth): --mono, --jobs <n> (or OWL_JOBS), "
-            "--portfolio <k>, --budget <seconds>, -o <file.v>\n"
+            "--portfolio <k>, --budget <seconds>, --check-proofs, "
+            "-o <file.v>\n"
+            "options (lint): --cycles <k>  symbolic-evaluation depth\n"
             "options (any): --stats-json <file.json>  export "
             "owl::obs spans+counters\n"
             "run `owl list` for the design names\n");
@@ -143,6 +156,8 @@ main(int argc, char **argv)
     if (const char *env = getenv("OWL_JOBS"))
         jobs = atoi(env);
     int portfolio = 0;
+    bool check_proofs = false;
+    int lint_cycles = 1;
     std::string out_verilog;
     std::string stats_json;
     for (int i = 3; i < argc; i++) {
@@ -154,6 +169,10 @@ main(int argc, char **argv)
             jobs = atoi(argv[++i]);
         } else if (!strcmp(argv[i], "--portfolio") && i + 1 < argc) {
             portfolio = atoi(argv[++i]);
+        } else if (!strcmp(argv[i], "--check-proofs")) {
+            check_proofs = true;
+        } else if (!strcmp(argv[i], "--cycles") && i + 1 < argc) {
+            lint_cycles = atoi(argv[++i]);
         } else if (!strcmp(argv[i], "-o") && i + 1 < argc) {
             out_verilog = argv[++i];
         } else if (!strcmp(argv[i], "--stats-json") && i + 1 < argc) {
@@ -198,6 +217,22 @@ main(int argc, char **argv)
         write_stats();
         return 0;
     }
+    if (cmd == "lint") {
+        lint::LintRunOptions lopts;
+        lopts.cycles = lint_cycles > 0 ? lint_cycles : 1;
+        lint::Report report;
+        lint::LintRunStats lstats;
+        lint::lintAll(cs.sketch, lopts, report, &lstats);
+        fputs(report.toString().c_str(), stdout);
+        fprintf(stderr,
+                "[owl] lint %s: %s (%zu terms, %zu clauses, %zu "
+                "gates, %zu dead)\n",
+                design.c_str(), report.summary().c_str(),
+                lstats.termNodes, lstats.cnfClauses,
+                lstats.netlistGates, lstats.deadGates);
+        write_stats();
+        return report.hasErrors() ? 1 : 0;
+    }
     if (cmd != "synth" && cmd != "control" && cmd != "verify")
         return usage();
 
@@ -208,6 +243,7 @@ main(int argc, char **argv)
         opts.strategy = Strategy::PerInstructionParallel;
     opts.jobs = jobs;
     opts.satPortfolio = portfolio;
+    opts.checkProofs = check_proofs;
     if (budget_s > 0)
         opts.timeLimit = std::chrono::milliseconds(budget_s * 1000);
     if (mono)
