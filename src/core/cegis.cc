@@ -1,10 +1,12 @@
 #include "core/cegis.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "base/logging.h"
 #include "obs/obs.h"
 #include "oyster/symeval.h"
+#include "smt/incremental.h"
 #include "smt/solver.h"
 
 namespace owl::synth
@@ -212,6 +214,174 @@ InstrSynthesizer::verifyCandidate(const ila::Instr &instr,
     owl_panic("unreachable");
 }
 
+namespace
+{
+
+/**
+ * Encode one counterexample replay for one instruction: symbolic
+ * holes, every other leaf pinned to the counterexample's concrete
+ * state, yielding (Pre ∧ assumes) → posts as a single 1-bit term.
+ * Shared by the fresh per-iteration path (which conjoins one term per
+ * counterexample into each query) and the incremental path (which
+ * adds each term as a new activation-literal group exactly once).
+ */
+TermRef
+buildCexConstraint(const oyster::Design &sketch, const ila::Ila &spec,
+                   const AbsFunc &alpha, TermTable &tt,
+                   const std::map<std::string, TermRef> &hole_vars,
+                   const ila::Instr &instr, Counterexample cex)
+{
+    applyCexAliases(alpha, cex);
+    SymbolicEvaluator ev(sketch, tt);
+    for (const auto &[name, var] : hole_vars)
+        ev.setHole(name, var);
+    // Pin every leaf to the counterexample's concrete state.
+    for (const oyster::Decl &d : sketch.decls()) {
+        if (d.kind == oyster::DeclKind::Register) {
+            auto it = cex.regs.find(d.name);
+            BitVec v = it != cex.regs.end() ? it->second
+                                            : BitVec(d.width);
+            ev.setInitialReg(d.name, tt.constant(v));
+        } else if (d.kind == oyster::DeclKind::Input) {
+            for (int t = 1; t <= alpha.cycles(); t++) {
+                auto it = cex.inputs.find({d.name, t});
+                BitVec v = it != cex.inputs.end() ? it->second
+                                                  : BitVec(d.width);
+                ev.setInput(d.name, t, tt.constant(v));
+            }
+        } else if (d.kind == oyster::DeclKind::Memory) {
+            auto it = cex.mems.find(d.name);
+            ev.setConcreteMem(d.name,
+                              it != cex.mems.end()
+                                  ? it->second
+                                  : std::map<uint64_t, BitVec>{});
+        }
+    }
+    SymRun run = ev.run(alpha.cycles());
+    SpecCompiler sc(spec, alpha, tt, run, sketch);
+    InstrConditions conds = sc.compileInstr(instr);
+    TermRef lhs = conds.pre;
+    for (TermRef a : conds.assumes)
+        lhs = tt.mkAnd(lhs, a);
+    TermRef rhs = tt.trueTerm();
+    for (TermRef p : conds.posts)
+        rhs = tt.mkAnd(rhs, p);
+    return tt.mkImplies(lhs, rhs);
+}
+
+smt::IncrementalOptions
+incrementalOptionsFrom(const CegisOptions &opts)
+{
+    smt::IncrementalOptions io;
+    io.portfolioJobs = opts.satPortfolio;
+    io.portfolioSeed = opts.satPortfolioSeed;
+    io.checkProofs = opts.checkProofs;
+    return io;
+}
+
+/**
+ * Fix the candidate to the lexicographically-minimal hole assignment
+ * of the current (satisfiable) synth query: holes in name order, bits
+ * msb-to-lsb, each bit probed with an assumption and pinned to 0 when
+ * a solution with that prefix exists.
+ *
+ * The point is determinism across solving strategies: which model a
+ * SAT solver returns depends on learned clauses, activities, and
+ * saved phases, so an incremental session (or a portfolio race)
+ * naturally drifts away from a fresh solver-per-iteration run even
+ * though the queries are equivalent. The lexmin assignment is a
+ * property of the formula alone, so both paths — and every portfolio
+ * configuration — land on bit-identical candidates, which keeps the
+ * whole CEGIS trajectory (counterexamples included) reproducible.
+ * Probes are assumption-only solves on a warm solver, typically pure
+ * propagation after the initial model.
+ */
+SynthStatus
+canonicalizeHoles(smt::IncrementalContext &ctx,
+                  const std::map<std::string, TermRef> &hole_vars,
+                  const CegisOptions &opts, HoleValues &candidate)
+{
+    std::vector<sat::Lit> fixed;
+    for (const auto &[name, var] : hole_vars) {
+        std::vector<sat::Lit> lits = ctx.literalsOf(var);
+        BitVec value(static_cast<int>(lits.size()));
+        for (int b = static_cast<int>(lits.size()) - 1; b >= 0; b--) {
+            fixed.push_back(~lits[b]);
+            smt::CheckResult r =
+                ctx.check(nullptr, opts.solveLimits(), nullptr, fixed);
+            if (r == smt::CheckResult::Unknown)
+                return SynthStatus::Timeout;
+            if (r == smt::CheckResult::Unsat) {
+                // No solution has this bit 0 under the fixed prefix:
+                // it is 1 in every remaining solution.
+                fixed.back() = lits[b];
+                value.setBit(b, true);
+            }
+        }
+        candidate[name] = value;
+    }
+    return SynthStatus::Ok;
+}
+
+/**
+ * The synth side of one instruction's CEGIS run as a long-lived
+ * incremental session: one TermTable, one persistent bit-blast cache,
+ * one solver (or portfolio fleet) for every iteration. Each
+ * counterexample becomes an activation-literal group, so iteration k
+ * encodes and solves only the delta while learned clauses from
+ * iterations 1..k-1 keep pruning the search.
+ */
+class SynthSession
+{
+  public:
+    SynthSession(const oyster::Design &sketch, const ila::Ila &spec,
+                 const AbsFunc &alpha, const CegisOptions &opts)
+        : sketch(sketch), spec(spec), alpha(alpha),
+          ctx(tt, incrementalOptionsFrom(opts))
+    {
+        // Hole variables are shared by every counterexample group,
+        // exactly like the fresh path shares them per query.
+        for (const oyster::Decl &d : sketch.decls()) {
+            if (d.kind == oyster::DeclKind::Hole)
+                holeVars[d.name] =
+                    tt.freshVar("hole." + d.name, d.width);
+        }
+    }
+
+    void addCex(const ila::Instr &instr, const Counterexample &cex)
+    {
+        TermRef c = buildCexConstraint(sketch, spec, alpha, tt,
+                                       holeVars, instr, cex);
+        ctx.addGroup({c});
+    }
+
+    SynthStatus solve(HoleValues &candidate, const CegisOptions &opts)
+    {
+        smt::CheckResult r = ctx.check(nullptr, opts.solveLimits());
+        switch (r) {
+          case smt::CheckResult::Unsat:
+            return SynthStatus::Unsat;
+          case smt::CheckResult::Unknown:
+            return SynthStatus::Timeout;
+          case smt::CheckResult::Sat:
+            break;
+        }
+        return canonicalizeHoles(ctx, holeVars, opts, candidate);
+    }
+
+    const smt::IncrementalStats &stats() const { return ctx.stats(); }
+
+  private:
+    const oyster::Design &sketch;
+    const ila::Ila &spec;
+    const AbsFunc &alpha;
+    TermTable tt;
+    std::map<std::string, TermRef> holeVars;
+    smt::IncrementalContext ctx;
+};
+
+} // namespace
+
 SynthStatus
 InstrSynthesizer::synthStep(const ila::Instr &instr,
                             const std::vector<Counterexample> &cexes,
@@ -229,51 +399,17 @@ InstrSynthesizer::synthStep(const ila::Instr &instr,
             hole_vars[d.name] = tt.freshVar("hole." + d.name, d.width);
     }
 
-    std::vector<TermRef> assertions;
-    for (Counterexample cex : cexes) {
-        applyCexAliases(alpha, cex);
-        SymbolicEvaluator ev(sketch, tt);
-        for (const auto &[name, var] : hole_vars)
-            ev.setHole(name, var);
-        // Pin every leaf to the counterexample's concrete state.
-        for (const oyster::Decl &d : sketch.decls()) {
-            if (d.kind == oyster::DeclKind::Register) {
-                auto it = cex.regs.find(d.name);
-                BitVec v = it != cex.regs.end() ? it->second
-                                                : BitVec(d.width);
-                ev.setInitialReg(d.name, tt.constant(v));
-            } else if (d.kind == oyster::DeclKind::Input) {
-                for (int t = 1; t <= alpha.cycles(); t++) {
-                    auto it = cex.inputs.find({d.name, t});
-                    BitVec v = it != cex.inputs.end() ? it->second
-                                                      : BitVec(d.width);
-                    ev.setInput(d.name, t, tt.constant(v));
-                }
-            } else if (d.kind == oyster::DeclKind::Memory) {
-                auto it = cex.mems.find(d.name);
-                ev.setConcreteMem(
-                    d.name, it != cex.mems.end()
-                                ? std::map<uint64_t, BitVec>(
-                                      it->second.begin(),
-                                      it->second.end())
-                                : std::map<uint64_t, BitVec>{});
-            }
-        }
-        SymRun run = ev.run(alpha.cycles());
-        SpecCompiler sc(spec, alpha, tt, run, sketch);
-        InstrConditions conds = sc.compileInstr(instr);
-        TermRef lhs = conds.pre;
-        for (TermRef a : conds.assumes)
-            lhs = tt.mkAnd(lhs, a);
-        TermRef rhs = tt.trueTerm();
-        for (TermRef p : conds.posts)
-            rhs = tt.mkAnd(rhs, p);
-        assertions.push_back(tt.mkImplies(lhs, rhs));
+    // Even the fresh path encodes through an IncrementalContext — a
+    // throwaway one per call, so nothing carries over between
+    // iterations — because hole canonicalization needs cheap
+    // assumption-based re-solves against the already-blasted query.
+    smt::IncrementalContext ctx(tt, incrementalOptionsFrom(opts));
+    for (const Counterexample &cex : cexes) {
+        ctx.assertPermanent(buildCexConstraint(
+            sketch, spec, alpha, tt, hole_vars, instr, cex));
     }
 
-    smt::Model model;
-    CheckResult r =
-        smt::checkSat(tt, assertions, &model, opts.solveLimits());
+    smt::CheckResult r = ctx.check(nullptr, opts.solveLimits());
     switch (r) {
       case CheckResult::Unsat:
         return SynthStatus::Unsat;
@@ -282,11 +418,7 @@ InstrSynthesizer::synthStep(const ila::Instr &instr,
       case CheckResult::Sat:
         break;
     }
-    for (const auto &[name, var] : hole_vars) {
-        const smt::Node &n = tt.node(var);
-        candidate[name] = model.varValue(tt, n.a);
-    }
-    return SynthStatus::Ok;
+    return canonicalizeHoles(ctx, hole_vars, opts, candidate);
 }
 
 namespace
@@ -315,6 +447,7 @@ InstrSynthesizer::synthesize(const ila::Instr &instr,
     obs::ScopedSpan span("cegis");
     span.attr("instr", instr.name());
     span.attr("pinned", pin ? 1 : 0);
+    span.attr("incremental", opts.incremental ? 1 : 0);
     OWL_COUNTER_INC("cegis.instructions");
 
     CegisResult result;
@@ -323,7 +456,20 @@ InstrSynthesizer::synthesize(const ila::Instr &instr,
     for (auto &[name, v] : zeroCandidate())
         candidate.emplace(name, v);
 
+    std::optional<SynthSession> session;
+    if (opts.incremental)
+        session.emplace(sketch, spec, alpha, opts);
+
     auto finish = [&](SynthStatus status) {
+        if (session) {
+            const smt::IncrementalStats &st = session->stats();
+            OWL_COUNTER_ADD("cegis.incremental.solve_calls",
+                            st.solveCalls);
+            OWL_COUNTER_ADD("cegis.incremental.clauses_reused",
+                            st.clausesReused);
+            OWL_COUNTER_ADD("cegis.incremental.cache_hits",
+                            st.cacheHits);
+        }
         result.status = status;
         span.attr("status", synthStatusName(status));
         span.attr("iterations", result.iterations);
@@ -352,7 +498,16 @@ InstrSynthesizer::synthesize(const ila::Instr &instr,
             return finish(SynthStatus::Timeout);
         cexes.push_back(std::move(cex));
         HoleValues previous = candidate;
-        SynthStatus s = synthStep(instr, cexes, candidate, opts);
+        SynthStatus s;
+        if (session) {
+            obs::ScopedSpan synth_span("synth");
+            synth_span.attr("cex_count", cexes.size());
+            synth_span.attr("incremental", 1);
+            session->addCex(instr, cexes.back());
+            s = session->solve(candidate, opts);
+        } else {
+            s = synthStep(instr, cexes, candidate, opts);
+        }
         if (s != SynthStatus::Ok)
             return finish(s);
         int delta = holeDelta(previous, candidate);

@@ -87,9 +87,25 @@ struct CegisOptions
      * Record and independently replay a DRAT proof for every Unsat
      * SAT verdict (smt::SolveLimits::checkProofs). Certifies the
      * verdicts CEGIS builds on: "no counterexample" in verify and
-     * "no candidate" in refinement.
+     * "no candidate" in refinement. Under incremental mode the synth
+     * side keeps one session-long proof per solver; conditional
+     * (assumption-relative) Unsat verdicts carry no proof obligation
+     * and are booked as drat.unsat_conditional.
      */
     bool checkProofs = false;
+    /**
+     * Keep the synth-side query in one long-lived incremental SAT
+     * session per instruction (smt::IncrementalContext): each
+     * iteration encodes only the new counterexample's constraint
+     * block behind an activation literal, and learned clauses,
+     * activities, and the bit-blast cache carry over between
+     * iterations. Off = re-bit-blast and re-solve from scratch every
+     * iteration (the pre-incremental behavior, kept for A/B
+     * comparison and the bit-identity tests). Verification queries
+     * always use a fresh solver — each candidate folds the holes to
+     * different constants, so there is no encoding to share.
+     */
+    bool incremental = true;
 
     bool hasDeadline() const
     {

@@ -45,6 +45,7 @@ cegisOptionsFrom(const SynthesisOptions &opts,
     c.deadline = deadline;
     c.satPortfolio = opts.satPortfolio;
     c.checkProofs = opts.checkProofs;
+    c.incremental = opts.incremental;
     return c;
 }
 

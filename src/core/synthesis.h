@@ -88,6 +88,13 @@ struct SynthesisOptions
      * one checked.
      */
     bool checkProofs = false;
+    /**
+     * Long-lived incremental SAT sessions for the synth side of each
+     * instruction's CEGIS loop (see CegisOptions::incremental). On by
+     * default; `owl synth --no-incremental` restores the fresh
+     * solver-per-iteration behavior for A/B comparison.
+     */
+    bool incremental = true;
     /** Whole-run wall-clock budget; zero = unlimited. */
     std::chrono::milliseconds timeLimit{0};
     /** Per-SAT-call conflict cap; 0 = unlimited. */

@@ -143,4 +143,88 @@ Portfolio::solve(const sat::Cnf &cnf,
     return state.outcome;
 }
 
+namespace
+{
+
+/** First-definitive-result collector for raceSolvers. */
+struct SolverRaceState
+{
+    std::mutex mu;
+    SolverRaceOutcome outcome;
+};
+
+void
+runSolver(sat::Solver &solver, int index,
+          const std::vector<sat::Lit> &assumptions,
+          std::chrono::milliseconds time_limit,
+          uint64_t conflict_limit, CancelToken race,
+          const std::atomic<bool> *external, SolverRaceState &state)
+{
+    if (race.cancelled())
+        return;
+    obs::ScopedSpan span("sat.portfolio.racer");
+    span.attr("racer", index);
+
+    solver.setCancelFlag(race.flag(), external);
+    solver.setTimeLimit(time_limit);
+    solver.setConflictLimit(conflict_limit);
+    sat::Result r = solver.solve(assumptions);
+    span.attr("result", r == sat::Result::Sat
+                            ? "sat"
+                            : (r == sat::Result::Unsat ? "unsat"
+                                                       : "unknown"));
+    if (r == sat::Result::Unknown)
+        return; // cancelled or out of budget: not a winner
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (state.outcome.winner != -1)
+        return; // someone already won
+    state.outcome.winner = index;
+    state.outcome.result = r;
+    race.cancel(); // losers abort within a few conflicts/decisions
+}
+
+} // namespace
+
+SolverRaceOutcome
+raceSolvers(const std::vector<sat::Solver *> &solvers,
+            const std::vector<sat::Lit> &assumptions,
+            std::chrono::milliseconds time_limit,
+            uint64_t conflict_limit,
+            const std::atomic<bool> *external, ThreadPool *pool)
+{
+    obs::ScopedSpan span("sat.portfolio.incremental");
+    span.attr("racers", solvers.size());
+    OWL_COUNTER_INC("exec.portfolio.incremental_races");
+
+    SolverRaceState state;
+    if (solvers.empty())
+        return state.outcome;
+    if (!pool)
+        pool = &globalPool();
+
+    CancelToken race;
+    obs::TaskSpanContext ctx = obs::TaskSpanContext::capture();
+    std::vector<std::future<void>> rivals;
+    rivals.reserve(solvers.size() - 1);
+    for (size_t i = 1; i < solvers.size(); i++) {
+        rivals.push_back(pool->submit(
+            [&, i, race, ctx] {
+                obs::TaskSpanScope scope(ctx);
+                runSolver(*solvers[i], static_cast<int>(i),
+                          assumptions, time_limit, conflict_limit,
+                          race, external, state);
+            }));
+    }
+    // The caller is racer 0 (the deterministic baseline config).
+    runSolver(*solvers[0], 0, assumptions, time_limit, conflict_limit,
+              race, external, state);
+    for (auto &f : rivals)
+        pool->waitFor(f);
+
+    span.attr("winner", state.outcome.winner);
+    if (state.outcome.winner > 0)
+        OWL_COUNTER_INC("exec.portfolio.rival_wins");
+    return state.outcome;
+}
+
 } // namespace owl::exec

@@ -90,6 +90,46 @@ class Portfolio
     ThreadPool *pool;
 };
 
+/** Outcome of one raceSolvers() call. */
+struct SolverRaceOutcome
+{
+    sat::Result result = sat::Result::Unknown;
+    /** Index into the solver vector of the racer that answered first;
+     *  -1 if nobody finished within the limits. */
+    int winner = -1;
+};
+
+/**
+ * Race already-constructed *persistent* solvers on the formula each
+ * of them already holds, under one shared assumption set. This is the
+ * incremental counterpart of Portfolio::solve: the racers are owned
+ * by the caller (an smt::IncrementalContext keeps one per
+ * configuration, mirrored clause-for-clause), keep their learned
+ * clauses, activities, and proof sinks across races, and are reusable
+ * immediately after the call returns — all racers have been joined,
+ * so the winner's model/proof/failed-assumption core can be read
+ * directly off solvers[outcome.winner].
+ *
+ * The calling thread runs solvers[0] itself (guaranteed progress on a
+ * saturated pool); losers are cancelled cooperatively and come back
+ * Unknown, which leaves their clause databases intact. Time, conflict
+ * and cancel settings are (re)applied to every racer on each call.
+ *
+ * @param solvers the racers; at least one, all non-null.
+ * @param assumptions literals assumed true, applied to every racer.
+ * @param time_limit per-racer wall-clock limit; 0 = none.
+ * @param conflict_limit per-racer conflict cap; 0 = none.
+ * @param external cancels the whole race from outside; may be null.
+ * @param pool pool for the rival racers; null = globalPool().
+ */
+SolverRaceOutcome raceSolvers(
+    const std::vector<sat::Solver *> &solvers,
+    const std::vector<sat::Lit> &assumptions,
+    std::chrono::milliseconds time_limit = std::chrono::milliseconds{0},
+    uint64_t conflict_limit = 0,
+    const std::atomic<bool> *external = nullptr,
+    ThreadPool *pool = nullptr);
+
 } // namespace owl::exec
 
 #endif // OWL_EXEC_PORTFOLIO_H

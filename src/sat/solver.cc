@@ -65,6 +65,9 @@ Solver::Solver(const Options &options)
 {
     if (opts.restartBase == 0)
         opts.restartBase = 100;
+    if (opts.learnedLimitBase == 0)
+        opts.learnedLimitBase = 8192;
+    learnedLimit = opts.learnedLimitBase;
 }
 
 uint64_t
@@ -435,7 +438,7 @@ Solver::decayActivities()
     claInc /= 0.999;
 }
 
-void
+size_t
 Solver::reduceDb()
 {
     // Collect learned clauses not currently used as reasons, sort by
@@ -458,13 +461,83 @@ Solver::reduceDb()
             return clauses[a].lbd > clauses[b].lbd;
         return clauses[a].activity < clauses[b].activity;
     });
-    for (size_t i = 0; i < cand.size() / 2; i++) {
+    // Note: this is cand.size()/2, NOT half the live learned DB —
+    // reasons and short clauses are exempt. Callers must decrement
+    // their live count by the value returned here, not by half.
+    size_t deleted = cand.size() / 2;
+    for (size_t i = 0; i < deleted; i++) {
         clauses[cand[i]].deleted = true;
         statistics.learnedDeleted++;
         if (proof)
             proof->deleteClause(clauses[cand[i]].lits);
     }
     learnedLimit = learnedLimit + learnedLimit / 2;
+    return deleted;
+}
+
+uint64_t
+Solver::liveLearnedClauses() const
+{
+    uint64_t live = 0;
+    for (const Clause &c : clauses) {
+        if (c.learned && !c.deleted)
+            live++;
+    }
+    return live;
+}
+
+std::vector<std::vector<Lit>>
+Solver::learnedClauseDb() const
+{
+    std::vector<std::vector<Lit>> out;
+    for (const Clause &c : clauses) {
+        if (c.learned && !c.deleted)
+            out.push_back(c.lits);
+    }
+    return out;
+}
+
+std::vector<Lit>
+Solver::rootFixedLiterals() const
+{
+    size_t lim = trailLims.empty() ? trail.size()
+                                   : static_cast<size_t>(trailLims[0]);
+    return std::vector<Lit>(trail.begin(),
+                            trail.begin() + static_cast<long>(lim));
+}
+
+void
+Solver::analyzeFinal(Lit a)
+{
+    failedAssumptionsOut.clear();
+    failedAssumptionsOut.push_back(a);
+    if (decisionLevel() == 0)
+        return;
+    // Walk the implication graph backwards from the falsified
+    // assumption. Decisions reached above level 0 are exactly the
+    // earlier assumptions (search decisions only start after every
+    // assumption is applied); level-0 antecedents are formula
+    // consequences and drop out of the core.
+    seen[a.var()] = 1;
+    for (size_t i = trail.size(); i-- > static_cast<size_t>(trailLims[0]);) {
+        int v = trail[i].var();
+        if (!seen[v])
+            continue;
+        seen[v] = 0;
+        if (reasons[v] == -1) {
+            failedAssumptionsOut.push_back(trail[i]);
+        } else {
+            for (Lit q : clauses[reasons[v]].lits) {
+                // Skip the implied literal itself: re-marking v here
+                // would leave a stray seen bit behind (the walk is
+                // already past its trail position), poisoning every
+                // later analyze() on this solver.
+                if (q.var() != v && levels[q.var()] > 0)
+                    seen[q.var()] = 1;
+            }
+        }
+    }
+    seen[a.var()] = 0;
 }
 
 uint64_t
@@ -562,6 +635,8 @@ Solver::solve(const std::vector<Lit> &assumptions)
     owl_assert(auditWatchInvariants() == 0,
                "two-watched-literal invariant violated at solve entry");
 #endif
+    lastUnsatConditional = false;
+    failedAssumptionsOut.clear();
     if (unsatisfiable)
         return Result::Unsat;
     if (cancelRequested())
@@ -572,7 +647,6 @@ Solver::solve(const std::vector<Lit> &assumptions)
     uint64_t restart_num = 0;
     uint64_t conflict_budget = opts.restartBase * luby(restart_num);
     uint64_t conflicts_this_restart = 0;
-    uint64_t live_learned = 0;
 
     std::vector<Lit> learnt;
 
@@ -582,17 +656,15 @@ Solver::solve(const std::vector<Lit> &assumptions)
             statistics.conflicts++;
             conflicts_this_restart++;
             if (decisionLevel() == 0) {
-                // Conflict under no decisions: with assumptions this
-                // only means the assumptions are inconsistent with
-                // the formula, so do not latch unsatisfiable unless
-                // there are no assumptions. An assumption-caused
-                // Unsat is conditional, so it gets no proof step.
-                if (assumptions.empty()) {
-                    unsatisfiable = true;
-                    if (proof)
-                        proof->addClause({});
-                }
-                backtrack(0);
+                // Conflict under no decisions is a root-level
+                // refutation. Every literal on the level-0 trail is a
+                // formula consequence — assumptions are always decided
+                // at level >= 1 — so this verdict is unconditional
+                // even mid-assumption-solve, latches, and carries a
+                // DRAT proof obligation.
+                unsatisfiable = true;
+                if (proof)
+                    proof->addClause({});
                 return Result::Unsat;
             }
             int bt_level;
@@ -608,14 +680,17 @@ Solver::solve(const std::vector<Lit> &assumptions)
             // formula is unsat under these assumptions.
             backtrack(bt_level);
             if (learnt.size() == 1) {
+                statistics.learnedUnits++;
                 if (decisionLevel() > 0)
                     backtrack(0);
                 if (value(learnt[0]) == lFalse) {
-                    if (assumptions.empty()) {
-                        unsatisfiable = true;
-                        if (proof)
-                            proof->addClause({});
-                    }
+                    // The learned unit is a formula lemma (resolution
+                    // over reason clauses only) and is falsified at
+                    // level 0, so the formula itself is unsat —
+                    // unconditional, assumptions or not.
+                    unsatisfiable = true;
+                    if (proof)
+                        proof->addClause({});
                     return Result::Unsat;
                 }
                 if (value(learnt[0]) == lUndef)
@@ -629,7 +704,7 @@ Solver::solve(const std::vector<Lit> &assumptions)
                 std::sort(lvls.begin(), lvls.end());
                 clauses[ci].lbd =
                     std::unique(lvls.begin(), lvls.end()) - lvls.begin();
-                live_learned++;
+                liveLearned++;
                 enqueue(clauses[ci].lits[0], ci);
             }
             decayActivities();
@@ -651,9 +726,13 @@ Solver::solve(const std::vector<Lit> &assumptions)
                 backtrack(0);
                 return Result::Unknown;
             }
-            if (live_learned >= learnedLimit) {
-                reduceDb();
-                live_learned /= 2;
+            if (liveLearned >= learnedLimit) {
+                liveLearned -= reduceDb();
+#ifndef NDEBUG
+                owl_assert(liveLearned == liveLearnedClauses(),
+                           "learned-clause accounting drift after "
+                           "reduceDb");
+#endif
             }
         } else {
             if (conflicts_this_restart >= conflict_budget) {
@@ -665,17 +744,34 @@ Solver::solve(const std::vector<Lit> &assumptions)
                 continue;
             }
             // Conflict-free stretches (e.g. a huge satisfiable
-            // instance being filled in) must also notice
-            // cancellation, so poll on a decision stride too.
-            if ((statistics.decisions & 0x3ff) == 0 &&
-                cancelRequested()) {
-                backtrack(0);
-                return Result::Unknown;
+            // instance being filled in) must also notice cancellation
+            // and the wall-clock budget, so poll both on a decision
+            // stride too — the conflict-branch polls never run when
+            // the fill-in produces no conflicts.
+            if ((statistics.decisions & 0x3ff) == 0) {
+                if (cancelRequested()) {
+                    backtrack(0);
+                    return Result::Unknown;
+                }
+                if (timeLimit.count() > 0) {
+                    auto elapsed =
+                        std::chrono::steady_clock::now() - start_time;
+                    if (elapsed > timeLimit) {
+                        backtrack(0);
+                        return Result::Unknown;
+                    }
+                }
             }
             // Apply pending assumptions as decisions.
             if (decisionLevel() < static_cast<int>(assumptions.size())) {
                 Lit a = assumptions[decisionLevel()];
                 if (value(a) == lFalse) {
+                    // Unsat *under these assumptions* only: the
+                    // formula is not refuted (no proof step, no
+                    // latch). Record which assumptions conflicted
+                    // before unwinding the trail.
+                    lastUnsatConditional = true;
+                    analyzeFinal(a);
                     backtrack(0);
                     return Result::Unsat;
                 }
@@ -686,7 +782,11 @@ Solver::solve(const std::vector<Lit> &assumptions)
             }
             Lit next = pickBranchLit();
             if (!next.valid()) {
-                // All variables assigned: model found.
+                // All variables assigned: model found. Snapshot it
+                // and rewind to level 0 so the caller can keep adding
+                // clauses and re-solving (incremental use).
+                model.assign(assigns.begin(), assigns.end());
+                backtrack(0);
                 return Result::Sat;
             }
             statistics.decisions++;
@@ -699,8 +799,11 @@ Solver::solve(const std::vector<Lit> &assumptions)
 bool
 Solver::modelValue(int var) const
 {
-    owl_assert(var >= 0 && var < nVars, "model query for unknown var");
-    return assigns[var] == lTrue;
+    owl_assert(var >= 0 &&
+                   static_cast<size_t>(var) < model.size(),
+               "model query for a var not covered by the last Sat "
+               "model");
+    return model[var] == lTrue;
 }
 
 // ---- binary heap keyed by activity -------------------------------------

@@ -74,6 +74,8 @@ struct Stats
     uint64_t learnedClauses = 0;
     /** Total literals across learned clauses (proof-size proxy). */
     uint64_t learnedLiterals = 0;
+    /** Learned clauses of size 1 (fixed at level 0, never in the DB). */
+    uint64_t learnedUnits = 0;
     uint64_t learnedDeleted = 0;
 };
 
@@ -123,6 +125,13 @@ class Solver
         bool initialPhase = false;
         /** Luby restart unit, in conflicts. */
         uint64_t restartBase = 100;
+        /**
+         * Live learned clauses tolerated before the first reduceDb()
+         * (the limit then grows 1.5x per reduction). Small values
+         * force frequent reductions; used by the clause-DB accounting
+         * tests.
+         */
+        uint64_t learnedLimitBase = 8192;
     };
 
     Solver() : Solver(Options()) {}
@@ -150,6 +159,14 @@ class Solver
     /**
      * Solve the current formula under optional assumptions.
      *
+     * The solver is incremental: solve() may be called repeatedly,
+     * with addClause()/newVar() interleaved between calls. Learned
+     * clauses, variable activities, and saved phases persist across
+     * calls, so closely related queries (CEGIS iterations, activation-
+     * literal groups) reuse the previous calls' search effort. After
+     * Result::Sat the model is snapshotted and the trail is rewound
+     * to level 0, so the solver is immediately ready for more clauses.
+     *
      * @param assumptions literals assumed true for this call only.
      * @return Sat, Unsat, or Unknown if a resource limit was hit.
      */
@@ -157,6 +174,38 @@ class Solver
 
     /** Model value of a variable after Result::Sat. */
     bool modelValue(int var) const;
+
+    /**
+     * True when the most recent solve() returned Unsat only *under
+     * its assumptions* — the formula itself was not refuted, no DRAT
+     * empty clause was emitted, and the verdict carries no proof
+     * obligation. False for a genuine formula-level Unsat (which
+     * latches: every later solve() returns Unsat immediately).
+     */
+    bool lastUnsatWasConditional() const { return lastUnsatConditional; }
+
+    /**
+     * After a conditional Unsat: the subset of the call's assumption
+     * literals involved in the final conflict (MiniSat's
+     * analyzeFinal). Not guaranteed minimal, but assumptions with no
+     * role in the refutation are excluded.
+     */
+    const std::vector<Lit> &failedAssumptions() const
+    {
+        return failedAssumptionsOut;
+    }
+
+    /**
+     * Exact count of learned clauses currently live in the clause
+     * database (recounted, O(#clauses)). Learned units are fixed at
+     * level 0 and never enter the database, so
+     * liveLearnedClauses() == stats().learnedClauses
+     *                         - stats().learnedUnits
+     *                         - stats().learnedDeleted
+     * holds at every quiescent point; the internal reduction-timing
+     * counter is asserted against this recount in debug builds.
+     */
+    uint64_t liveLearnedClauses() const;
 
     /** Limit wall-clock time for subsequent solve() calls; 0=none. */
     void setTimeLimit(std::chrono::milliseconds limit) { timeLimit = limit; }
@@ -215,6 +264,22 @@ class Solver
      */
     int auditWatchInvariants(lint::Report *report = nullptr) const;
 
+    /**
+     * Snapshot of the learned-clause database (live clauses only),
+     * for tests and diagnostics: every learned clause must be a
+     * logical consequence of the original formula, assumptions or
+     * not — soundness harnesses re-check that by refutation.
+     */
+    std::vector<std::vector<Lit>> learnedClauseDb() const;
+
+    /**
+     * The literals fixed on the root-level trail (formula-implied
+     * units: original unit clauses, learned units, and their
+     * propagation closure). Same diagnostic contract as
+     * learnedClauseDb(): each must follow from the formula alone.
+     */
+    std::vector<Lit> rootFixedLiterals() const;
+
   private:
     // Truth values: 0 = true, 1 = false, 2 = unassigned; chosen so
     // that value(lit) = assigns[var] ^ sign works out.
@@ -258,6 +323,17 @@ class Solver
 
     double claInc = 1.0;
     uint64_t learnedLimit = 8192;
+    /**
+     * Learned clauses live in the DB, maintained exactly: incremented
+     * when a learnt clause is attached, decremented by the number
+     * reduceDb() actually deleted. A member (not a solve() local) so
+     * reduction timing stays correct across incremental solve calls.
+     */
+    uint64_t liveLearned = 0;
+    /** Model snapshot (per var) taken when solve() returns Sat. */
+    std::vector<uint8_t> model;
+    bool lastUnsatConditional = false;
+    std::vector<Lit> failedAssumptionsOut;
 
     std::chrono::milliseconds timeLimit{0};
     uint64_t conflictLimit = 0;
@@ -283,12 +359,15 @@ class Solver
     void enqueue(Lit l, int reason);
     int propagate(); // returns conflicting clause idx or -1
     void analyze(int confl, std::vector<Lit> &learnt, int &bt_level);
+    /** Assumption core of a falsified assumption (MiniSat style). */
+    void analyzeFinal(Lit a);
     bool litRedundant(Lit l, uint32_t levels_mask);
     void backtrack(int level);
     Lit pickBranchLit();
     void attachClause(int ci);
     int addClauseInternal(std::vector<Lit> lits, bool learned);
-    void reduceDb();
+    /** @return the number of learned clauses actually deleted. */
+    size_t reduceDb();
     void bumpVar(int var);
     void bumpClause(int ci);
     void decayActivities();

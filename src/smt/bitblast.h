@@ -53,6 +53,13 @@ class BitBlaster
      */
     BitVec modelValue(TermRef t, const std::vector<bool> &model) const;
 
+    /**
+     * Number of terms with an encoding in the blast cache. The
+     * incremental layer diffs this across iterations to count how
+     * much of each delta query was already in CNF (cache hits).
+     */
+    size_t cachedTerms() const { return cache.size(); }
+
   private:
     const TermTable &tt;
     sat::Solver &solver;

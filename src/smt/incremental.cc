@@ -1,0 +1,373 @@
+#include "smt/incremental.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "exec/portfolio.h"
+#include "lint/diagnostic.h"
+#include "obs/obs.h"
+
+namespace owl::smt
+{
+
+namespace
+{
+
+const char *
+resultName(sat::Result r)
+{
+    switch (r) {
+      case sat::Result::Sat: return "sat";
+      case sat::Result::Unsat: return "unsat";
+      case sat::Result::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+} // namespace
+
+IncrementalContext::IncrementalContext(TermTable &tt_in,
+                                       const IncrementalOptions &o)
+    : tt(tt_in), opts(o)
+{
+    int k = opts.portfolioJobs > 1 ? opts.portfolioJobs : 1;
+    std::vector<sat::Solver::Options> configs =
+        exec::diversifiedConfigs(k, opts.portfolioSeed);
+    captureNeeded = k > 1 || opts.checkProofs;
+    // Proof sinks must exist (and stay put) before the first clause:
+    // resize once, then never touch the vector again.
+    if (opts.checkProofs)
+        proofs.resize(k);
+    solvers.reserve(k);
+    for (int i = 0; i < k; i++) {
+        solvers.push_back(std::make_unique<sat::Solver>(configs[i]));
+        if (opts.checkProofs)
+            solvers[static_cast<size_t>(i)]->setProofSink(
+                &proofs[static_cast<size_t>(i)]);
+    }
+    if (captureNeeded)
+        solvers[0]->setCaptureCnf(&cnf);
+    blaster = std::make_unique<BitBlaster>(tt, *solvers[0]);
+    // The blaster's ctor allocated the shared true literal on the
+    // primary; replicate it into the racers right away.
+    mirrorToRacers();
+}
+
+IncrementalContext::~IncrementalContext() = default;
+
+const sat::Stats &
+IncrementalContext::satStats() const
+{
+    return solvers[0]->stats();
+}
+
+uint64_t
+IncrementalContext::reachableTerms(const std::vector<TermRef> &roots) const
+{
+    std::unordered_set<uint32_t> visited;
+    std::vector<uint32_t> stack;
+    for (TermRef r : roots) {
+        if (r.valid() && visited.insert(r.idx).second)
+            stack.push_back(r.idx);
+    }
+    while (!stack.empty()) {
+        uint32_t cur = stack.back();
+        stack.pop_back();
+        for (TermRef c : tt.node(TermRef{cur}).children) {
+            if (visited.insert(c.idx).second)
+                stack.push_back(c.idx);
+        }
+    }
+    return visited.size();
+}
+
+void
+IncrementalContext::registerLeaves(const std::vector<TermRef> &roots)
+{
+    std::vector<TermRef> vars, reads;
+    tt.collectLeaves(roots, vars, reads);
+    for (TermRef v : vars) {
+        if (leafSeen.insert(v.idx).second)
+            modelLeaves.push_back(v);
+    }
+    std::sort(reads.begin(), reads.end(),
+              [](TermRef a, TermRef b) { return a.idx < b.idx; });
+    reads.erase(std::unique(reads.begin(), reads.end()), reads.end());
+
+    // Incremental Ackermann: pairing each new read against every read
+    // known before it (old and new alike) yields exactly the pair set
+    // a from-scratch encode of the union would produce. Congruence is
+    // a property of the uninterpreted read function, not of any one
+    // query, so the constraints are permanent even when the reads
+    // themselves only occur inside activation-guarded groups.
+    std::vector<TermRef> congruences;
+    for (TermRef r : reads) {
+        if (!readSeen.insert(r.idx).second)
+            continue;
+        if (leafSeen.insert(r.idx).second)
+            modelLeaves.push_back(r);
+        for (TermRef s : knownReads) {
+            // Copy fields out: mk* below may reallocate the pool.
+            Node nr = tt.node(r);
+            Node ns = tt.node(s);
+            if (nr.a != ns.a)
+                continue; // different memories
+            TermRef addr_eq = tt.mkEq(nr.children[0], ns.children[0]);
+            TermRef val_eq = tt.mkEq(r, s);
+            TermRef cong = tt.mkImplies(addr_eq, val_eq);
+            if (tt.isTrue(cong))
+                continue;
+            congruences.push_back(cong);
+        }
+        knownReads.push_back(r);
+    }
+    for (TermRef c : congruences) {
+        blaster->assertTrue(c);
+        istats.ackermannConstraints++;
+    }
+    OWL_COUNTER_ADD("smt.ackermann_constraints", congruences.size());
+}
+
+void
+IncrementalContext::mirrorToRacers()
+{
+    if (solvers.size() <= 1)
+        return;
+    for (size_t i = 1; i < solvers.size(); i++) {
+        sat::Solver &s = *solvers[i];
+        while (s.numVars() < cnf.numVars)
+            s.newVar();
+        for (size_t c = mirroredClauses; c < cnf.clauses.size(); c++)
+            s.addClause(cnf.clauses[c]);
+    }
+    mirroredClauses = cnf.clauses.size();
+}
+
+void
+IncrementalContext::assertPermanent(TermRef t)
+{
+    owl_assert(tt.width(t) == 1, "assertion must be 1-bit");
+    if (tt.isFalse(t)) {
+        // Refuted in the term DAG before any clause exists; the
+        // verdict is by evaluation (unsat-trivial), not by search.
+        rootUnsat = true;
+        return;
+    }
+    size_t cached_before = blaster->cachedTerms();
+    uint64_t reachable = reachableTerms({t});
+    blaster->assertTrue(t);
+    uint64_t fresh = blaster->cachedTerms() - cached_before;
+    istats.cacheHits += reachable - fresh;
+    istats.nodesEncoded += fresh;
+    registerLeaves({t});
+    mirrorToRacers();
+}
+
+std::vector<sat::Lit>
+IncrementalContext::literalsOf(TermRef t)
+{
+    std::vector<sat::Lit> lits = blaster->blast(t);
+    mirrorToRacers();
+    return lits;
+}
+
+int
+IncrementalContext::addGroup(const std::vector<TermRef> &assertions)
+{
+    obs::ScopedSpan span("smt.inc.addGroup");
+    int gid = static_cast<int>(activations.size());
+    size_t cached_before = blaster->cachedTerms();
+    uint64_t reachable = reachableTerms(assertions);
+
+    int avar = solvers[0]->newVar();
+    sat::Lit act(avar, false);
+    actVarToGroup.emplace(avar, gid);
+    for (TermRef t : assertions) {
+        owl_assert(tt.width(t) == 1, "assertion must be 1-bit");
+        // A constant-false assertion blasts to the shared false
+        // literal; (~act v false) simplifies to the unit ~act, which
+        // correctly makes every later check() conditionally Unsat.
+        sat::Lit l = blaster->blast(t)[0];
+        solvers[0]->addClause(~act, l);
+    }
+    uint64_t fresh = blaster->cachedTerms() - cached_before;
+    istats.cacheHits += reachable - fresh;
+    istats.nodesEncoded += fresh;
+
+    registerLeaves(assertions);
+    mirrorToRacers();
+    activations.push_back(act);
+    istats.groups++;
+    span.attr("group", gid);
+    span.attr("assertions", assertions.size());
+    span.attr("new_nodes", fresh);
+    span.attr("sat_vars", static_cast<int64_t>(solvers[0]->numVars()));
+    return gid;
+}
+
+CheckResult
+IncrementalContext::check(Model *model, const SolveLimits &limits,
+                          CheckStats *stats,
+                          const std::vector<sat::Lit> &extra_assumptions)
+{
+    obs::ScopedSpan span("smt.checkSat");
+    span.attr("incremental", 1);
+    OWL_COUNTER_INC("smt.checks");
+
+    lastWinner = -1;
+    lastConditional = false;
+    if (rootUnsat) {
+        if (opts.checkProofs)
+            OWL_COUNTER_INC("drat.unsat_trivial");
+        span.attr("result", "unsat-trivial");
+        if (stats) {
+            *stats = CheckStats{};
+            stats->satVars = solvers[0]->numVars();
+            stats->termNodes = tt.numNodes();
+            stats->ackermannConstraints = istats.ackermannConstraints;
+        }
+        return CheckResult::Unsat;
+    }
+
+    istats.solveCalls++;
+    if (istats.solveCalls > 1)
+        istats.clausesReused += solvers[0]->liveLearnedClauses();
+
+    std::vector<sat::Stats> pre;
+    pre.reserve(solvers.size());
+    for (const auto &s : solvers)
+        pre.push_back(s->stats());
+
+    std::vector<sat::Lit> assumptions = activations;
+    assumptions.insert(assumptions.end(), extra_assumptions.begin(),
+                       extra_assumptions.end());
+
+    sat::Result r;
+    int winner;
+    if (solvers.size() == 1) {
+        sat::Solver &s = *solvers[0];
+        s.setTimeLimit(limits.timeLimit);
+        s.setConflictLimit(limits.conflictLimit);
+        s.setCancelFlag(limits.cancelFlag);
+        r = s.solve(assumptions);
+        winner = 0;
+    } else {
+        std::vector<sat::Solver *> racers;
+        racers.reserve(solvers.size());
+        for (const auto &s : solvers)
+            racers.push_back(s.get());
+        exec::SolverRaceOutcome out = exec::raceSolvers(
+            racers, assumptions, limits.timeLimit,
+            limits.conflictLimit, limits.cancelFlag);
+        r = out.result;
+        winner = out.winner;
+        span.attr("portfolio_winner", winner);
+    }
+    lastWinner = winner;
+    lastConditional = r == sat::Result::Unsat && winner >= 0 &&
+                      solvers[static_cast<size_t>(winner)]
+                          ->lastUnsatWasConditional();
+
+    // Certify unconditional Unsat verdicts: the winner's session-long
+    // proof (every lemma and deletion since the context was built)
+    // replays against the captured input clauses. Conditional verdicts
+    // carry no proof obligation — the formula was not refuted and no
+    // empty clause was emitted — so they are booked separately.
+    bool proof_checked = false;
+    size_t proof_steps = 0;
+    if (opts.checkProofs && r == sat::Result::Unsat && winner >= 0) {
+        const sat::DratProof &proof = proofs[static_cast<size_t>(winner)];
+        proof_steps = proof.size();
+        if (lastConditional) {
+            OWL_COUNTER_INC("drat.unsat_conditional");
+        } else {
+            obs::ScopedSpan drat_span("smt.checkDrat");
+            lint::Report drat_report;
+            if (!sat::checkDrat(cnf, proof, &drat_report)) {
+                owl_panic(
+                    "UNSAT verdict failed DRAT proof replay (",
+                    proof.size(), " steps, ", cnf.clauses.size(),
+                    " clauses, incremental session):\n",
+                    drat_report.toString());
+            }
+            proof_checked = true;
+            drat_span.attr("steps", proof.size());
+            OWL_COUNTER_INC("drat.proofs_checked");
+            OWL_COUNTER_ADD("drat.proof_steps", proof.size());
+        }
+    }
+
+    int stat_idx = winner >= 0 ? winner : 0;
+    const sat::Stats &post = solvers[static_cast<size_t>(stat_idx)]->stats();
+    uint64_t d_conflicts = post.conflicts - pre[stat_idx].conflicts;
+    uint64_t d_props = post.propagations - pre[stat_idx].propagations;
+    span.attr("result", resultName(r));
+    span.attr("sat_vars", static_cast<int64_t>(solvers[0]->numVars()));
+    span.attr("conflicts", d_conflicts);
+    OWL_TRACE_EVENT("smt", "checkSat(incremental) result=",
+                    resultName(r), " groups=", activations.size(),
+                    " terms=", tt.numNodes(),
+                    " sat_vars=", solvers[0]->numVars(),
+                    " conflicts=", d_conflicts,
+                    " propagations=", d_props);
+    if (stats) {
+        stats->satVars = solvers[0]->numVars();
+        stats->ackermannConstraints = istats.ackermannConstraints;
+        stats->conflicts = d_conflicts;
+        stats->propagations = d_props;
+        stats->termNodes = tt.numNodes();
+        stats->proofChecked = proof_checked;
+        stats->proofSteps = proof_steps;
+        stats->unsatConditional = lastConditional;
+    }
+    switch (r) {
+      case sat::Result::Unsat:
+        return CheckResult::Unsat;
+      case sat::Result::Unknown:
+        return CheckResult::Unknown;
+      case sat::Result::Sat:
+        break;
+    }
+
+    if (model) {
+        model->leafValues.clear();
+        if (winner == 0) {
+            for (TermRef t : modelLeaves)
+                model->leafValues.emplace(t.idx,
+                                          blaster->modelValue(t));
+        } else {
+            // A rival won: lift its assignment into a plain vector and
+            // decode through the shared blast cache (identical
+            // variable numbering by construction of the mirror).
+            sat::Solver &w = *solvers[static_cast<size_t>(winner)];
+            std::vector<bool> values(
+                static_cast<size_t>(cnf.numVars));
+            for (int v = 0; v < cnf.numVars; v++)
+                values[static_cast<size_t>(v)] = w.modelValue(v);
+            for (TermRef t : modelLeaves)
+                model->leafValues.emplace(
+                    t.idx, blaster->modelValue(t, values));
+        }
+    }
+    return CheckResult::Sat;
+}
+
+std::vector<int>
+IncrementalContext::failedGroups() const
+{
+    std::vector<int> groups;
+    if (!lastConditional || lastWinner < 0)
+        return groups;
+    const sat::Solver &w = *solvers[static_cast<size_t>(lastWinner)];
+    for (sat::Lit l : w.failedAssumptions()) {
+        auto it = actVarToGroup.find(l.var());
+        if (it != actVarToGroup.end())
+            groups.push_back(it->second);
+    }
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()),
+                 groups.end());
+    return groups;
+}
+
+} // namespace owl::smt

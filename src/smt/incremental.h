@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Incremental SMT solving for CEGIS: one persistent bit-blast cache
+ * and one long-lived CDCL instance (or a fleet of diversified ones)
+ * shared by a whole family of closely related queries.
+ *
+ * A fresh checkSat() call rebuilds the CNF encoding of the entire
+ * query and throws away everything the SAT search learned. Across
+ * CEGIS iterations that is almost pure waste: iteration k's synthesis
+ * query is iteration k-1's query plus one new counterexample block
+ * (paper §3.3, Equation (2)). IncrementalContext keeps the encoding:
+ *
+ *  - Terms are blasted once into a persistent BitBlaster, so each
+ *    iteration only encodes the delta (cache keying is the hash-consed
+ *    TermRef index, which is stable for the lifetime of the TermTable).
+ *  - Each addGroup() guards its assertions behind a fresh activation
+ *    literal a (clauses ~a v lit), and check() solves under the
+ *    assumption set {a_0, ..., a_k}; retracting a group would be
+ *    dropping its literal, though CEGIS only ever accumulates.
+ *  - Learned clauses, VSIDS activities, and saved phases persist
+ *    across check() calls (sat::Solver is incremental), so conflicts
+ *    paid for in early iterations prune later ones.
+ *  - DRAT logging spans the whole session: one proof accumulates
+ *    lemma additions and reduceDb deletions across every solve.
+ *    Conditional verdicts (Unsat only under the activation-literal
+ *    assumptions) carry no proof obligation and are excluded from
+ *    proof claims (booked as drat.unsat_conditional); a genuine
+ *    formula-level refutation emits the empty clause and the whole
+ *    session proof replays through sat::checkDrat.
+ *  - Portfolio mode composes: each racer owns a persistent solver
+ *    mirrored clause-for-clause from the captured CNF (identical
+ *    variable numbering), keeps its own session-long proof, and races
+ *    under the same assumptions via exec::raceSolvers.
+ */
+
+#ifndef OWL_SMT_INCREMENTAL_H
+#define OWL_SMT_INCREMENTAL_H
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sat/drat.h"
+#include "sat/solver.h"
+#include "smt/bitblast.h"
+#include "smt/solver.h"
+#include "smt/term.h"
+
+namespace owl::smt
+{
+
+/**
+ * Session-level policy for an IncrementalContext. Unlike SolveLimits
+ * (per call), these shape the solver fleet itself and are fixed at
+ * construction: racers and proof sinks must exist before the first
+ * clause lands.
+ */
+struct IncrementalOptions
+{
+    /**
+     * >1 keeps that many diversified persistent solvers and races
+     * them on every check() (exec::raceSolvers). Racer 0 is always
+     * the deterministic default configuration.
+     */
+    int portfolioJobs = 0;
+    uint64_t portfolioSeed = 1; ///< base seed for diversification
+    /**
+     * Keep per-racer session-long DRAT proofs and replay the winner's
+     * through sat::checkDrat on every unconditional Unsat verdict.
+     */
+    bool checkProofs = false;
+};
+
+/** Cumulative counters for one incremental session. */
+struct IncrementalStats
+{
+    /** check() calls that reached the SAT solver. */
+    uint64_t solveCalls = 0;
+    /**
+     * Learned clauses alive in the primary solver's database at entry
+     * to each check() after the first — i.e. search effort carried
+     * over from earlier iterations instead of being re-derived.
+     */
+    uint64_t clausesReused = 0;
+    /**
+     * Term-DAG nodes referenced by an addGroup()/assertPermanent()
+     * batch that were already in the bit-blast cache: encoding work a
+     * fresh per-iteration checkSat() would have redone.
+     */
+    uint64_t cacheHits = 0;
+    /** Term-DAG nodes newly encoded to CNF by this session. */
+    uint64_t nodesEncoded = 0;
+    uint64_t groups = 0;
+    /** Ackermann congruence constraints added (incrementally). */
+    uint64_t ackermannConstraints = 0;
+};
+
+/**
+ * A persistent solving session over one TermTable.
+ *
+ * Usage mirrors checkSat(), split across time: assertPermanent() /
+ * addGroup() to accumulate the query, check() to solve everything
+ * asserted so far (permanent assertions unconditionally, every group
+ * under its activation literal). Ackermann congruence constraints for
+ * base reads are maintained incrementally — each new batch is paired
+ * against every read seen before it, so the session always carries
+ * exactly the constraints a from-scratch encode of the union would.
+ *
+ * The TermTable must outlive the context and must not be used with a
+ * second context concurrently (blast-cache keying assumes node
+ * indices are append-only).
+ */
+class IncrementalContext
+{
+  public:
+    explicit IncrementalContext(TermTable &tt,
+                                const IncrementalOptions &opts = {});
+    ~IncrementalContext();
+    IncrementalContext(const IncrementalContext &) = delete;
+    IncrementalContext &operator=(const IncrementalContext &) = delete;
+
+    /** Assert a 1-bit term unconditionally, for the whole session. */
+    void assertPermanent(TermRef t);
+
+    /**
+     * Add a group of 1-bit assertions guarded by a fresh activation
+     * literal; every subsequent check() assumes the group. Returns the
+     * group id (dense, starting at 0) used by failedGroups().
+     */
+    int addGroup(const std::vector<TermRef> &assertions);
+
+    /**
+     * Solve everything asserted so far. limits.portfolioJobs and
+     * limits.checkProofs are ignored — those are session-level here
+     * (IncrementalOptions); time/conflict/cancel limits apply per
+     * call.
+     *
+     * @param extra_assumptions additional literals assumed true for
+     *        this call only, on top of the group activation literals.
+     *        Used for model shaping (e.g. CEGIS's lexicographic hole
+     *        canonicalization probes individual hole bits this way).
+     */
+    CheckResult check(Model *model = nullptr,
+                      const SolveLimits &limits = {},
+                      CheckStats *stats = nullptr,
+                      const std::vector<sat::Lit> &extra_assumptions = {});
+
+    /**
+     * The CNF literals (lsb first) encoding a term, blasting it (and
+     * mirroring any new clauses to the racers) if it was not already
+     * part of an assertion. The literals are valid for the lifetime
+     * of the context and can be passed to check() as assumptions.
+     */
+    std::vector<sat::Lit> literalsOf(TermRef t);
+
+    /**
+     * True when the most recent check() returned Unsat only under the
+     * activation-literal assumptions (the session formula itself is
+     * not refuted; no proof obligation).
+     */
+    bool lastUnsatWasConditional() const { return lastConditional; }
+
+    /**
+     * After a conditional Unsat: ids of the groups whose activation
+     * literals appear in the final-conflict assumption core. Not
+     * guaranteed minimal, but groups with no role in the refutation
+     * are excluded.
+     */
+    std::vector<int> failedGroups() const;
+
+    int numGroups() const { return static_cast<int>(activations.size()); }
+    const IncrementalStats &stats() const { return istats; }
+    /** The primary (racer-0) solver's cumulative SAT statistics. */
+    const sat::Stats &satStats() const;
+
+  private:
+    TermTable &tt;
+    IncrementalOptions opts;
+    bool captureNeeded = false;
+    /** A permanent assertion folded to constant false. */
+    bool rootUnsat = false;
+
+    std::vector<std::unique_ptr<sat::Solver>> solvers;
+    std::vector<sat::DratProof> proofs; ///< one per racer (checkProofs)
+    sat::Cnf cnf;                       ///< primary-side capture
+    size_t mirroredClauses = 0;
+    std::unique_ptr<BitBlaster> blaster;
+
+    std::vector<sat::Lit> activations;      ///< group id -> activation lit
+    std::unordered_map<int, int> actVarToGroup;
+
+    /** Leaves tracked for model extraction (vars + base reads). */
+    std::vector<TermRef> modelLeaves;
+    std::unordered_set<uint32_t> leafSeen;
+    /** Every distinct BaseRead seen, in arrival order (Ackermann). */
+    std::vector<TermRef> knownReads;
+    std::unordered_set<uint32_t> readSeen;
+
+    int lastWinner = -1;
+    bool lastConditional = false;
+    IncrementalStats istats;
+
+    /** Distinct term-DAG nodes reachable from the roots. */
+    uint64_t reachableTerms(const std::vector<TermRef> &roots) const;
+    /**
+     * Register a batch's leaves: extend the model-extraction set and
+     * assert congruence constraints pairing each new base read with
+     * every read known before it (permanent; congruence is valid
+     * formula-wide even when the reads only occur inside groups).
+     */
+    void registerLeaves(const std::vector<TermRef> &roots);
+    /** Replay newly captured clauses into the rival racers. */
+    void mirrorToRacers();
+};
+
+} // namespace owl::smt
+
+#endif // OWL_SMT_INCREMENTAL_H

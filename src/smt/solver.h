@@ -82,6 +82,14 @@ struct CheckStats
     bool proofChecked = false;
     /** Steps in the checked proof (adds + deletes). */
     size_t proofSteps = 0;
+    /**
+     * True when an Unsat verdict held only under the call's
+     * assumptions (incremental activation literals): the formula was
+     * not refuted, so the verdict carries no DRAT proof obligation
+     * and proof-coverage accounting books it as `drat.unsat_conditional`
+     * rather than `drat.proofs_checked`.
+     */
+    bool unsatConditional = false;
 };
 
 /**

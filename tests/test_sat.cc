@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <random>
 
 #include "sat/solver.h"
@@ -356,4 +358,187 @@ TEST(Sat, CancelFlagAbortsSolve)
     EXPECT_EQ(s.solve(), Result::Unknown);
     flag2.store(false);
     EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Sat, TimeLimitPollsOnDecisionStride)
+{
+    // A huge conflict-free satisfiable fill-in never takes the
+    // conflict-branch polls, so the wall-clock budget must be noticed
+    // on the decision stride. Regression: solve() used to check
+    // timeLimit only after conflicts and would blow arbitrarily far
+    // past the deadline here.
+    Solver s;
+    const int n = 400000;
+    for (int i = 0; i < n; i++)
+        (void)s.newVar();
+    // A token clause so the instance is not literally empty.
+    s.addClause(Lit(0, false), Lit(1, false));
+    s.setTimeLimit(std::chrono::milliseconds(1));
+    auto t0 = std::chrono::steady_clock::now();
+    Result r = s.solve();
+    auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_EQ(r, Result::Unknown);
+    // Generous bound: the stride poll fires every 1024 decisions, so
+    // an abort within seconds proves the poll ran; without it this
+    // instance assigns all 400k vars regardless of the deadline.
+    EXPECT_LT(elapsed, std::chrono::seconds(30));
+    // With the budget lifted the same solver finishes.
+    s.setTimeLimit(std::chrono::milliseconds(0));
+    EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Sat, IncrementalReuseInterleavedAddClause)
+{
+    // One long-lived solver, clauses added between solve() calls:
+    // every model must satisfy the clauses added so far, and blocking
+    // each model must eventually flip the verdict to Unsat.
+    Solver s;
+    const int n = 8;
+    std::vector<int> v;
+    for (int i = 0; i < n; i++)
+        v.push_back(s.newVar());
+    // Parity-ish seed constraints to leave a handful of models.
+    s.addClause(Lit(v[0], false), Lit(v[1], false));
+    s.addClause(Lit(v[2], true), Lit(v[3], false));
+    int models = 0;
+    while (s.solve() == Result::Sat && models < 300) {
+        models++;
+        std::vector<Lit> block;
+        for (int i = 0; i < n; i++)
+            block.push_back(Lit(v[i], s.modelValue(v[i])));
+        // Blocking the final model may already refute the formula
+        // during addClause's own unit propagation.
+        if (!s.addClause(block))
+            break;
+    }
+    // (3/4)^2 of the 2^8 assignments satisfy both seed clauses.
+    EXPECT_EQ(models, 144);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    EXPECT_FALSE(s.lastUnsatWasConditional());
+}
+
+TEST(Sat, AssumptionCoreExcludesIrrelevant)
+{
+    Solver s;
+    int a = s.newVar(), b = s.newVar(), c = s.newVar();
+    s.addClause(Lit(a, false), Lit(b, false)); // a | b
+    // Assume !c first: it must not appear in the final core even
+    // though it was decided before the conflicting pair.
+    Result r = s.solve({Lit(c, true), Lit(a, true), Lit(b, true)});
+    EXPECT_EQ(r, Result::Unsat);
+    EXPECT_TRUE(s.lastUnsatWasConditional());
+    const auto &core = s.failedAssumptions();
+    ASSERT_FALSE(core.empty());
+    for (Lit l : core) {
+        EXPECT_NE(l.var(), c);
+        EXPECT_TRUE(l.var() == a || l.var() == b);
+    }
+    // The verdict is per-call: the formula itself stays satisfiable.
+    EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Sat, UnconditionalUnsatUnderAssumptions)
+{
+    // A formula-level refutation reached while assumptions are in
+    // play must still be reported as unconditional (and latch).
+    Solver s;
+    addPigeonhole(s, 5, 4);
+    int extra = s.newVar();
+    EXPECT_EQ(s.solve({Lit(extra, false)}), Result::Unsat);
+    EXPECT_FALSE(s.lastUnsatWasConditional());
+    // Latched: subsequent calls answer immediately.
+    EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Sat, LearnedClauseAccountingExact)
+{
+    // Force reduceDb() with a tiny learned-clause budget and check
+    // the live count tracks the database exactly. Regression: the
+    // caller used to halve its counter while reduceDb() exempts
+    // reasons and binary clauses, so the two drifted apart.
+    Solver::Options o;
+    o.learnedLimitBase = 16;
+    Solver s(o);
+    addPigeonhole(s, 7, 6);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    const auto &st = s.stats();
+    EXPECT_GT(st.learnedDeleted, 0u);
+    EXPECT_EQ(s.liveLearnedClauses(),
+              st.learnedClauses - st.learnedUnits - st.learnedDeleted);
+}
+
+TEST(Sat, FailedAssumptionSolvesLeaveSolverSound)
+{
+    // Regression for the incremental-session bug: analyzeFinal() used
+    // to leave stray seen marks behind on every conditional-Unsat
+    // return, which silently dropped literals from clauses learned in
+    // *later* solve() calls on the same solver. Drive a session of
+    // assumption solves and differentially check every verdict and
+    // every retained lemma against fresh solvers.
+    std::mt19937 rng(2);
+    const int n = 40;
+    std::vector<std::vector<Lit>> formula;
+    Solver inc;
+    for (int i = 0; i < n; i++)
+        (void)inc.newVar();
+    auto rnd3 = [&]() {
+        std::vector<Lit> cl;
+        while (cl.size() < 3) {
+            Lit l(static_cast<int>(rng() % n), rng() % 2 == 0);
+            bool dup = false;
+            for (Lit e : cl)
+                dup = dup || e.var() == l.var();
+            if (!dup)
+                cl.push_back(l);
+        }
+        return cl;
+    };
+    for (int i = 0; i < 3 * n; i++) {
+        auto cl = rnd3();
+        formula.push_back(cl);
+        ASSERT_TRUE(inc.addClause(cl));
+    }
+    auto implied = [&](const std::vector<Lit> &clause) {
+        Solver ref;
+        for (int i = 0; i < n; i++)
+            (void)ref.newVar();
+        for (const auto &cl : formula) {
+            if (!ref.addClause(cl))
+                return true;
+        }
+        for (Lit l : clause) {
+            if (!ref.addClause({~l}))
+                return true;
+        }
+        return ref.solve() == Result::Unsat;
+    };
+    for (int round = 0; round < 12; round++) {
+        std::vector<Lit> assum;
+        std::vector<int> pool(n);
+        for (int i = 0; i < n; i++)
+            pool[i] = i;
+        std::shuffle(pool.begin(), pool.end(), rng);
+        for (size_t i = 0; i < 2 + rng() % 6; i++)
+            assum.push_back(Lit(pool[i], rng() % 2 == 0));
+        Result got = inc.solve(assum);
+        Solver ref;
+        for (int i = 0; i < n; i++)
+            (void)ref.newVar();
+        bool ok = true;
+        for (const auto &cl : formula)
+            ok = ok && ref.addClause(cl);
+        for (Lit l : assum)
+            ok = ok && ref.addClause({l});
+        Result want = ok ? ref.solve() : Result::Unsat;
+        ASSERT_EQ(got, want) << "round " << round;
+        // Everything the incremental solver retains must follow from
+        // the formula alone, assumptions or not.
+        for (const auto &lemma : inc.learnedClauseDb())
+            ASSERT_TRUE(implied(lemma)) << "unsound lemma, round "
+                                        << round;
+        for (Lit l : inc.rootFixedLiterals())
+            ASSERT_TRUE(implied({l})) << "unsound root unit, round "
+                                      << round;
+    }
+    EXPECT_EQ(inc.solve(), Result::Sat);
 }

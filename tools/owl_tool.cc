@@ -111,7 +111,7 @@ usage()
             "verify | lint\n"
             "options (synth): --mono, --jobs <n> (or OWL_JOBS), "
             "--portfolio <k>, --budget <seconds>, --check-proofs, "
-            "-o <file.v>\n"
+            "--no-incremental, -o <file.v>\n"
             "options (lint): --cycles <k>  symbolic-evaluation depth\n"
             "options (any): --stats-json <file.json>  export "
             "owl::obs spans+counters\n"
@@ -157,6 +157,7 @@ main(int argc, char **argv)
         jobs = atoi(env);
     int portfolio = 0;
     bool check_proofs = false;
+    bool incremental = true;
     int lint_cycles = 1;
     std::string out_verilog;
     std::string stats_json;
@@ -171,6 +172,8 @@ main(int argc, char **argv)
             portfolio = atoi(argv[++i]);
         } else if (!strcmp(argv[i], "--check-proofs")) {
             check_proofs = true;
+        } else if (!strcmp(argv[i], "--no-incremental")) {
+            incremental = false;
         } else if (!strcmp(argv[i], "--cycles") && i + 1 < argc) {
             lint_cycles = atoi(argv[++i]);
         } else if (!strcmp(argv[i], "-o") && i + 1 < argc) {
@@ -244,6 +247,7 @@ main(int argc, char **argv)
     opts.jobs = jobs;
     opts.satPortfolio = portfolio;
     opts.checkProofs = check_proofs;
+    opts.incremental = incremental;
     if (budget_s > 0)
         opts.timeLimit = std::chrono::milliseconds(budget_s * 1000);
     if (mono)
