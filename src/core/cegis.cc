@@ -53,6 +53,7 @@ CegisOptions::solveLimits() const
     limits.portfolioJobs = satPortfolio;
     limits.portfolioSeed = satPortfolioSeed;
     limits.checkProofs = checkProofs;
+    limits.profileSat = profileSat;
     return limits;
 }
 
@@ -169,7 +170,8 @@ SynthStatus
 InstrSynthesizer::verifyCandidate(const ila::Instr &instr,
                                   const HoleValues &candidate,
                                   Counterexample *cex,
-                                  const CegisOptions &opts)
+                                  const CegisOptions &opts,
+                                  smt::CheckStats *stats)
 {
     obs::ScopedSpan span("verify");
     TermTable tt;
@@ -194,8 +196,8 @@ InstrSynthesizer::verifyCandidate(const ila::Instr &instr,
     assertions.push_back(tt.mkNot(all_posts));
 
     smt::Model model;
-    CheckResult r =
-        smt::checkSat(tt, assertions, &model, opts.solveLimits());
+    CheckResult r = smt::checkSat(tt, assertions, &model,
+                                  opts.solveLimits(), stats);
     switch (r) {
       case CheckResult::Unsat:
         span.attr("result", "valid");
@@ -386,7 +388,8 @@ SynthStatus
 InstrSynthesizer::synthStep(const ila::Instr &instr,
                             const std::vector<Counterexample> &cexes,
                             HoleValues &candidate,
-                            const CegisOptions &opts)
+                            const CegisOptions &opts,
+                            smt::CheckStats *stats)
 {
     obs::ScopedSpan span("synth");
     span.attr("cex_count", cexes.size());
@@ -409,7 +412,7 @@ InstrSynthesizer::synthStep(const ila::Instr &instr,
             sketch, spec, alpha, tt, hole_vars, instr, cex));
     }
 
-    smt::CheckResult r = ctx.check(nullptr, opts.solveLimits());
+    smt::CheckResult r = ctx.check(nullptr, opts.solveLimits(), stats);
     switch (r) {
       case CheckResult::Unsat:
         return SynthStatus::Unsat;
@@ -460,6 +463,11 @@ InstrSynthesizer::synthesize(const ila::Instr &instr,
     if (opts.incremental)
         session.emplace(sketch, spec, alpha, opts);
 
+    // Ackermann constraints encoded for this instruction across all
+    // its queries: every fresh verify/synth query's count plus (at
+    // finish) the incremental session's cumulative total.
+    uint64_t instr_ack = 0;
+
     auto finish = [&](SynthStatus status) {
         if (session) {
             const smt::IncrementalStats &st = session->stats();
@@ -469,10 +477,13 @@ InstrSynthesizer::synthesize(const ila::Instr &instr,
                             st.clausesReused);
             OWL_COUNTER_ADD("cegis.incremental.cache_hits",
                             st.cacheHits);
+            instr_ack += st.ackermannConstraints;
         }
+        OWL_HISTOGRAM_RECORD("cegis.instr_ackermann", instr_ack);
         result.status = status;
         span.attr("status", synthStatusName(status));
         span.attr("iterations", result.iterations);
+        span.attr("ackermann", instr_ack);
         OWL_TRACE_EVENT("cegis", "done instr=", instr.name(),
                         " status=", synthStatusName(status),
                         " iterations=", result.iterations);
@@ -489,7 +500,10 @@ InstrSynthesizer::synthesize(const ila::Instr &instr,
         if (opts.expired())
             return finish(SynthStatus::Timeout);
         Counterexample cex;
-        SynthStatus v = verifyCandidate(instr, candidate, &cex, opts);
+        smt::CheckStats verify_stats;
+        SynthStatus v =
+            verifyCandidate(instr, candidate, &cex, opts, &verify_stats);
+        instr_ack += verify_stats.ackermannConstraints;
         if (v == SynthStatus::Ok) {
             result.holes = candidate;
             return finish(SynthStatus::Ok);
@@ -506,7 +520,9 @@ InstrSynthesizer::synthesize(const ila::Instr &instr,
             session->addCex(instr, cexes.back());
             s = session->solve(candidate, opts);
         } else {
-            s = synthStep(instr, cexes, candidate, opts);
+            smt::CheckStats synth_stats;
+            s = synthStep(instr, cexes, candidate, opts, &synth_stats);
+            instr_ack += synth_stats.ackermannConstraints;
         }
         if (s != SynthStatus::Ok)
             return finish(s);

@@ -106,6 +106,14 @@ struct CegisOptions
      * different constants, so there is no encoding to share.
      */
     bool incremental = true;
+    /**
+     * Enable the CDCL phase profiler on every SAT solve this run
+     * issues (smt::SolveLimits::profileSat, `owl synth
+     * --profile-sat`): stride-sampled attribution of solve time to
+     * propagate/analyze/decide/reduceDb/restart, flushed to
+     * sat.phase.* counters.
+     */
+    bool profileSat = false;
 
     bool hasDeadline() const
     {
@@ -183,11 +191,15 @@ class InstrSynthesizer
     /**
      * Check a completed candidate against one instruction: returns
      * true when Pre ∧ assumes ∧ ¬Post is unsatisfiable.
+     *
+     * @param stats optional per-query SMT statistics (the cegis span
+     *        and the cegis.instr_ackermann histogram feed off these).
      */
     SynthStatus verifyCandidate(const ila::Instr &instr,
                                 const HoleValues &candidate,
                                 Counterexample *cex,
-                                const CegisOptions &opts);
+                                const CegisOptions &opts,
+                                smt::CheckStats *stats = nullptr);
 
   private:
     const oyster::Design &sketch;
@@ -198,7 +210,8 @@ class InstrSynthesizer
     SynthStatus synthStep(const ila::Instr &instr,
                           const std::vector<Counterexample> &cexes,
                           HoleValues &candidate,
-                          const CegisOptions &opts);
+                          const CegisOptions &opts,
+                          smt::CheckStats *stats = nullptr);
 
     HoleValues zeroCandidate() const;
 };

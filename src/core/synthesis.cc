@@ -46,6 +46,7 @@ cegisOptionsFrom(const SynthesisOptions &opts,
     c.satPortfolio = opts.satPortfolio;
     c.checkProofs = opts.checkProofs;
     c.incremental = opts.incremental;
+    c.profileSat = opts.profileSat;
     return c;
 }
 

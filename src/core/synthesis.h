@@ -95,6 +95,14 @@ struct SynthesisOptions
      * solver-per-iteration behavior for A/B comparison.
      */
     bool incremental = true;
+    /**
+     * Attribute SAT solve time to CDCL phases (propagate / analyze /
+     * decide / reduceDb / restart) by stride sampling, exported as
+     * sat.phase.* counters (`owl synth --profile-sat`). Off by
+     * default; the disabled cost is one predicted branch per phase
+     * call.
+     */
+    bool profileSat = false;
     /** Whole-run wall-clock budget; zero = unlimited. */
     std::chrono::milliseconds timeLimit{0};
     /** Per-SAT-call conflict cap; 0 = unlimited. */

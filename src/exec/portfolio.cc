@@ -1,6 +1,7 @@
 #include "exec/portfolio.h"
 
 #include <mutex>
+#include <string>
 
 #include "obs/obs.h"
 
@@ -48,12 +49,28 @@ struct RaceState
     PortfolioOutcome outcome;
 };
 
+/**
+ * Book one racer's wall-clock time against its per-configuration
+ * counter (sat.portfolio.racer_ns.<index>). Dynamic registry lookup
+ * is fine here: one call per racer per race, nowhere near the solve
+ * hot path.
+ */
+void
+bookRacerNs(int index, uint64_t ns)
+{
+    if (!obs::enabled())
+        return;
+    obs::Registry::instance()
+        .counter("sat.portfolio.racer_ns." + std::to_string(index))
+        .add(ns);
+}
+
 void
 runConfig(const sat::Cnf &cnf, const sat::Solver::Options &config,
           int index, std::chrono::milliseconds time_limit,
           uint64_t conflict_limit, CancelToken race,
           const std::atomic<bool> *external, bool capture_proofs,
-          RaceState &state)
+          bool profile_sat, RaceState &state)
 {
     if (race.cancelled())
         return;
@@ -67,6 +84,7 @@ runConfig(const sat::Cnf &cnf, const sat::Solver::Options &config,
         solver.setTimeLimit(time_limit);
     if (conflict_limit > 0)
         solver.setConflictLimit(conflict_limit);
+    solver.setPhaseProfiling(profile_sat);
     // The sink must be attached before loadCnf: replaying the formula
     // can already refute it (empty-clause step) or learn units.
     sat::DratProof proof;
@@ -74,7 +92,11 @@ runConfig(const sat::Cnf &cnf, const sat::Solver::Options &config,
         solver.setProofSink(&proof);
     solver.loadCnf(cnf);
 
+    uint64_t t0 = obs::enabled() ? obs::nowNs() : 0;
     sat::Result r = solver.solve();
+    uint64_t ns = obs::enabled() ? obs::nowNs() - t0 : 0;
+    span.attr("ns", ns);
+    bookRacerNs(index, ns);
     span.attr("result", r == sat::Result::Sat
                             ? "sat"
                             : (r == sat::Result::Unsat ? "unsat"
@@ -105,7 +127,7 @@ Portfolio::solve(const sat::Cnf &cnf,
                  std::chrono::milliseconds time_limit,
                  uint64_t conflict_limit,
                  const std::atomic<bool> *external,
-                 bool capture_proofs)
+                 bool capture_proofs, bool profile_sat)
 {
     obs::ScopedSpan span("sat.portfolio");
     span.attr("configs", configs.size());
@@ -127,13 +149,13 @@ Portfolio::solve(const sat::Cnf &cnf,
                 obs::TaskSpanScope scope(ctx);
                 runConfig(cnf, configs[i], static_cast<int>(i),
                           time_limit, conflict_limit, race, external,
-                          capture_proofs, state);
+                          capture_proofs, profile_sat, state);
             }));
     }
     // The caller is racer 0: guaranteed progress even when the pool
     // is saturated (e.g. a race inside a parallel synthesis task).
     runConfig(cnf, configs[0], 0, time_limit, conflict_limit, race,
-              external, capture_proofs, state);
+              external, capture_proofs, profile_sat, state);
     for (auto &f : rivals)
         pool->waitFor(f);
 
@@ -168,7 +190,11 @@ runSolver(sat::Solver &solver, int index,
     solver.setCancelFlag(race.flag(), external);
     solver.setTimeLimit(time_limit);
     solver.setConflictLimit(conflict_limit);
+    uint64_t t0 = obs::enabled() ? obs::nowNs() : 0;
     sat::Result r = solver.solve(assumptions);
+    uint64_t ns = obs::enabled() ? obs::nowNs() - t0 : 0;
+    span.attr("ns", ns);
+    bookRacerNs(index, ns);
     span.attr("result", r == sat::Result::Sat
                             ? "sat"
                             : (r == sat::Result::Unsat ? "unsat"

@@ -76,6 +76,8 @@ class Portfolio
      * @param external cancels the whole race from outside.
      * @param capture_proofs record per-racer DRAT proofs; the winner's
      *        lands in PortfolioOutcome::proof on Unsat.
+     * @param profile_sat enable the CDCL phase profiler on every
+     *        racer (sat.phase.* counters, `--profile-sat`).
      */
     PortfolioOutcome solve(
         const sat::Cnf &cnf,
@@ -84,7 +86,8 @@ class Portfolio
             std::chrono::milliseconds{0},
         uint64_t conflict_limit = 0,
         const std::atomic<bool> *external = nullptr,
-        bool capture_proofs = false);
+        bool capture_proofs = false,
+        bool profile_sat = false);
 
   private:
     ThreadPool *pool;

@@ -1,6 +1,7 @@
 #include "exec/thread_pool.h"
 
 #include <cstdlib>
+#include <string>
 
 #include "obs/obs.h"
 
@@ -124,6 +125,9 @@ ThreadPool::workerLoop(int index)
 {
     tlWorkerIndex = index;
     tlWorkerPool = this;
+    // Name this worker's trace lane so Chrome-trace exports show
+    // "worker-<i>" rows instead of bare lane numbers.
+    obs::setLaneName("worker-" + std::to_string(index));
     std::function<void()> fn;
     while (true) {
         if (takeTask(index, fn)) {

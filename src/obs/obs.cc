@@ -9,6 +9,7 @@
 #include <mutex>
 #include <set>
 #include <sstream>
+#include <unordered_map>
 
 namespace owl::obs
 {
@@ -44,6 +45,50 @@ thread_local std::vector<SpanNode *> tlSpanStack;
 
 /** Delivery target for this thread's top-level spans (TaskSpanScope). */
 thread_local std::shared_ptr<AdoptionSlot> tlAdoptTarget;
+
+/** Spans open across all threads (begin..end), for reset()/toJson()
+ * partial-data diagnostics. */
+std::atomic<int64_t> gOpenSpans{0};
+
+/** Dense thread lane ids; see currentLane(). */
+std::atomic<int> gNextLane{0};
+thread_local int tlLane = -1;
+
+/** Counter-track sampling gate (setCounterSampling). */
+std::atomic<bool> gCounterSampling{false};
+
+/** Bound on stored counter samples — sampling rides on low-frequency
+ * strides, so this is generous; overflow bumps obs.samples_dropped. */
+constexpr size_t kMaxCounterSamples = 1u << 20;
+
+/** Lane id -> name map (setLaneName / Registry::laneNames). */
+struct LaneState
+{
+    std::mutex mu;
+    std::map<int, std::string> names;
+};
+
+LaneState &
+laneState()
+{
+    static LaneState s;
+    return s;
+}
+
+/** Counter-track samples, behind their own lock so sampling strides
+ * never contend with counter lookups or span delivery. */
+struct SampleState
+{
+    std::mutex mu;
+    std::vector<CounterSample> samples;
+};
+
+SampleState &
+sampleState()
+{
+    static SampleState s;
+    return s;
+}
 
 struct TraceState
 {
@@ -101,6 +146,172 @@ nowNs()
         .count();
 }
 
+// ---- histograms --------------------------------------------------------
+
+/**
+ * One thread's slice of a histogram. Exactly one thread writes a
+ * shard (the one localShard() handed it to), so the relaxed atomics
+ * only order writer-vs-snapshot; min/max can use plain load/store
+ * update because there is no competing writer.
+ */
+struct Histogram::Shard
+{
+    std::atomic<uint64_t> buckets[kHistogramBuckets] = {};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+};
+
+namespace
+{
+/** Monotonic histogram id source; ids are never reused. */
+std::atomic<uint64_t> gNextHistogramId{0};
+} // namespace
+
+Histogram::Histogram()
+    : id(gNextHistogramId.fetch_add(1, std::memory_order_relaxed))
+{
+}
+
+Histogram::~Histogram() = default;
+
+Histogram::Shard &
+Histogram::localShard()
+{
+    // Cache keyed by the instance id, not the address: ids are never
+    // reused, so a stale entry for a destroyed histogram can never be
+    // hit again (whereas its stack/heap address can be recycled).
+    thread_local std::unordered_map<uint64_t, Shard *> cache;
+    auto it = cache.find(id);
+    if (it != cache.end())
+        return *it->second;
+    std::lock_guard<std::mutex> lock(mu);
+    shards.push_back(std::make_unique<Shard>());
+    Shard *s = shards.back().get();
+    cache.emplace(id, s);
+    return *s;
+}
+
+void
+Histogram::record(uint64_t v)
+{
+    Shard &s = localShard();
+    s.buckets[histogramBucket(v)].fetch_add(1,
+                                            std::memory_order_relaxed);
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+    if (v < s.min.load(std::memory_order_relaxed))
+        s.min.store(v, std::memory_order_relaxed);
+    if (v > s.max.load(std::memory_order_relaxed))
+        s.max.store(v, std::memory_order_relaxed);
+}
+
+void
+Histogram::merge(const LocalHistogram &h)
+{
+    if (h.count == 0)
+        return;
+    Shard &s = localShard();
+    for (int b = 0; b < kHistogramBuckets; b++) {
+        if (h.buckets[b]) {
+            s.buckets[b].fetch_add(h.buckets[b],
+                                   std::memory_order_relaxed);
+        }
+    }
+    s.count.fetch_add(h.count, std::memory_order_relaxed);
+    s.sum.fetch_add(h.sum, std::memory_order_relaxed);
+    if (h.min < s.min.load(std::memory_order_relaxed))
+        s.min.store(h.min, std::memory_order_relaxed);
+    if (h.max > s.max.load(std::memory_order_relaxed))
+        s.max.store(h.max, std::memory_order_relaxed);
+}
+
+LocalHistogram
+Histogram::snapshot() const
+{
+    LocalHistogram out;
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &s : shards) {
+        for (int b = 0; b < kHistogramBuckets; b++)
+            out.buckets[b] +=
+                s->buckets[b].load(std::memory_order_relaxed);
+        out.count += s->count.load(std::memory_order_relaxed);
+        out.sum += s->sum.load(std::memory_order_relaxed);
+        out.min = std::min(out.min,
+                           s->min.load(std::memory_order_relaxed));
+        out.max = std::max(out.max,
+                           s->max.load(std::memory_order_relaxed));
+    }
+    return out;
+}
+
+void
+Histogram::reset()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &s : shards) {
+        for (int b = 0; b < kHistogramBuckets; b++)
+            s->buckets[b].store(0, std::memory_order_relaxed);
+        s->count.store(0, std::memory_order_relaxed);
+        s->sum.store(0, std::memory_order_relaxed);
+        s->min.store(UINT64_MAX, std::memory_order_relaxed);
+        s->max.store(0, std::memory_order_relaxed);
+    }
+}
+
+// ---- lanes -------------------------------------------------------------
+
+int
+currentLane()
+{
+    if (tlLane < 0)
+        tlLane = gNextLane.fetch_add(1, std::memory_order_relaxed);
+    return tlLane;
+}
+
+void
+setLaneName(const std::string &name)
+{
+    int lane = currentLane();
+    LaneState &s = laneState();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.names[lane] = name;
+}
+
+// ---- counter-track samples ---------------------------------------------
+
+void
+setCounterSampling(bool on)
+{
+    gCounterSampling.store(on, std::memory_order_relaxed);
+}
+
+bool
+counterSamplingEnabled()
+{
+    return gCounterSampling.load(std::memory_order_relaxed);
+}
+
+void
+sampleCounter(const char *name, uint64_t value)
+{
+    if (!counterSamplingEnabled() || !enabled())
+        return;
+    CounterSample sample{name, nowNs(), value};
+    bool dropped = false;
+    {
+        SampleState &s = sampleState();
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (s.samples.size() >= kMaxCounterSamples)
+            dropped = true;
+        else
+            s.samples.push_back(std::move(sample));
+    }
+    if (dropped)
+        OWL_COUNTER_INC("obs.samples_dropped");
+}
+
 // ---- cross-thread span attribution -------------------------------------
 
 /**
@@ -151,7 +362,9 @@ ScopedSpan::begin(const char *name)
     node = new SpanNode;
     node->name = name;
     node->startNs = nowNs();
+    node->lane = currentLane();
     tlSpanStack.push_back(node);
+    gOpenSpans.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
@@ -161,6 +374,7 @@ ScopedSpan::end()
     // The innermost open span on this thread is necessarily this one:
     // ScopedSpan is stack-allocated and spans strictly nest.
     tlSpanStack.pop_back();
+    gOpenSpans.fetch_sub(1, std::memory_order_relaxed);
     // Merge spans delivered by worker threads this span dispatched to
     // (TaskSpanContext). Sorting by start time keeps the exported
     // child order meaningful even though workers finish out of order.
@@ -193,7 +407,10 @@ ScopedSpan::end()
                 return;
             }
         }
-        // Dispatcher already closed: fall through to the root forest.
+        // Dispatcher already closed: fall back to the root forest,
+        // loudly — a late adoption means the trace will show this
+        // span as a root instead of under its dispatching span.
+        OWL_COUNTER_INC("obs.spans.late_adopted");
     }
     Registry::instance().addRoot(std::move(owned));
 }
@@ -220,6 +437,7 @@ struct Registry::Impl
 {
     mutable std::mutex mu;
     std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
     std::vector<std::unique_ptr<SpanNode>> roots;
 };
 
@@ -271,12 +489,70 @@ Registry::counters() const
     return out;
 }
 
+Histogram &
+Registry::histogram(const std::string &name)
+{
+    Impl &i = impl();
+    std::lock_guard<std::mutex> lock(i.mu);
+    auto it = i.histograms.find(name);
+    if (it == i.histograms.end()) {
+        it = i.histograms
+                 .emplace(name, std::make_unique<Histogram>())
+                 .first;
+    }
+    return *it->second;
+}
+
+std::vector<std::pair<std::string, LocalHistogram>>
+Registry::histograms() const
+{
+    Impl &i = impl();
+    // Snapshot the name -> histogram pointers under the lock, then
+    // merge shards outside it: Histogram::snapshot() takes the
+    // histogram's own mutex, and histograms are never destroyed.
+    std::vector<std::pair<std::string, const Histogram *>> hs;
+    {
+        std::lock_guard<std::mutex> lock(i.mu);
+        hs.reserve(i.histograms.size());
+        for (const auto &[name, h] : i.histograms)
+            hs.emplace_back(name, h.get());
+    }
+    std::vector<std::pair<std::string, LocalHistogram>> out;
+    out.reserve(hs.size());
+    for (const auto &[name, h] : hs)
+        out.emplace_back(name, h->snapshot());
+    return out;
+}
+
 size_t
 Registry::rootSpanCount() const
 {
     Impl &i = impl();
     std::lock_guard<std::mutex> lock(i.mu);
     return i.roots.size();
+}
+
+size_t
+Registry::openSpanCount() const
+{
+    int64_t v = gOpenSpans.load(std::memory_order_relaxed);
+    return v > 0 ? static_cast<size_t>(v) : 0;
+}
+
+std::vector<std::pair<int, std::string>>
+Registry::laneNames() const
+{
+    LaneState &s = laneState();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return {s.names.begin(), s.names.end()};
+}
+
+std::vector<CounterSample>
+Registry::counterSamples() const
+{
+    SampleState &s = sampleState();
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.samples;
 }
 
 void
@@ -291,10 +567,34 @@ void
 Registry::reset()
 {
     Impl &i = impl();
-    std::lock_guard<std::mutex> lock(i.mu);
-    for (auto &[name, c] : i.counters)
-        c->reset();
-    i.roots.clear();
+    int64_t open = gOpenSpans.load(std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(i.mu);
+        for (auto &[name, c] : i.counters)
+            c->reset();
+        // Histogram::reset() takes the per-histogram mutex inside
+        // the registry lock; that ordering (registry -> histogram)
+        // is consistent everywhere, and the record path takes only
+        // the histogram mutex, so this cannot deadlock.
+        for (auto &[name, h] : i.histograms)
+            h->reset();
+        i.roots.clear();
+    }
+    {
+        SampleState &s = sampleState();
+        std::lock_guard<std::mutex> lock(s.mu);
+        s.samples.clear();
+    }
+    if (open != 0) {
+        fprintf(stderr,
+                "[owl:obs] warning: Registry::reset() with %lld "
+                "span(s) still open; they will complete into the "
+                "fresh forest (see obs.reset_with_open_spans)\n",
+                static_cast<long long>(open));
+        // Bumped after the wipe so the diagnostic survives into the
+        // next export.
+        counter("obs.reset_with_open_spans").add(1);
+    }
 }
 
 namespace
@@ -307,6 +607,7 @@ spanToJson(const SpanNode &n)
     v.set("name", n.name);
     v.set("start_ns", static_cast<int64_t>(n.startNs));
     v.set("dur_ns", static_cast<int64_t>(n.durNs));
+    v.set("lane", static_cast<int64_t>(n.lane));
     json::Value attrs = json::Value::object();
     for (const SpanAttr &a : n.attrs) {
         if (a.isString)
@@ -322,16 +623,40 @@ spanToJson(const SpanNode &n)
     return v;
 }
 
+json::Value
+histogramToJson(const LocalHistogram &h)
+{
+    json::Value v = json::Value::object();
+    v.set("count", static_cast<int64_t>(h.count));
+    v.set("sum", static_cast<int64_t>(h.sum));
+    v.set("min", static_cast<int64_t>(h.count ? h.min : 0));
+    v.set("max", static_cast<int64_t>(h.max));
+    json::Value buckets = json::Value::object();
+    for (int b = 0; b < kHistogramBuckets; b++) {
+        if (h.buckets[b]) {
+            buckets.set(std::to_string(b),
+                        static_cast<int64_t>(h.buckets[b]));
+        }
+    }
+    v.set("buckets", std::move(buckets));
+    return v;
+}
+
 } // namespace
 
 json::Value
 Registry::toJson(
     const std::vector<std::pair<std::string, std::string>> &meta) const
 {
+    // Histogram snapshots first: they take per-histogram locks and
+    // must not nest inside the registry lock.
+    std::vector<std::pair<std::string, LocalHistogram>> hs =
+        histograms();
+
     Impl &i = impl();
     std::lock_guard<std::mutex> lock(i.mu);
     json::Value root = json::Value::object();
-    root.set("schema", "owl.obs.v1");
+    root.set("schema", "owl.obs.v2");
     if (!meta.empty()) {
         json::Value m = json::Value::object();
         for (const auto &[k, v] : meta)
@@ -342,6 +667,14 @@ Registry::toJson(
     for (const auto &[name, c] : i.counters)
         counters.set(name, c->get());
     root.set("counters", std::move(counters));
+    json::Value histos = json::Value::object();
+    for (const auto &[name, h] : hs)
+        histos.set(name, histogramToJson(h));
+    root.set("histograms", std::move(histos));
+    // Nonzero open_spans marks a partial export: some spans had not
+    // closed (and so are absent from `spans`) when this snapshot was
+    // taken.
+    root.set("open_spans", static_cast<int64_t>(openSpanCount()));
     json::Value spans = json::Value::array();
     for (const auto &r : i.roots)
         spans.push(spanToJson(*r));

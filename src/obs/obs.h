@@ -1,8 +1,9 @@
 /**
  * @file
  * owl::obs — the unified instrumentation layer for the synthesis
- * pipeline (registry of counters, hierarchical timed spans, a JSON
- * stats exporter, and an env-var-gated structured trace log).
+ * pipeline (registry of counters + histograms, hierarchical timed
+ * spans, JSON stats export, Chrome-trace export hooks, and an
+ * env-var-gated structured trace log).
  *
  * The paper's headline results are wall-clock and solver-effort
  * numbers (Tables 1-3: per-instruction synthesis time, CEGIS
@@ -14,16 +15,33 @@
  *    registry lookup in a function-local static, so the steady-state
  *    cost is one branch plus one relaxed atomic add.
  *
+ *  - Histograms: fixed-bucket log2 distributions
+ *    (`OWL_HISTOGRAM_RECORD("smt.query_ns", ns)`). Each histogram
+ *    keeps lock-free per-thread shards (relaxed atomics, one writer
+ *    per shard) that are merged at export, so recording never takes a
+ *    lock after the first hit on a thread. Hot loops should instead
+ *    accumulate into a plain `LocalHistogram` and bulk-`merge()` once
+ *    per solve call, mirroring the sat::Stats flush discipline.
+ *
  *  - Spans: `ScopedSpan s("smt.checkSat")` records a timed region on
  *    a thread-local stack; nested spans become children, producing a
  *    tree like `cegis > cegis.iter > verify > smt.checkSat >
  *    sat.solve`. Spans carry integer/string attributes (iteration
- *    numbers, counterexample counts, solver effort).
+ *    numbers, counterexample counts, solver effort) and the lane
+ *    (thread) that recorded them, which the Chrome-trace exporter
+ *    (obs/trace.h) turns into per-worker timeline rows.
  *
- *  - Export: Registry::toJson() serializes counters + the span forest
- *    to the stable `owl.obs.v1` schema consumed by the bench harness
- *    (BENCH_*.json), `owl --stats-json`, and CI's schema check
- *    (tools/check_stats_schema.py).
+ *  - Counter-track samples: when sampling is switched on
+ *    (`owl --trace-out`), layers may append timestamped counter
+ *    samples on their existing low-cost strides via sampleCounter();
+ *    the trace exporter renders them as Perfetto counter tracks.
+ *
+ *  - Export: Registry::toJson() serializes counters + histograms +
+ *    the span forest to the stable `owl.obs.v2` schema consumed by
+ *    the bench harness (BENCH_*.json), `owl --stats-json`, and CI's
+ *    schema check (tools/check_stats_schema.py). v2 is a strict
+ *    superset of v1: the `counters`, `spans`, and `meta` shapes are
+ *    unchanged, so v1 consumers keep working.
  *
  *  - Trace: `OWL_TRACE=cegis,smt` (or `all`) enables per-category
  *    structured event lines on stderr via `OWL_TRACE_EVENT(...)`.
@@ -41,8 +59,10 @@
 #define OWL_OBS_OBS_H
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -91,6 +111,135 @@ class Counter
     std::atomic<uint64_t> v{0};
 };
 
+// ---- histograms --------------------------------------------------------
+
+/** Number of log2 buckets per histogram. */
+constexpr int kHistogramBuckets = 64;
+
+/**
+ * Bucket index for a value: 0 holds exactly the value 0; bucket b >= 1
+ * holds [2^(b-1), 2^b). The last bucket absorbs everything above.
+ */
+constexpr int
+histogramBucket(uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    int b = 64 - std::countl_zero(v); // bit_width(v)
+    return b < kHistogramBuckets ? b : kHistogramBuckets - 1;
+}
+
+/**
+ * A plain, single-threaded histogram accumulator. Safe (and cheap
+ * enough) for hot loops: recording is an array increment plus four
+ * scalar updates, no atomics, no locks. Flush into a shared
+ * `Histogram` with merge() once per solve call. Also the snapshot
+ * type returned by Histogram::snapshot().
+ */
+struct LocalHistogram
+{
+    uint64_t buckets[kHistogramBuckets] = {};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = UINT64_MAX;
+    uint64_t max = 0;
+
+    void record(uint64_t v)
+    {
+        buckets[histogramBucket(v)]++;
+        count++;
+        sum += v;
+        if (v < min)
+            min = v;
+        if (v > max)
+            max = v;
+    }
+    bool empty() const { return count == 0; }
+    void clear() { *this = LocalHistogram{}; }
+};
+
+/**
+ * A named process-wide log2 histogram. record()/merge() write to a
+ * per-thread shard (relaxed atomics, single writer per shard), so
+ * concurrent recording threads never contend; snapshot() merges all
+ * shards. References returned by Registry::histogram() never move
+ * (OWL_HISTOGRAM_RECORD caches one in a function-local static).
+ */
+class Histogram
+{
+  public:
+    // Both out of line: Shard is incomplete here, and in-class
+    // defaulted special members would instantiate the shard vector's
+    // destructor against the incomplete type.
+    Histogram();
+    ~Histogram();
+    Histogram(const Histogram &) = delete;
+    Histogram &operator=(const Histogram &) = delete;
+
+    /** Record one value into this thread's shard. */
+    void record(uint64_t v);
+
+    /** Bulk-merge a hot-loop accumulator into this thread's shard. */
+    void merge(const LocalHistogram &h);
+
+    /** Merged view across every shard. */
+    LocalHistogram snapshot() const;
+
+    /** Zero every shard (shards stay allocated; references valid). */
+    void reset();
+
+  private:
+    struct Shard;
+    Shard &localShard();
+
+    // Unique per construction, never reused. The per-thread shard
+    // cache keys on this rather than the address so a histogram
+    // allocated where a destroyed one used to live (stack reuse in
+    // tests) cannot hit a stale shard pointer.
+    uint64_t id;
+
+    mutable std::mutex mu; // guards the shard list, never the hot path
+    std::vector<std::unique_ptr<Shard>> shards;
+};
+
+// ---- lanes (thread identity for the trace exporter) --------------------
+
+/**
+ * Small dense id of the calling thread, assigned on first use. Spans
+ * record the lane that opened them; the Chrome-trace exporter emits
+ * one timeline row per lane.
+ */
+int currentLane();
+
+/** Name the calling thread's lane ("main", "worker-3", ...). */
+void setLaneName(const std::string &name);
+
+// ---- counter-track samples ---------------------------------------------
+
+/** One timestamped counter-track sample for the trace exporter. */
+struct CounterSample
+{
+    std::string name;
+    uint64_t tsNs = 0;
+    uint64_t value = 0;
+};
+
+/**
+ * Switch timestamped counter sampling on or off (off by default;
+ * `owl --trace-out` turns it on). While off, sampleCounter() is a
+ * relaxed atomic load and a branch.
+ */
+void setCounterSampling(bool on);
+bool counterSamplingEnabled();
+
+/**
+ * Append a sample for counter track `name` at nowNs(). Callers sit on
+ * their existing low-cost strides (e.g. the SAT solver's conflict
+ * poll), so the enabled cost is bounded and the disabled cost is one
+ * predictable branch.
+ */
+void sampleCounter(const char *name, uint64_t value);
+
 // ---- spans -------------------------------------------------------------
 
 /** One attribute on a span: integer or string valued. */
@@ -110,6 +259,8 @@ struct SpanNode
     std::string name;
     uint64_t startNs = 0;
     uint64_t durNs = 0;
+    /** Lane (thread) that recorded this span; see currentLane(). */
+    int lane = 0;
     std::vector<SpanAttr> attrs;
     std::vector<std::unique_ptr<SpanNode>> children;
     /** Lazily created when this span dispatches work to other threads. */
@@ -174,8 +325,9 @@ class ScopedSpan
  * delivered to the dispatching span — they appear as its children
  * (sorted by start time) when it closes — instead of piling up as
  * unattributed roots. If the dispatching span closes before a worker
- * finishes, that worker's spans fall back to the root forest, so the
- * tree stays well-formed without blocking anyone.
+ * finishes, that worker's spans fall back to the root forest (counted
+ * by `obs.spans.late_adopted`), so the tree stays well-formed without
+ * blocking anyone.
  *
  * capture() must run on the thread that currently has the span open.
  * A default-constructed (invalid) context is a safe no-op: workers
@@ -216,9 +368,10 @@ class TaskSpanScope
 // ---- registry ----------------------------------------------------------
 
 /**
- * The process-wide sink for counters and completed span trees.
- * counter() returns a stable reference suitable for caching in a
- * static (OWL_COUNTER_ADD does exactly that).
+ * The process-wide sink for counters, histograms, and completed span
+ * trees. counter()/histogram() return stable references suitable for
+ * caching in a static (OWL_COUNTER_ADD / OWL_HISTOGRAM_RECORD do
+ * exactly that).
  */
 class Registry
 {
@@ -234,17 +387,38 @@ class Registry
     /** Name -> value snapshot, sorted by name. */
     std::vector<std::pair<std::string, uint64_t>> counters() const;
 
+    /** Find-or-create a histogram. The reference never moves. */
+    Histogram &histogram(const std::string &name);
+
+    /** Name -> merged snapshot, sorted by name. */
+    std::vector<std::pair<std::string, LocalHistogram>>
+    histograms() const;
+
     /** Number of completed top-level spans. */
     size_t rootSpanCount() const;
 
+    /** Number of spans currently open across all threads. */
+    size_t openSpanCount() const;
+
+    /** Lane id -> name pairs registered via setLaneName(). */
+    std::vector<std::pair<int, std::string>> laneNames() const;
+
+    /** Snapshot of the counter-track samples (see sampleCounter()). */
+    std::vector<CounterSample> counterSamples() const;
+
     /**
-     * Serialize to the owl.obs.v1 schema:
+     * Serialize to the owl.obs.v2 schema — a strict superset of v1
+     * (same `counters`/`spans`/`meta` shapes):
      *
-     *   { "schema": "owl.obs.v1",
+     *   { "schema": "owl.obs.v2",
      *     "meta":     { "<k>": "<v>", ... },           // optional
      *     "counters": { "<name>": <uint>, ... },
+     *     "histograms": { "<name>": { "count": <uint>, "sum": <uint>,
+     *                                 "min": <uint>, "max": <uint>,
+     *                                 "buckets": { "<idx>": <uint> } } },
+     *     "open_spans": <uint>,  // nonzero = export saw partial data
      *     "spans":    [ { "name": str, "start_ns": int,
-     *                     "dur_ns": int,
+     *                     "dur_ns": int, "lane": int,
      *                     "attrs": { k: int|str, ... },
      *                     "children": [ ...same shape... ] } ] }
      */
@@ -262,9 +436,13 @@ class Registry
             {}) const;
 
     /**
-     * Zero every counter and drop all completed spans. Counter
-     * references stay valid. Only call with no spans open (tests,
-     * between top-level runs).
+     * Zero every counter and histogram, drop all completed spans and
+     * counter samples. Counter/histogram references stay valid.
+     * Calling with spans still open is diagnosed loudly on stderr and
+     * recorded in the (post-reset, hence sticky) counter
+     * `obs.reset_with_open_spans`; the open spans themselves are
+     * owned by their threads' stacks and complete normally into the
+     * fresh forest.
      */
     void reset();
 
@@ -310,6 +488,20 @@ void traceEvent(const char *category, const std::string &msg);
             owl_obs_c_.add(delta); \
     } while (0)
 
+/**
+ * Record one value into a named histogram. Same call-site discipline
+ * as OWL_COUNTER_ADD: static-cached registry lookup, one branch when
+ * recording is disabled. Not for hot loops — accumulate into a
+ * LocalHistogram there and merge once per solve call.
+ */
+#define OWL_HISTOGRAM_RECORD(name, value) \
+    do { \
+        static ::owl::obs::Histogram &owl_obs_h_ = \
+            ::owl::obs::Registry::instance().histogram(name); \
+        if (::owl::obs::enabled()) \
+            owl_obs_h_.record(value); \
+    } while (0)
+
 /** Emit a structured trace event when the category is enabled. */
 #define OWL_TRACE_EVENT(category, ...) \
     do { \
@@ -324,6 +516,10 @@ void traceEvent(const char *category, const std::string &msg);
 #define OWL_COUNTER_ADD(name, delta) \
     do { \
         (void)sizeof(delta); \
+    } while (0)
+#define OWL_HISTOGRAM_RECORD(name, value) \
+    do { \
+        (void)sizeof(value); \
     } while (0)
 #define OWL_TRACE_EVENT(category, ...) \
     do { \

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "base/logging.h"
 #include "lint/diagnostic.h"
@@ -24,8 +25,10 @@ namespace
 class SolveObs
 {
   public:
-    explicit SolveObs(const Stats &current)
-        : stats(current), before(current), span("sat.solve")
+    SolveObs(const Stats &current, obs::LocalHistogram &lbd,
+             const Solver::PhaseProfile &phases)
+        : stats(current), before(current), lbd(lbd), phases(phases),
+          phasesBefore(phases), span("sat.solve")
     {
     }
 
@@ -50,11 +53,41 @@ class SolveObs
                         stats.learnedDeleted - before.learnedDeleted);
         span.attr("conflicts", conflicts);
         span.attr("propagations", props);
+        // Learned-clause LBD distribution: accumulated without
+        // atomics in the CDCL loop, merged into the shared histogram
+        // once per solve.
+        if (lbd.count) {
+            static obs::Histogram &lbd_hist =
+                obs::Registry::instance().histogram("sat.lbd");
+            lbd_hist.merge(lbd);
+            lbd.clear();
+        }
+        // Phase profiler deltas (only when --profile-sat ran this
+        // call). Dynamic counter lookups are fine here: once per
+        // solve, never in the CDCL loop.
+        static const char *const phase_names[Solver::kNumPhases] = {
+            "propagate", "analyze", "decide", "reduce_db", "restart"};
+        obs::Registry &reg = obs::Registry::instance();
+        for (int p = 0; p < Solver::kNumPhases; p++) {
+            uint64_t calls = phases.calls[p] - phasesBefore.calls[p];
+            if (calls == 0)
+                continue;
+            std::string base =
+                std::string("sat.phase.") + phase_names[p];
+            reg.counter(base + ".ns")
+                .add(phases.ns[p] - phasesBefore.ns[p]);
+            reg.counter(base + ".samples")
+                .add(phases.samples[p] - phasesBefore.samples[p]);
+            reg.counter(base + ".calls").add(calls);
+        }
     }
 
   private:
     const Stats &stats;
     Stats before;
+    obs::LocalHistogram &lbd;
+    const Solver::PhaseProfile &phases;
+    Solver::PhaseProfile phasesBefore;
     obs::ScopedSpan span;
 };
 
@@ -627,7 +660,7 @@ Solver::auditWatchInvariants(lint::Report *report) const
 Result
 Solver::solve(const std::vector<Lit> &assumptions)
 {
-    SolveObs solve_obs(statistics);
+    SolveObs solve_obs(statistics, lbdLocal, phaseProf);
 #ifndef NDEBUG
     // Debug builds audit the watcher invariants at this quiescent
     // point (addClause propagates units to fixpoint, so no
@@ -651,7 +684,8 @@ Solver::solve(const std::vector<Lit> &assumptions)
     std::vector<Lit> learnt;
 
     while (true) {
-        int confl = propagate();
+        int confl =
+            profiled(PhasePropagate, [this] { return propagate(); });
         if (confl != -1) {
             statistics.conflicts++;
             conflicts_this_restart++;
@@ -668,7 +702,9 @@ Solver::solve(const std::vector<Lit> &assumptions)
                 return Result::Unsat;
             }
             int bt_level;
-            analyze(confl, learnt, bt_level);
+            profiled(PhaseAnalyze, [this, confl, &learnt, &bt_level] {
+                analyze(confl, learnt, bt_level);
+            });
             statistics.learnedClauses++;
             statistics.learnedLiterals += learnt.size();
             // Learned clauses are derived by resolution over reason
@@ -704,6 +740,9 @@ Solver::solve(const std::vector<Lit> &assumptions)
                 std::sort(lvls.begin(), lvls.end());
                 clauses[ci].lbd =
                     std::unique(lvls.begin(), lvls.end()) - lvls.begin();
+                if (obs::enabled())
+                    lbdLocal.record(
+                        static_cast<uint64_t>(clauses[ci].lbd));
                 liveLearned++;
                 enqueue(clauses[ci].lits[0], ci);
             }
@@ -721,13 +760,20 @@ Solver::solve(const std::vector<Lit> &assumptions)
                     return Result::Unknown;
                 }
             }
-            if ((statistics.conflicts & 0x3f) == 0 &&
-                cancelRequested()) {
-                backtrack(0);
-                return Result::Unknown;
+            if ((statistics.conflicts & 0x3f) == 0) {
+                // Counter-track samples ride the existing cancel
+                // stride, so tracing adds no polls of its own.
+                if (obs::counterSamplingEnabled())
+                    obs::sampleCounter("sat.live_learned",
+                                       liveLearned);
+                if (cancelRequested()) {
+                    backtrack(0);
+                    return Result::Unknown;
+                }
             }
             if (liveLearned >= learnedLimit) {
-                liveLearned -= reduceDb();
+                liveLearned -= profiled(PhaseReduceDb,
+                                        [this] { return reduceDb(); });
 #ifndef NDEBUG
                 owl_assert(liveLearned == liveLearnedClauses(),
                            "learned-clause accounting drift after "
@@ -740,7 +786,7 @@ Solver::solve(const std::vector<Lit> &assumptions)
                 restart_num++;
                 conflict_budget = opts.restartBase * luby(restart_num);
                 conflicts_this_restart = 0;
-                backtrack(0);
+                profiled(PhaseRestart, [this] { backtrack(0); });
                 continue;
             }
             // Conflict-free stretches (e.g. a huge satisfiable
@@ -780,7 +826,8 @@ Solver::solve(const std::vector<Lit> &assumptions)
                     enqueue(a, -1);
                 continue;
             }
-            Lit next = pickBranchLit();
+            Lit next = profiled(PhaseDecide,
+                                [this] { return pickBranchLit(); });
             if (!next.valid()) {
                 // All variables assigned: model found. Snapshot it
                 // and rewind to level 0 so the caller can keep adding

@@ -23,7 +23,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "obs/obs.h"
 
 namespace owl::lint
 {
@@ -252,6 +256,45 @@ class Solver
     const Stats &stats() const { return statistics; }
 
     /**
+     * CDCL phases for the stride-sampled time profiler
+     * (setPhaseProfiling). Unscoped so the enumerators index the
+     * PhaseProfile arrays directly.
+     */
+    enum Phase
+    {
+        PhasePropagate = 0,
+        PhaseAnalyze,
+        PhaseDecide,
+        PhaseReduceDb,
+        PhaseRestart,
+        kNumPhases,
+    };
+
+    /**
+     * Accumulated phase attribution. `ns` covers only the sampled
+     * calls (every 16th for the hot phases, every call for
+     * reduceDb/restart), so the estimated total time of phase p is
+     * ns[p] * calls[p] / samples[p]. Flushed into the obs registry as
+     * sat.phase.<name>.{ns,samples,calls} once per solve().
+     */
+    struct PhaseProfile
+    {
+        uint64_t ns[kNumPhases] = {};
+        uint64_t samples[kNumPhases] = {};
+        uint64_t calls[kNumPhases] = {};
+    };
+
+    /**
+     * Enable phase-attributed profiling of solve() (`--profile-sat`).
+     * Off by default: the disabled cost is one predictable branch per
+     * phase call, and the timing code compiles out entirely with
+     * OWL_OBS_ENABLED=0 (same discipline as the obs macros).
+     */
+    void setPhaseProfiling(bool on) { profilePhases = on; }
+    bool phaseProfiling() const { return profilePhases; }
+    const PhaseProfile &phaseProfile() const { return phaseProf; }
+
+    /**
      * Audit the two-watched-literal invariants at a quiescent point
      * (no propagation pending): every watcher references a live
      * clause, watched literals sit at positions 0/1, and every live
@@ -344,6 +387,53 @@ class Solver
     Options opts;
     uint64_t rngState = 0;
     Stats statistics;
+
+    bool profilePhases = false;
+    PhaseProfile phaseProf;
+    /**
+     * Per-solve learned-clause LBD accumulator (plain, no atomics —
+     * the hot-loop discipline), bulk-merged into the `sat.lbd`
+     * histogram by the per-solve flush.
+     */
+    obs::LocalHistogram lbdLocal;
+
+    /** Sampling stride per phase (power of two; 1 = every call). */
+    static constexpr uint64_t phaseStride(int phase)
+    {
+        return phase == PhaseReduceDb || phase == PhaseRestart ? 1 : 16;
+    }
+
+    /**
+     * Run one phase body, attributing its time on the sampling
+     * stride. The profiling-off path is a single branch; with
+     * OWL_OBS_ENABLED=0 the body is called directly.
+     */
+    template <typename F>
+    auto profiled(int phase, F &&f)
+    {
+#if OWL_OBS_ENABLED
+        if (profilePhases) {
+            uint64_t n = ++phaseProf.calls[phase];
+            if ((n & (phaseStride(phase) - 1)) == 0) {
+                uint64_t t0 = obs::nowNs();
+                if constexpr (std::is_void_v<decltype(f())>) {
+                    f();
+                    phaseProf.ns[phase] += obs::nowNs() - t0;
+                    phaseProf.samples[phase]++;
+                    return;
+                } else {
+                    auto r = f();
+                    phaseProf.ns[phase] += obs::nowNs() - t0;
+                    phaseProf.samples[phase]++;
+                    return r;
+                }
+            }
+        }
+#else
+        (void)phase;
+#endif
+        return std::forward<F>(f)();
+    }
 
     // Scratch for conflict analysis.
     std::vector<uint8_t> seen;

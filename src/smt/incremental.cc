@@ -198,6 +198,10 @@ IncrementalContext::addGroup(const std::vector<TermRef> &assertions)
     mirrorToRacers();
     activations.push_back(act);
     istats.groups++;
+    // Counter-track sample for --trace-out: cumulative blast-cache
+    // hits, one point per group (a natural low-frequency stride).
+    if (obs::counterSamplingEnabled())
+        obs::sampleCounter("smt.cache_hits", istats.cacheHits);
     span.attr("group", gid);
     span.attr("assertions", assertions.size());
     span.attr("new_nodes", fresh);
@@ -213,6 +217,7 @@ IncrementalContext::check(Model *model, const SolveLimits &limits,
     obs::ScopedSpan span("smt.checkSat");
     span.attr("incremental", 1);
     OWL_COUNTER_INC("smt.checks");
+    uint64_t q_start = obs::enabled() ? obs::nowNs() : 0;
 
     lastWinner = -1;
     lastConditional = false;
@@ -225,6 +230,13 @@ IncrementalContext::check(Model *model, const SolveLimits &limits,
             stats->satVars = solvers[0]->numVars();
             stats->termNodes = tt.numNodes();
             stats->ackermannConstraints = istats.ackermannConstraints;
+        }
+        if (obs::enabled()) {
+            OWL_HISTOGRAM_RECORD("smt.query_ns",
+                                 obs::nowNs() - q_start);
+            OWL_HISTOGRAM_RECORD("smt.query_conflicts", 0);
+            OWL_HISTOGRAM_RECORD("smt.query_ackermann",
+                                 istats.ackermannConstraints);
         }
         return CheckResult::Unsat;
     }
@@ -249,13 +261,16 @@ IncrementalContext::check(Model *model, const SolveLimits &limits,
         s.setTimeLimit(limits.timeLimit);
         s.setConflictLimit(limits.conflictLimit);
         s.setCancelFlag(limits.cancelFlag);
+        s.setPhaseProfiling(limits.profileSat);
         r = s.solve(assumptions);
         winner = 0;
     } else {
         std::vector<sat::Solver *> racers;
         racers.reserve(solvers.size());
-        for (const auto &s : solvers)
+        for (const auto &s : solvers) {
+            s->setPhaseProfiling(limits.profileSat);
             racers.push_back(s.get());
+        }
         exec::SolverRaceOutcome out = exec::raceSolvers(
             racers, assumptions, limits.timeLimit,
             limits.conflictLimit, limits.cancelFlag);
@@ -304,6 +319,12 @@ IncrementalContext::check(Model *model, const SolveLimits &limits,
     span.attr("result", resultName(r));
     span.attr("sat_vars", static_cast<int64_t>(solvers[0]->numVars()));
     span.attr("conflicts", d_conflicts);
+    if (obs::enabled()) {
+        OWL_HISTOGRAM_RECORD("smt.query_ns", obs::nowNs() - q_start);
+        OWL_HISTOGRAM_RECORD("smt.query_conflicts", d_conflicts);
+        OWL_HISTOGRAM_RECORD("smt.query_ackermann",
+                             istats.ackermannConstraints);
+    }
     OWL_TRACE_EVENT("smt", "checkSat(incremental) result=",
                     resultName(r), " groups=", activations.size(),
                     " terms=", tt.numNodes(),

@@ -67,6 +67,7 @@ checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
 {
     obs::ScopedSpan span("smt.checkSat");
     OWL_COUNTER_INC("smt.checks");
+    uint64_t q_start = obs::enabled() ? obs::nowNs() : 0;
 
     // Gather leaves to (a) add Ackermann constraints and (b) know what
     // to extract into the model.
@@ -115,6 +116,7 @@ checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
     if (limits.conflictLimit > 0)
         solver.setConflictLimit(limits.conflictLimit);
     solver.setCancelFlag(limits.cancelFlag);
+    solver.setPhaseProfiling(limits.profileSat);
 
     // Portfolio mode: record the bit-blasted formula so diversified
     // racers can replay it with identical variable numbering. Proof
@@ -155,6 +157,12 @@ checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
         if (limits.checkProofs)
             OWL_COUNTER_INC("drat.unsat_trivial");
         span.attr("result", "unsat-trivial");
+        if (obs::enabled()) {
+            OWL_HISTOGRAM_RECORD("smt.query_ns",
+                                 obs::nowNs() - q_start);
+            OWL_HISTOGRAM_RECORD("smt.query_conflicts", 0);
+            OWL_HISTOGRAM_RECORD("smt.query_ackermann", n_ack);
+        }
         return CheckResult::Unsat;
     }
 
@@ -169,7 +177,8 @@ checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
             exec::diversifiedConfigs(limits.portfolioJobs,
                                      limits.portfolioSeed),
             limits.timeLimit, limits.conflictLimit,
-            limits.cancelFlag, limits.checkProofs);
+            limits.cancelFlag, limits.checkProofs,
+            limits.profileSat);
         r = out.result;
         portfolio_model = std::move(out.model);
         run_stats = out.winnerStats;
@@ -213,6 +222,12 @@ checkSat(TermTable &tt, const std::vector<TermRef> &assertions,
     span.attr("result", checkResultName(r));
     span.attr("sat_vars", static_cast<int64_t>(solver.numVars()));
     span.attr("conflicts", run_stats.conflicts);
+    if (obs::enabled()) {
+        OWL_HISTOGRAM_RECORD("smt.query_ns", obs::nowNs() - q_start);
+        OWL_HISTOGRAM_RECORD("smt.query_conflicts",
+                             run_stats.conflicts);
+        OWL_HISTOGRAM_RECORD("smt.query_ackermann", n_ack);
+    }
     OWL_TRACE_EVENT("smt", "checkSat result=", checkResultName(r),
                     " assertions=", assertions.size(),
                     " terms=", tt.numNodes(),

@@ -67,6 +67,14 @@ struct SolveLimits
      * (`owl synth --check-proofs`).
      */
     bool checkProofs = false;
+    /**
+     * Enable the CDCL phase profiler on every solver this call
+     * creates (sat::Solver::setPhaseProfiling): stride-sampled
+     * attribution of solve time to propagate/analyze/decide/
+     * reduceDb/restart, exported as sat.phase.* counters. Opt-in
+     * (`owl synth --profile-sat`); near-zero overhead when off.
+     */
+    bool profileSat = false;
 };
 
 /** Statistics from the most recent checkSat call. */

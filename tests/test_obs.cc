@@ -2,20 +2,25 @@
  * @file
  * Tests for the owl::obs instrumentation layer: the JSON value type,
  * counter accumulation (including across threads), span
- * nesting/ordering, the owl.obs.v1 export schema round-trip, the
- * runtime disable switch, and a pipeline test asserting that a small
- * CEGIS run produces the expected span tree and SAT counters.
+ * nesting/ordering, the owl.obs.v2 export schema round-trip (and its
+ * v1 compatibility contract), log2 histograms and their per-thread
+ * shard merge, the Chrome trace exporter, the runtime disable switch,
+ * and a pipeline test asserting that a small CEGIS run produces the
+ * expected span tree and SAT counters.
  */
 
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <map>
 #include <thread>
 
 #include "core/synthesis.h"
 #include "designs/accumulator.h"
+#include "exec/thread_pool.h"
 #include "obs/json.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 
 using namespace owl;
 using obs::json::Value;
@@ -250,7 +255,7 @@ TEST_F(ObsTest, ExportSchemaRoundTrip)
     Value doc;
     std::string err;
     ASSERT_TRUE(Value::parse(text, doc, &err)) << err;
-    EXPECT_EQ(doc.find("schema")->asString(), "owl.obs.v1");
+    EXPECT_EQ(doc.find("schema")->asString(), "owl.obs.v2");
     EXPECT_EQ(doc.find("meta")->find("tool")->asString(), "test");
     EXPECT_EQ(doc.find("counters")->find("test.export")->asInt(), 9);
     const Value *region = findSpan(*doc.find("spans"), "region");
@@ -259,6 +264,252 @@ TEST_F(ObsTest, ExportSchemaRoundTrip)
     EXPECT_EQ(region->find("attrs")->find("label")->asString(),
               "abc");
     EXPECT_GE(region->find("dur_ns")->asInt(), 0);
+}
+
+// ---- histograms --------------------------------------------------------
+
+TEST(ObsHistogram, BucketFunction)
+{
+    using obs::histogramBucket;
+    EXPECT_EQ(histogramBucket(0), 0);
+    EXPECT_EQ(histogramBucket(1), 1);
+    EXPECT_EQ(histogramBucket(2), 2);
+    EXPECT_EQ(histogramBucket(3), 2);
+    EXPECT_EQ(histogramBucket(4), 3);
+    EXPECT_EQ(histogramBucket(1023), 10);
+    EXPECT_EQ(histogramBucket(1024), 11);
+    EXPECT_EQ(histogramBucket(UINT64_MAX), 63);
+}
+
+TEST_F(ObsTest, LocalHistogramRecordsAndMerges)
+{
+    obs::LocalHistogram local;
+    for (uint64_t v : {0u, 1u, 1u, 7u, 4096u})
+        local.record(v);
+    EXPECT_EQ(local.count, 5u);
+    EXPECT_EQ(local.sum, 4105u);
+    EXPECT_EQ(local.min, 0u);
+    EXPECT_EQ(local.max, 4096u);
+    EXPECT_EQ(local.buckets[0], 1u);
+    EXPECT_EQ(local.buckets[1], 2u);
+    EXPECT_EQ(local.buckets[3], 1u);
+    EXPECT_EQ(local.buckets[13], 1u);
+
+    obs::Histogram h;
+    h.merge(local);
+    h.record(9);
+    obs::LocalHistogram snap = h.snapshot();
+    EXPECT_EQ(snap.count, 6u);
+    EXPECT_EQ(snap.sum, 4114u);
+    EXPECT_EQ(snap.min, 0u);
+    EXPECT_EQ(snap.max, 4096u);
+    EXPECT_EQ(snap.buckets[4], 1u); // the 9
+}
+
+TEST_F(ObsTest, HistogramShardMergeDeterministicAcrossJobs)
+{
+    // Per-thread shards must merge to the same totals no matter how
+    // many pool workers recorded the samples — the shard split is an
+    // implementation detail, never visible in the snapshot.
+    constexpr uint64_t kSamples = 1000;
+    obs::LocalHistogram expected;
+    for (uint64_t v = 0; v < kSamples; v++)
+        expected.record(v);
+
+    for (int jobs : {1, 2, 4}) {
+        obs::Histogram h;
+        exec::ThreadPool pool(jobs);
+        std::vector<std::future<void>> futs;
+        for (int chunk = 0; chunk < 10; chunk++) {
+            futs.push_back(pool.submit([&h, chunk] {
+                for (uint64_t v = chunk * (kSamples / 10);
+                     v < (chunk + 1) * (kSamples / 10); v++)
+                    h.record(v);
+            }));
+        }
+        for (auto &f : futs)
+            pool.waitFor(f);
+        obs::LocalHistogram snap = h.snapshot();
+        EXPECT_EQ(snap.count, expected.count) << "jobs=" << jobs;
+        EXPECT_EQ(snap.sum, expected.sum) << "jobs=" << jobs;
+        EXPECT_EQ(snap.min, expected.min) << "jobs=" << jobs;
+        EXPECT_EQ(snap.max, expected.max) << "jobs=" << jobs;
+        for (int b = 0; b < obs::kHistogramBuckets; b++)
+            EXPECT_EQ(snap.buckets[b], expected.buckets[b])
+                << "jobs=" << jobs << " bucket=" << b;
+    }
+}
+
+TEST_F(ObsTest, HistogramExportedInV2Document)
+{
+    OWL_HISTOGRAM_RECORD("test.hist", 5);
+    OWL_HISTOGRAM_RECORD("test.hist", 300);
+    Value doc;
+    ASSERT_TRUE(Value::parse(
+        obs::Registry::instance().toJsonString(), doc));
+    const Value *hists = doc.find("histograms");
+    ASSERT_NE(hists, nullptr);
+    const Value *h = hists->find("test.hist");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->find("count")->asInt(), 2);
+    EXPECT_EQ(h->find("sum")->asInt(), 305);
+    EXPECT_EQ(h->find("min")->asInt(), 5);
+    EXPECT_EQ(h->find("max")->asInt(), 300);
+    // Sparse buckets: exactly the two populated log2 bins.
+    const Value *buckets = h->find("buckets");
+    ASSERT_NE(buckets, nullptr);
+    EXPECT_EQ(buckets->size(), 2u);
+    EXPECT_EQ(buckets->find("3")->asInt(), 1); // 5 in [4,8)
+    EXPECT_EQ(buckets->find("9")->asInt(), 1); // 300 in [256,512)
+}
+
+// ---- v1/v2 schema coexistence ------------------------------------------
+
+TEST_F(ObsTest, V2DocumentKeepsV1Shape)
+{
+    // A v1 consumer reads schema/counters/spans/meta and nothing
+    // else; every one of those must keep its exact v1 shape inside a
+    // v2 document, with the v2 additions riding alongside.
+    OWL_COUNTER_ADD("test.compat", 2);
+    OWL_HISTOGRAM_RECORD("test.compat_hist", 1);
+    {
+        obs::ScopedSpan span("compat");
+    }
+    Value doc;
+    ASSERT_TRUE(Value::parse(obs::Registry::instance().toJsonString(
+                                 {{"tool", "test"}}),
+                             doc));
+    // v1-shaped core.
+    ASSERT_TRUE(doc.find("schema")->isString());
+    ASSERT_TRUE(doc.find("counters")->isObject());
+    EXPECT_EQ(doc.find("counters")->find("test.compat")->asInt(), 2);
+    ASSERT_TRUE(doc.find("spans")->isArray());
+    const Value *span = findSpan(*doc.find("spans"), "compat");
+    ASSERT_NE(span, nullptr);
+    EXPECT_TRUE(span->find("start_ns")->isInt());
+    EXPECT_TRUE(span->find("dur_ns")->isInt());
+    EXPECT_TRUE(span->find("attrs")->isObject());
+    EXPECT_TRUE(span->find("children")->isArray());
+    EXPECT_EQ(doc.find("meta")->find("tool")->asString(), "test");
+    // v2 additions.
+    EXPECT_TRUE(doc.find("histograms")->isObject());
+    EXPECT_TRUE(doc.find("open_spans")->isInt());
+    EXPECT_EQ(doc.find("open_spans")->asInt(), 0);
+    EXPECT_TRUE(span->find("lane")->isInt());
+}
+
+// ---- reset diagnostics -------------------------------------------------
+
+TEST_F(ObsTest, ResetWithOpenSpansIsLoudButSurvivable)
+{
+    auto &reg = obs::Registry::instance();
+    {
+        obs::ScopedSpan open("still-open");
+
+        // toJson while a span is open reports it.
+        Value doc;
+        ASSERT_TRUE(Value::parse(reg.toJsonString(), doc));
+        EXPECT_EQ(doc.find("open_spans")->asInt(), 1);
+
+        reg.reset(); // wipes the forest under the open span
+        EXPECT_EQ(reg.counterValue("obs.reset_with_open_spans"), 1u);
+    } // the orphaned span completes into the fresh forest
+
+    Value doc;
+    ASSERT_TRUE(Value::parse(reg.toJsonString(), doc));
+    EXPECT_EQ(doc.find("open_spans")->asInt(), 0);
+    // The diagnostic counter is sticky (bumped after the wipe) and
+    // the span did not vanish.
+    EXPECT_EQ(doc.find("counters")
+                  ->find("obs.reset_with_open_spans")
+                  ->asInt(),
+              1);
+    EXPECT_NE(findSpan(*doc.find("spans"), "still-open"), nullptr);
+}
+
+// ---- Chrome trace exporter ---------------------------------------------
+
+TEST_F(ObsTest, ChromeTraceWellFormedWithFlowsAndCounters)
+{
+    // Build a forest with genuinely cross-thread adopted spans (fresh
+    // std::threads always get fresh lanes) plus counter samples.
+    obs::setCounterSampling(true);
+    {
+        obs::ScopedSpan parent("dispatch");
+        obs::sampleCounter("test.gauge", 7);
+        obs::TaskSpanContext ctx = obs::TaskSpanContext::capture();
+        std::vector<std::thread> workers;
+        for (int t = 0; t < 2; t++) {
+            workers.emplace_back([&ctx] {
+                obs::TaskSpanScope scope(ctx);
+                obs::ScopedSpan span("task");
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+    }
+    obs::setCounterSampling(false);
+
+    auto &reg = obs::Registry::instance();
+    Value trace = obs::buildChromeTrace(reg.toJson(), reg.laneNames(),
+                                        reg.counterSamples(),
+                                        {{"tool", "test"}});
+    const Value *events = trace.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    EXPECT_EQ(trace.find("displayTimeUnit")->asString(), "ms");
+    EXPECT_EQ(trace.find("otherData")->find("tool")->asString(),
+              "test");
+
+    int x_events = 0, s_events = 0, f_events = 0, c_events = 0;
+    std::map<int64_t, double> last_ts; // tid -> last X ts
+    std::map<int64_t, int> s_by_id, f_by_id;
+    std::map<int64_t, int64_t> s_tid, f_tid;
+    for (const Value &ev : events->items()) {
+        const std::string ph = ev.find("ph")->asString();
+        if (ph == "M")
+            continue;
+        ASSERT_NE(ev.find("ts"), nullptr);
+        ASSERT_NE(ev.find("pid"), nullptr);
+        ASSERT_NE(ev.find("tid"), nullptr);
+        int64_t tid = ev.find("tid")->asInt();
+        if (ph == "X") {
+            x_events++;
+            double ts = ev.find("ts")->asDouble();
+            EXPECT_GE(ev.find("dur")->asDouble(), 0.0);
+            auto it = last_ts.find(tid);
+            if (it != last_ts.end()) {
+                EXPECT_GE(ts, it->second) << "lane ts not monotone";
+            }
+            last_ts[tid] = ts;
+        } else if (ph == "s" || ph == "f") {
+            int64_t id = ev.find("id")->asInt();
+            if (ph == "s") {
+                s_events++;
+                s_by_id[id]++;
+                s_tid[id] = tid;
+            } else {
+                f_events++;
+                f_by_id[id]++;
+                f_tid[id] = tid;
+                EXPECT_EQ(ev.find("bp")->asString(), "e");
+            }
+        } else if (ph == "C") {
+            c_events++;
+            EXPECT_NE(ev.find("args")->find("value"), nullptr);
+        }
+    }
+    // dispatch + 2 tasks; both tasks adopted across lanes.
+    EXPECT_EQ(x_events, 3);
+    EXPECT_EQ(s_events, 2);
+    EXPECT_EQ(f_events, 2);
+    EXPECT_EQ(c_events, 1);
+    for (const auto &[id, n] : s_by_id) {
+        EXPECT_EQ(n, 1);
+        EXPECT_EQ(f_by_id[id], 1);
+        EXPECT_NE(s_tid[id], f_tid[id])
+            << "flow must cross lanes";
+    }
 }
 
 // ---- pipeline ----------------------------------------------------------

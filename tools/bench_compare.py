@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare a bench entry (owl.bench.v1) against a committed baseline.
+
+Regressions are one-sided: a run only fails when a metric got *worse*
+(bigger) than baseline * (1 + tolerance). Improvements always pass —
+refresh the baseline when they should stick.
+
+Tolerances are per-metric-class:
+
+  - counters are deterministic for the sequential smoke suite (the
+    incremental CEGIS trajectory is canonicalized, DESIGN.md §5), so
+    they get a tight relative tolerance: drift beyond it means the
+    search behavior changed and the baseline must be consciously
+    re-committed.
+  - wall_s gets a very loose tolerance: CI boxes (often 1 CPU,
+    noisy neighbors) can easily be several times slower than the
+    machine that recorded the baseline. The wall-time check only
+    catches order-of-magnitude blowups.
+
+A run or counter present in the baseline but missing from the current
+entry fails the comparison (a silently dropped metric is itself a
+regression of the harness).
+
+Usage: bench_compare.py CURRENT BASELINE [--counter-tol R] [--wall-tol R]
+  CURRENT may be a single owl.bench.v1 entry or a trajectory array, in
+  which case the most recent entry is compared.
+"""
+
+import argparse
+import json
+import sys
+
+DEFAULT_COUNTER_TOL = 0.25
+DEFAULT_WALL_TOL = 6.0
+
+
+def latest_entry(doc):
+    """Accept a bare entry or a trajectory array (take the last)."""
+    if isinstance(doc, list):
+        if not doc:
+            raise ValueError("trajectory is empty")
+        return doc[-1]
+    return doc
+
+
+def compare_entries(current, baseline, counter_tol=DEFAULT_COUNTER_TOL,
+                    wall_tol=DEFAULT_WALL_TOL):
+    """Return a list of human-readable regression strings (empty = pass)."""
+    problems = []
+    base_runs = baseline.get("runs", {})
+    cur_runs = current.get("runs", {})
+    for name, base in base_runs.items():
+        cur = cur_runs.get(name)
+        if cur is None:
+            problems.append("run %r present in baseline but missing "
+                            "from current entry" % name)
+            continue
+        base_wall = base.get("wall_s", 0.0)
+        cur_wall = cur.get("wall_s", 0.0)
+        if base_wall > 0 and cur_wall > base_wall * (1.0 + wall_tol):
+            problems.append(
+                "%s: wall_s %.3f exceeds baseline %.3f by more than "
+                "%.0f%%" % (name, cur_wall, base_wall, wall_tol * 100))
+        base_counters = base.get("counters", {})
+        cur_counters = cur.get("counters", {})
+        for cname, bval in base_counters.items():
+            if cname not in cur_counters:
+                problems.append("%s: counter %r missing from current "
+                                "entry" % (name, cname))
+                continue
+            cval = cur_counters[cname]
+            if bval > 0 and cval > bval * (1.0 + counter_tol):
+                problems.append(
+                    "%s: counter %s = %d exceeds baseline %d by more "
+                    "than %.0f%%"
+                    % (name, cname, cval, bval, counter_tol * 100))
+            elif bval == 0 and cval > 0:
+                problems.append("%s: counter %s = %d but baseline is 0"
+                                % (name, cname, cval))
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="current entry or trajectory JSON")
+    ap.add_argument("baseline", help="committed baseline entry JSON")
+    ap.add_argument("--counter-tol", type=float,
+                    default=DEFAULT_COUNTER_TOL,
+                    help="relative tolerance for deterministic counters")
+    ap.add_argument("--wall-tol", type=float, default=DEFAULT_WALL_TOL,
+                    help="relative tolerance for wall-clock time")
+    args = ap.parse_args()
+
+    try:
+        with open(args.current) as f:
+            current = latest_entry(json.load(f))
+        with open(args.baseline) as f:
+            baseline = latest_entry(json.load(f))
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print("FAIL: %s" % e)
+        return 1
+
+    problems = compare_entries(current, baseline,
+                               counter_tol=args.counter_tol,
+                               wall_tol=args.wall_tol)
+    if problems:
+        print("FAIL: %d regression(s) vs %s:" % (len(problems),
+                                                 args.baseline))
+        for p in problems:
+            print("  - " + p)
+        return 1
+    print("OK: %s within tolerance of %s (%d runs compared)"
+          % (args.current, args.baseline,
+             len(baseline.get("runs", {}))))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,239 @@
+#!/usr/bin/env python3
+"""Run the owl bench suite and append one owl.bench.v1 entry to a
+trajectory file.
+
+Each invocation runs a suite of owl commands (and/or merges stats
+documents already emitted by the bench binaries as BENCH_*.json),
+summarizes them into one entry:
+
+  {
+    "schema": "owl.bench.v1",
+    "commit": "<git short sha>",
+    "timestamp": "<UTC ISO 8601>",
+    "suite": "smoke",
+    "runs": {
+      "<run name>": {
+        "wall_s": <float>,
+        "counters": { "<name>": <int>, ... },
+        "histograms": { "<name>": {"count": N, "sum": N,
+                                    "min": N, "max": N}, ... }
+      }, ...
+    }
+  }
+
+and appends it to the trajectory (a JSON array of entries, newest
+last), so successive commits build up a per-metric time series. The
+counters kept are the deterministic ones — for the sequential smoke
+suite the CEGIS trajectory is canonicalized (DESIGN.md §5), so
+sat.conflicts and friends are exact fingerprints of search behavior.
+
+Usage:
+  bench_runner.py --owl build/tools/owl [--suite smoke]
+                  [--out BENCH_trajectory.json]
+                  [--merge BENCH_foo.json ...]
+                  [--compare bench/baseline.json] [--validate]
+                  [--emit-baseline FILE]
+
+--compare exits nonzero when the new entry regresses the baseline
+(tools/bench_compare.py tolerances). --validate re-reads the written
+trajectory and checks every entry against the owl.bench.v1 schema.
+--emit-baseline additionally writes the bare entry to FILE (used to
+[re]record bench/baseline.json).
+"""
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+import bench_compare
+import check_stats_schema
+
+# Deterministic counters worth tracking across commits. Wall time is
+# tracked separately (loose tolerance); everything here is exact for
+# sequential runs and compared tightly.
+TRACKED_COUNTERS = [
+    "sat.conflicts",
+    "sat.propagations",
+    "sat.decisions",
+    "sat.learned_clauses",
+    "cegis.iterations",
+    "cegis.counterexamples",
+    "smt.checks",
+    "smt.ackermann_constraints",
+]
+
+TRACKED_HISTOGRAMS = [
+    "smt.query_conflicts",
+    "smt.query_ackermann",
+    "cegis.instr_ackermann",
+    "sat.lbd",
+]
+
+# Suites: name -> list of (run name, owl args). Sequential on purpose
+# (determinism); kept small enough for a 1-CPU CI box.
+SUITES = {
+    "smoke": [
+        ("synth-accumulator", ["synth", "accumulator"]),
+        ("synth-accumulator-fresh",
+         ["synth", "accumulator", "--no-incremental"]),
+        ("lint-accumulator", ["lint", "accumulator"]),
+    ],
+}
+
+
+def run_one(owl_bin, owl_args):
+    """Run one owl command; return (wall_s, obs stats doc)."""
+    fd, path = tempfile.mkstemp(prefix="owl_bench_", suffix=".json")
+    os.close(fd)
+    try:
+        cmd = [owl_bin] + owl_args + ["--stats-json", path]
+        env = dict(os.environ, OWL_OBS="1")
+        t0 = time.monotonic()
+        proc = subprocess.run(cmd, env=env, capture_output=True,
+                              text=True, timeout=600)
+        wall = time.monotonic() - t0
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            raise RuntimeError("%s exited with %d"
+                               % (" ".join(cmd), proc.returncode))
+        with open(path) as f:
+            return wall, json.load(f)
+    finally:
+        if os.path.exists(path):
+            os.unlink(path)
+
+
+def summarize(doc, wall_s):
+    """Fold one owl.obs.v{1,2} stats doc into a bench run summary."""
+    counters = doc.get("counters", {})
+    run = {
+        "wall_s": round(wall_s, 4),
+        "counters": {name: counters[name]
+                     for name in TRACKED_COUNTERS if name in counters},
+    }
+    hists = doc.get("histograms", {})
+    kept = {}
+    for name in TRACKED_HISTOGRAMS:
+        h = hists.get(name)
+        if h:
+            kept[name] = {key: h[key]
+                          for key in ("count", "sum", "min", "max")}
+    if kept:
+        run["histograms"] = kept
+    return run
+
+
+def git_commit():
+    try:
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             cwd=repo, capture_output=True, text=True,
+                             timeout=10)
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--owl", help="owl binary to drive the suite with")
+    ap.add_argument("--suite", default="smoke", choices=sorted(SUITES))
+    ap.add_argument("--out", default="BENCH_trajectory.json",
+                    help="trajectory file to append the entry to")
+    ap.add_argument("--merge", nargs="*", default=[],
+                    help="existing BENCH_*.json obs docs to fold in "
+                         "as extra runs (named by file stem)")
+    ap.add_argument("--compare",
+                    help="baseline entry to diff the new entry against; "
+                         "nonzero exit on regression")
+    ap.add_argument("--validate", action="store_true",
+                    help="schema-check every trajectory entry")
+    ap.add_argument("--emit-baseline",
+                    help="also write the bare entry to this path")
+    args = ap.parse_args()
+    if not args.owl and not args.merge:
+        ap.error("need --owl and/or --merge")
+
+    entry = {
+        "schema": "owl.bench.v1",
+        "commit": git_commit(),
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "suite": args.suite,
+        "runs": {},
+    }
+
+    if args.owl:
+        for name, owl_args in SUITES[args.suite]:
+            print("[bench] %s: owl %s" % (name, " ".join(owl_args)))
+            wall, doc = run_one(args.owl, owl_args)
+            entry["runs"][name] = summarize(doc, wall)
+
+    for path in args.merge:
+        with open(path) as f:
+            doc = json.load(f)
+        name = os.path.splitext(os.path.basename(path))[0]
+        # Bench binaries time themselves; the doc has no wall clock of
+        # its own, so merged runs carry wall_s = 0 (excluded from the
+        # wall-time comparison by the baseline's 0).
+        entry["runs"][name] = summarize(doc, 0.0)
+
+    try:
+        check_stats_schema.validate(entry)
+    except check_stats_schema.SchemaError as e:
+        print("FAIL: new entry does not conform to owl.bench.v1: %s" % e)
+        return 1
+
+    trajectory = []
+    if os.path.exists(args.out):
+        with open(args.out) as f:
+            trajectory = json.load(f)
+        if not isinstance(trajectory, list):
+            trajectory = [trajectory]
+    trajectory.append(entry)
+    with open(args.out, "w") as f:
+        json.dump(trajectory, f, indent=1)
+        f.write("\n")
+    print("[bench] appended entry %d to %s (commit %s, %d runs)"
+          % (len(trajectory), args.out, entry["commit"],
+             len(entry["runs"])))
+
+    if args.emit_baseline:
+        with open(args.emit_baseline, "w") as f:
+            json.dump(entry, f, indent=1)
+            f.write("\n")
+        print("[bench] wrote baseline to %s" % args.emit_baseline)
+
+    if args.validate:
+        for i, e in enumerate(trajectory):
+            try:
+                check_stats_schema.validate(e)
+            except check_stats_schema.SchemaError as err:
+                print("FAIL: trajectory entry %d: %s" % (i, err))
+                return 1
+        print("[bench] %d trajectory entries validate against "
+              "owl.bench.v1" % len(trajectory))
+
+    if args.compare:
+        with open(args.compare) as f:
+            baseline = bench_compare.latest_entry(json.load(f))
+        problems = bench_compare.compare_entries(entry, baseline)
+        if problems:
+            print("FAIL: %d regression(s) vs %s:" % (len(problems),
+                                                     args.compare))
+            for p in problems:
+                print("  - " + p)
+            return 1
+        print("[bench] entry within tolerance of %s" % args.compare)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,14 @@
 #!/usr/bin/env python3
-"""Validate owl::obs JSON stats files against the owl.obs.v1 schema.
+"""Validate owl JSON artifacts against their schemas.
+
+Understands three schemas, dispatched on the document's "schema" key:
+  owl.obs.v1    legacy stats exports (counters + span forest + meta)
+  owl.obs.v2    v1 plus histograms, open_spans, and per-span lanes
+  owl.bench.v1  bench trajectory entries (tools/bench_runner.py)
 
 Usage:
   check_stats_schema.py FILE [options]
-      Validate an already-emitted stats file.
+      Validate an already-emitted stats/bench file.
   check_stats_schema.py --owl PATH/TO/owl [options]
       Run `owl synth accumulator --stats-json <tmp>` and validate the
       result, additionally applying the pipeline acceptance checks
@@ -25,7 +30,8 @@ import subprocess
 import sys
 import tempfile
 
-SCHEMA = "owl.obs.v1"
+OBS_SCHEMAS = ("owl.obs.v1", "owl.obs.v2")
+BENCH_SCHEMA = "owl.bench.v1"
 
 
 class SchemaError(Exception):
@@ -36,7 +42,11 @@ def fail(path, msg):
     raise SchemaError("%s: %s" % (path, msg))
 
 
-def check_span(span, path):
+def is_uint(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_span(span, path, v2):
     if not isinstance(span, dict):
         fail(path, "span is not an object")
     for key, typ in (("name", str), ("start_ns", int), ("dur_ns", int)):
@@ -46,6 +56,11 @@ def check_span(span, path):
             fail(path, "span key %r must be %s" % (key, typ.__name__))
     if span["start_ns"] < 0 or span["dur_ns"] < 0:
         fail(path, "span times must be non-negative")
+    if v2:
+        if "lane" not in span:
+            fail(path, "v2 span missing required key 'lane'")
+        if not is_uint(span["lane"]):
+            fail(path, "span lane must be a non-negative integer")
     attrs = span.get("attrs", {})
     if not isinstance(attrs, dict):
         fail(path, "attrs must be an object")
@@ -58,7 +73,7 @@ def check_span(span, path):
     if not isinstance(children, list):
         fail(path, "children must be an array")
     for i, child in enumerate(children):
-        check_span(child, "%s/children[%d]" % (path, i))
+        check_span(child, "%s/children[%d]" % (path, i), v2)
 
 
 def span_names(spans):
@@ -71,31 +86,116 @@ def span_names(spans):
     return names
 
 
-def validate(doc):
-    if not isinstance(doc, dict):
-        fail("$", "document is not an object")
-    if doc.get("schema") != SCHEMA:
-        fail("$/schema", "expected %r, got %r" % (SCHEMA, doc.get("schema")))
+def check_histogram(name, h, path):
+    if not isinstance(h, dict):
+        fail(path, "histogram %r is not an object" % name)
+    for key in ("count", "sum", "min", "max"):
+        if key not in h:
+            fail(path, "histogram %r missing key %r" % (name, key))
+        if not is_uint(h[key]):
+            fail(path, "histogram %r key %r must be a non-negative "
+                       "integer" % (name, key))
+    buckets = h.get("buckets")
+    if not isinstance(buckets, dict):
+        fail(path, "histogram %r buckets missing or not an object" % name)
+    total = 0
+    for idx, n in buckets.items():
+        if not isinstance(idx, str) or not idx.isdigit():
+            fail(path, "histogram %r bucket key %r must be a decimal "
+                       "string" % (name, idx))
+        if not is_uint(n):
+            fail(path, "histogram %r bucket %s must be a non-negative "
+                       "integer" % (name, idx))
+        if int(idx) >= 64:
+            fail(path, "histogram %r bucket index %s out of range"
+                 % (name, idx))
+        total += n
+    if total != h["count"]:
+        fail(path, "histogram %r bucket total %d != count %d"
+             % (name, total, h["count"]))
+    if h["count"] > 0 and h["min"] > h["max"]:
+        fail(path, "histogram %r has min > max" % name)
+
+
+def validate_obs(doc):
+    schema = doc.get("schema")
+    v2 = schema == "owl.obs.v2"
     counters = doc.get("counters")
     if not isinstance(counters, dict):
         fail("$/counters", "missing or not an object")
     for name, value in counters.items():
         if not isinstance(name, str):
             fail("$/counters", "counter key %r must be a string" % (name,))
-        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        if not is_uint(value):
             fail("$/counters/%s" % name,
                  "counter must be a non-negative integer, got %r" % (value,))
     spans = doc.get("spans")
     if not isinstance(spans, list):
         fail("$/spans", "missing or not an array")
     for i, span in enumerate(spans):
-        check_span(span, "$/spans[%d]" % i)
+        check_span(span, "$/spans[%d]" % i, v2)
     meta = doc.get("meta", {})
     if not isinstance(meta, dict):
         fail("$/meta", "must be an object")
     for k, v in meta.items():
         if not isinstance(k, str) or not isinstance(v, str):
             fail("$/meta", "meta entries must be string -> string")
+    if v2:
+        histograms = doc.get("histograms")
+        if not isinstance(histograms, dict):
+            fail("$/histograms", "v2 document missing histograms object")
+        for name, h in histograms.items():
+            check_histogram(name, h, "$/histograms/%s" % name)
+        if not is_uint(doc.get("open_spans", -1)):
+            fail("$/open_spans",
+                 "v2 document missing non-negative open_spans")
+
+
+def validate_bench(doc):
+    for key, typ in (("commit", str), ("suite", str), ("timestamp", str)):
+        if not isinstance(doc.get(key), typ):
+            fail("$/%s" % key, "missing or not a %s" % typ.__name__)
+    runs = doc.get("runs")
+    if not isinstance(runs, dict) or not runs:
+        fail("$/runs", "missing, empty, or not an object")
+    for name, run in runs.items():
+        path = "$/runs/%s" % name
+        if not isinstance(run, dict):
+            fail(path, "run is not an object")
+        wall = run.get("wall_s")
+        if isinstance(wall, bool) or not isinstance(wall, (int, float)) \
+                or wall < 0:
+            fail(path + "/wall_s", "missing or not a non-negative number")
+        counters = run.get("counters")
+        if not isinstance(counters, dict):
+            fail(path + "/counters", "missing or not an object")
+        for k, v in counters.items():
+            if not is_uint(v):
+                fail(path + "/counters/%s" % k,
+                     "must be a non-negative integer")
+        hists = run.get("histograms", {})
+        if not isinstance(hists, dict):
+            fail(path + "/histograms", "must be an object")
+        for k, h in hists.items():
+            if not isinstance(h, dict):
+                fail(path + "/histograms/%s" % k, "must be an object")
+            for key in ("count", "sum"):
+                if not is_uint(h.get(key)):
+                    fail(path + "/histograms/%s/%s" % (k, key),
+                         "must be a non-negative integer")
+
+
+def validate(doc):
+    if not isinstance(doc, dict):
+        fail("$", "document is not an object")
+    schema = doc.get("schema")
+    if schema in OBS_SCHEMAS:
+        validate_obs(doc)
+    elif schema == BENCH_SCHEMA:
+        validate_bench(doc)
+    else:
+        fail("$/schema", "expected one of %r, got %r"
+             % (OBS_SCHEMAS + (BENCH_SCHEMA,), schema))
 
 
 def check_requirements(doc, require_spans, require_nonzero):
@@ -146,6 +246,24 @@ def check_proof_coverage(doc):
              "proofs were checked but no steps were counted")
 
 
+def check_query_histograms(doc):
+    """A v2 synthesis run records the per-query histograms: one
+    smt.query_ns / smt.query_conflicts sample per SMT check, one
+    cegis.instr_ackermann sample per instruction."""
+    hists = doc.get("histograms", {})
+    checks = doc["counters"].get("smt.checks", 0)
+    instrs = doc["counters"].get("cegis.instructions", 0)
+    for name, expect in (("smt.query_ns", checks),
+                         ("smt.query_conflicts", checks),
+                         ("cegis.instr_ackermann", instrs)):
+        h = hists.get(name)
+        if h is None:
+            fail("$/histograms", "missing %r" % name)
+        if h["count"] != expect:
+            fail("$/histograms/%s" % name,
+                 "count %d != expected %d samples" % (h["count"], expect))
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("file", nargs="?", help="stats JSON file to validate")
@@ -164,7 +282,8 @@ def main():
     # with --no-incremental (fresh solver per iteration), synthesis
     # under --check-proofs, and the lint pipeline. Each run has its
     # own required spans/counters on top of the schema check; extra
-    # checks run arbitrary doc predicates (proof-coverage accounting).
+    # checks run arbitrary doc predicates (proof-coverage accounting,
+    # per-query histogram coverage).
     runs = []
     if args.owl:
         # Default synthesis runs every instruction's synth side as an
@@ -178,17 +297,22 @@ def main():
                      ["sat.conflicts", "sat.propagations",
                       "sat.decisions", "cegis.iterations",
                       "cegis.incremental.solve_calls"],
-                     []))
+                     [check_query_histograms]))
         runs.append((["synth", "accumulator", "--no-incremental"],
                      ["cegis", "cegis.iter", "smt.checkSat",
                       "sat.solve"],
                      ["sat.conflicts", "sat.propagations",
                       "sat.decisions", "cegis.iterations"],
-                     []))
+                     [check_query_histograms]))
         runs.append((["synth", "accumulator", "--check-proofs"],
                      ["cegis", "smt.checkSat"],
                      [],
                      [check_proof_coverage]))
+        runs.append((["synth", "accumulator", "--profile-sat"],
+                     ["cegis", "smt.checkSat", "sat.solve"],
+                     ["sat.phase.propagate.calls",
+                      "sat.phase.decide.calls"],
+                     []))
         runs.append((["lint", "accumulator"],
                      ["lint.run", "lint.design", "lint.smt",
                       "lint.cnf", "lint.netlist"],
@@ -212,8 +336,9 @@ def main():
             with open(path) as f:
                 doc = json.load(f)
             validate(doc)
-            check_requirements(doc, require_spans + run_spans,
-                               require_nonzero + run_nonzero)
+            if doc.get("schema") in OBS_SCHEMAS:
+                check_requirements(doc, require_spans + run_spans,
+                                   require_nonzero + run_nonzero)
             for check in extra_checks:
                 check(doc)
         except json.JSONDecodeError as e:
@@ -225,8 +350,13 @@ def main():
         finally:
             if cleanup and os.path.exists(cleanup):
                 os.unlink(cleanup)
-        print("OK: %s conforms to %s (%d counters, %d root spans)"
-              % (what, SCHEMA, len(doc["counters"]), len(doc["spans"])))
+        if doc.get("schema") in OBS_SCHEMAS:
+            print("OK: %s conforms to %s (%d counters, %d root spans)"
+                  % (what, doc["schema"], len(doc["counters"]),
+                     len(doc["spans"])))
+        else:
+            print("OK: %s conforms to %s (%d runs)"
+                  % (what, doc["schema"], len(doc["runs"])))
     return 0
 
 

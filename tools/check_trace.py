@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validate a Chrome Trace Event JSON file emitted by `owl --trace-out`.
+
+Validation only — no mutation, no re-emission. Checks:
+
+  1. The file is valid JSON with a traceEvents array (JSON-object
+     format) and every event carries the fields its phase requires.
+  2. Per-lane monotonicity: within each (pid, tid) lane, the "X"
+     events' ts values are non-decreasing in file order (the exporter
+     sorts globally by ts, so any lane's subsequence must be sorted
+     too).
+  3. Flow pairing: every "X" event carrying args.flow is matched by
+     exactly one "s" and one "f" event with that id, and the s/f pair
+     sits on *different* lanes (an adoption arrow by construction
+     crosses threads); the "f" end shares the adopted span's lane.
+
+Exit status 0 on success, 1 on any violation.
+
+Usage: check_trace.py TRACE.json [--expect-flows N]
+"""
+
+import argparse
+import json
+import sys
+
+PHASES_REQUIRING_DUR = ("X",)
+FLOW_PHASES = ("s", "f")
+
+
+def err(msg):
+    print("FAIL: %s" % msg)
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", help="Chrome trace JSON to validate")
+    ap.add_argument("--expect-flows", type=int, default=None,
+                    help="fail unless exactly N flow arrows exist")
+    args = ap.parse_args()
+
+    try:
+        with open(args.file) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return err("%s is not readable JSON: %s" % (args.file, e))
+
+    if not isinstance(doc, dict):
+        return err("top level must be an object (JSON-object format)")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return err("traceEvents missing or not an array")
+
+    failures = 0
+    last_ts = {}     # (pid, tid) -> last X-event ts
+    starts = {}      # flow id -> list of (tid) for "s" events
+    finishes = {}    # flow id -> list of (tid) for "f" events
+    flow_spans = {}  # flow id -> tid of the X event claiming it
+
+    for i, ev in enumerate(events):
+        where = "traceEvents[%d]" % i
+        if not isinstance(ev, dict):
+            failures += err("%s: event is not an object" % where)
+            continue
+        ph = ev.get("ph")
+        if not isinstance(ph, str):
+            failures += err("%s: missing ph" % where)
+            continue
+        if ph == "M":
+            continue  # metadata carries no timestamp contract
+        for key in ("ts", "pid", "tid"):
+            if key not in ev:
+                failures += err("%s: %s event missing %r"
+                                % (where, ph, key))
+        ts = ev.get("ts")
+        if isinstance(ts, bool) or not isinstance(ts, (int, float)):
+            failures += err("%s: ts must be a number" % where)
+            continue
+        lane = (ev.get("pid"), ev.get("tid"))
+
+        if ph in PHASES_REQUIRING_DUR:
+            dur = ev.get("dur")
+            if isinstance(dur, bool) or not isinstance(dur, (int, float)) \
+                    or dur < 0:
+                failures += err("%s: X event needs non-negative dur"
+                                % where)
+            if lane in last_ts and ts < last_ts[lane]:
+                failures += err(
+                    "%s: ts %r goes backwards on lane %r (prev %r)"
+                    % (where, ts, lane, last_ts[lane]))
+            last_ts[lane] = ts
+            flow = ev.get("args", {}).get("flow")
+            if flow is not None:
+                if flow in flow_spans:
+                    failures += err("%s: flow id %r claimed twice"
+                                    % (where, flow))
+                flow_spans[flow] = ev.get("tid")
+        elif ph in FLOW_PHASES:
+            fid = ev.get("id")
+            if fid is None:
+                failures += err("%s: %s event missing id" % (where, ph))
+                continue
+            (starts if ph == "s" else finishes).setdefault(
+                fid, []).append(ev.get("tid"))
+            if ph == "f" and ev.get("bp") != "e":
+                failures += err("%s: f event must carry bp='e'" % where)
+        elif ph == "C":
+            if "value" not in ev.get("args", {}):
+                failures += err("%s: C event missing args.value" % where)
+        else:
+            failures += err("%s: unexpected phase %r" % (where, ph))
+
+    # Every adopted span's flow id pairs exactly one s with exactly
+    # one f, on different lanes, with the f end on the span's lane.
+    for fid, span_tid in flow_spans.items():
+        s = starts.get(fid, [])
+        f = finishes.get(fid, [])
+        if len(s) != 1 or len(f) != 1:
+            failures += err("flow %r: expected exactly one s and one f, "
+                            "got %d/%d" % (fid, len(s), len(f)))
+            continue
+        if s[0] == f[0]:
+            failures += err("flow %r: s and f on the same lane %r "
+                            "(adoption must cross threads)" % (fid, s[0]))
+        if f[0] != span_tid:
+            failures += err("flow %r: f on lane %r but adopted span on "
+                            "lane %r" % (fid, f[0], span_tid))
+    for fid in set(starts) | set(finishes):
+        if fid not in flow_spans:
+            failures += err("flow %r: s/f events with no X event "
+                            "claiming the id" % fid)
+
+    if args.expect_flows is not None and len(flow_spans) != args.expect_flows:
+        failures += err("expected %d flow arrows, found %d"
+                        % (args.expect_flows, len(flow_spans)))
+
+    if failures:
+        return 1
+    print("OK: %s (%d events, %d lanes, %d flow arrows)"
+          % (args.file, len(events), len(last_ts), len(flow_spans)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,8 +19,13 @@
  *       solver call. See DESIGN.md §7 for the determinism contract.
  *
  * All synthesis commands accept `--stats-json <path>`: on exit the
- * owl::obs registry (CEGIS span tree, SAT/SMT counters) is exported
- * to the given file in the owl.obs.v1 schema; see DESIGN.md §6.
+ * owl::obs registry (CEGIS span tree, SAT/SMT counters, histograms)
+ * is exported to the given file in the owl.obs.v2 schema; see
+ * DESIGN.md §6 and §10. `--trace-out <path>` exports the same run as
+ * a Chrome Trace Event JSON timeline (one lane per pool worker, flow
+ * arrows for cross-thread task adoption, counter tracks) loadable in
+ * Perfetto / chrome://tracing. `--profile-sat` attributes SAT solve
+ * time to CDCL phases (sat.phase.* counters) by stride sampling.
  * OWL_TRACE=cegis,smt enables the structured event log on stderr.
  *   owl control <design>
  *       Synthesize and print just the generated control logic,
@@ -56,6 +61,7 @@
 #include "core/synthesis.h"
 #include "lint/lint.h"
 #include "obs/obs.h"
+#include "obs/trace.h"
 #include "designs/accumulator.h"
 #include "designs/aes_accelerator.h"
 #include "designs/alu_machine.h"
@@ -111,10 +117,12 @@ usage()
             "verify | lint\n"
             "options (synth): --mono, --jobs <n> (or OWL_JOBS), "
             "--portfolio <k>, --budget <seconds>, --check-proofs, "
-            "--no-incremental, -o <file.v>\n"
+            "--no-incremental, --profile-sat, -o <file.v>\n"
             "options (lint): --cycles <k>  symbolic-evaluation depth\n"
             "options (any): --stats-json <file.json>  export "
-            "owl::obs spans+counters\n"
+            "owl::obs spans+counters+histograms\n"
+            "               --trace-out <file.json>  export a Chrome "
+            "Trace Event timeline (Perfetto)\n"
             "run `owl list` for the design names\n");
     return 2;
 }
@@ -158,9 +166,11 @@ main(int argc, char **argv)
     int portfolio = 0;
     bool check_proofs = false;
     bool incremental = true;
+    bool profile_sat = false;
     int lint_cycles = 1;
     std::string out_verilog;
     std::string stats_json;
+    std::string trace_out;
     for (int i = 3; i < argc; i++) {
         if (!strcmp(argv[i], "--mono")) {
             mono = true;
@@ -174,6 +184,10 @@ main(int argc, char **argv)
             check_proofs = true;
         } else if (!strcmp(argv[i], "--no-incremental")) {
             incremental = false;
+        } else if (!strcmp(argv[i], "--profile-sat")) {
+            profile_sat = true;
+        } else if (!strcmp(argv[i], "--trace-out") && i + 1 < argc) {
+            trace_out = argv[++i];
         } else if (!strcmp(argv[i], "--cycles") && i + 1 < argc) {
             lint_cycles = atoi(argv[++i]);
         } else if (!strcmp(argv[i], "-o") && i + 1 < argc) {
@@ -191,21 +205,40 @@ main(int argc, char **argv)
         return 2;
     }
 
+    // Tracing wants named lanes and counter-track samples; turn both
+    // on before any spans open so the main thread claims lane 0.
+    if (!trace_out.empty()) {
+        obs::setLaneName("main");
+        obs::setCounterSampling(true);
+    }
+
     // Export the obs registry on any exit path past this point, so
-    // failed runs still leave an inspectable stats artifact.
+    // failed runs still leave inspectable stats/trace artifacts.
     auto write_stats = [&]() {
-        if (stats_json.empty())
-            return;
-        bool ok = obs::Registry::instance().writeJsonFile(
-            stats_json, {{"tool", "owl"},
-                         {"command", cmd},
-                         {"design", design}});
-        if (ok)
-            fprintf(stderr, "[owl] wrote stats to %s\n",
-                    stats_json.c_str());
-        else
-            fprintf(stderr, "[owl] failed to write stats to %s\n",
-                    stats_json.c_str());
+        if (!stats_json.empty()) {
+            bool ok = obs::Registry::instance().writeJsonFile(
+                stats_json, {{"tool", "owl"},
+                             {"command", cmd},
+                             {"design", design}});
+            if (ok)
+                fprintf(stderr, "[owl] wrote stats to %s\n",
+                        stats_json.c_str());
+            else
+                fprintf(stderr, "[owl] failed to write stats to %s\n",
+                        stats_json.c_str());
+        }
+        if (!trace_out.empty()) {
+            bool ok = obs::writeChromeTraceFile(
+                trace_out, {{"tool", "owl"},
+                            {"command", cmd},
+                            {"design", design}});
+            if (ok)
+                fprintf(stderr, "[owl] wrote trace to %s\n",
+                        trace_out.c_str());
+            else
+                fprintf(stderr, "[owl] failed to write trace to %s\n",
+                        trace_out.c_str());
+        }
     };
 
     CaseStudy cs = make(design);
@@ -248,6 +281,7 @@ main(int argc, char **argv)
     opts.satPortfolio = portfolio;
     opts.checkProofs = check_proofs;
     opts.incremental = incremental;
+    opts.profileSat = profile_sat;
     if (budget_s > 0)
         opts.timeLimit = std::chrono::milliseconds(budget_s * 1000);
     if (mono)

@@ -1,0 +1,20 @@
+# CTest helper: run `owl synth --jobs 2 --trace-out` and validate the
+# emitted Chrome trace with tools/check_trace.py. Split into a script
+# because the trace file is produced by one process and consumed by
+# another, and add_test() runs exactly one command.
+#
+# Variables: OWL_BIN, PYTHON, CHECKER, TRACE.
+
+execute_process(
+    COMMAND ${OWL_BIN} synth accumulator --jobs 2 --trace-out ${TRACE}
+    RESULT_VARIABLE synth_rc)
+if(NOT synth_rc EQUAL 0)
+    message(FATAL_ERROR "owl synth --trace-out failed (${synth_rc})")
+endif()
+
+execute_process(
+    COMMAND ${PYTHON} ${CHECKER} ${TRACE}
+    RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR "check_trace.py failed (${check_rc})")
+endif()
