@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Serve-loop benchmark: the cross-request cache and warm-session
+ * amortization headline. Each design's job is submitted twice to one
+ * long-lived serve::Server; the second, identical request must be
+ * answered from the content-addressed cache — nonzero hits, zero
+ * CEGIS iterations, bit-identical hole assignments, and lower
+ * per-request wall time than the cold run.
+ *
+ * Each (design, pass) measurement is a `serve.row` obs span carrying
+ * wall-clock and the per-request cache/session counters; the registry
+ * is exported to BENCH_serve.json (override with OWL_STATS_JSON).
+ *
+ * OWL_BENCH_QUICK=1 restricts to the accumulator for fast CI runs;
+ * the full run's headline row is rv32i-2stage (ISSUE 7 acceptance:
+ * warm beats cold on wall time).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "serve/request.h"
+#include "serve/server.h"
+
+using namespace owl;
+using namespace owl::serve;
+
+namespace
+{
+
+/** Per-instruction hole values must match across requests. */
+bool
+bitIdentical(const synth::PerInstrResults &a,
+             const synth::PerInstrResults &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (size_t i = 0; i < a.size(); i++) {
+        if (a[i].first != b[i].first)
+            return false;
+        const auto &ha = a[i].second;
+        const auto &hb = b[i].second;
+        if (ha.size() != hb.size())
+            return false;
+        for (const auto &[name, v] : ha) {
+            auto it = hb.find(name);
+            if (it == hb.end() || !(it->second == v))
+                return false;
+        }
+    }
+    return true;
+}
+
+JobResult
+pass(Server &server, const std::string &design, const char *label)
+{
+    obs::ScopedSpan span("serve.row");
+    span.attr("design", design);
+    span.attr("pass", label);
+    JobRequest req;
+    req.design = design;
+    req.id = label;
+    std::vector<JobResult> results = server.runBatch({req});
+    const JobResult &r = results.front();
+    span.attr("status", r.status);
+    span.attr("millis", static_cast<int64_t>(r.seconds * 1000));
+    span.attr("cache_hits", static_cast<int64_t>(r.cacheHits));
+    span.attr("cache_misses", static_cast<int64_t>(r.cacheMisses));
+    span.attr("iterations", r.iterations);
+    printf("%-14s %-6s %10.3f %8d %6llu %6llu\n", design.c_str(),
+           label, r.seconds, r.iterations,
+           static_cast<unsigned long long>(r.cacheHits),
+           static_cast<unsigned long long>(r.cacheMisses));
+    fflush(stdout);
+    return results.front();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<std::string> designs = {"accumulator", "alu-machine",
+                                        "rv32i-2stage"};
+    bool quick = false;
+    if (const char *q = std::getenv("OWL_BENCH_QUICK");
+        q && *q == '1') {
+        designs = {"accumulator"};
+        quick = true;
+    }
+
+    printf("Serve loop: cold request vs cross-request cache hit\n");
+    printf("%-14s %-6s %10s %8s %6s %6s\n", "design", "pass",
+           "time(s)", "iters", "hits", "misses");
+
+    int failures = 0;
+    for (const std::string &d : designs) {
+        // One server per design keeps the rows independent: each
+        // cold pass really is cold.
+        Server server;
+        JobResult cold = pass(server, d, "cold");
+        JobResult warm = pass(server, d, "warm");
+        if (!cold.ok() || !warm.ok()) {
+            fprintf(stderr, "[bench_serve] %s: request failed "
+                            "(%s / %s)\n",
+                    d.c_str(), cold.status.c_str(),
+                    warm.status.c_str());
+            failures++;
+            continue;
+        }
+        if (warm.cacheHits == 0 || warm.cacheMisses != 0 ||
+            warm.iterations != 0) {
+            fprintf(stderr, "[bench_serve] %s: repeat request was "
+                            "not answered from the cache (%llu "
+                            "hits, %llu misses, %d iterations)\n",
+                    d.c_str(),
+                    static_cast<unsigned long long>(warm.cacheHits),
+                    static_cast<unsigned long long>(warm.cacheMisses),
+                    warm.iterations);
+            failures++;
+        }
+        if (!bitIdentical(cold.holes, warm.holes)) {
+            fprintf(stderr, "[bench_serve] %s: cached holes DIVERGED "
+                            "from fresh synthesis\n",
+                    d.c_str());
+            failures++;
+        }
+        // The headline acceptance row: on a design where synthesis
+        // costs real time, the cached request must be strictly
+        // faster. (Skipped in quick mode — the accumulator finishes
+        // in microseconds and timing jitter would flake.)
+        if (!quick && d == "rv32i-2stage" &&
+            warm.seconds >= cold.seconds) {
+            fprintf(stderr, "[bench_serve] %s: warm request (%.3f s) "
+                            "not below cold (%.3f s)\n",
+                    d.c_str(), warm.seconds, cold.seconds);
+            failures++;
+        }
+    }
+
+    const char *stats_path = std::getenv("OWL_STATS_JSON");
+    if (!stats_path)
+        stats_path = "BENCH_serve.json";
+    if (obs::Registry::instance().writeJsonFile(
+            stats_path, {{"tool", "bench_serve"}})) {
+        fprintf(stderr, "[bench_serve] wrote stats to %s\n",
+                stats_path);
+    } else {
+        fprintf(stderr, "[bench_serve] failed to write %s\n",
+                stats_path);
+        failures++;
+    }
+    return failures == 0 ? 0 : 1;
+}

@@ -308,6 +308,12 @@ canonicalizeHoles(smt::IncrementalContext &ctx,
         std::vector<sat::Lit> lits = ctx.literalsOf(var);
         BitVec value(static_cast<int>(lits.size()));
         for (int b = static_cast<int>(lits.size()) - 1; b >= 0; b--) {
+            // Honor the run's budget between probes: each probe is
+            // usually pure propagation, well below the CDCL deadline
+            // stride, so without this check a long probe sequence
+            // could overrun an already-expired deadline.
+            if (opts.expired())
+                return SynthStatus::Timeout;
             fixed.push_back(~lits[b]);
             smt::CheckResult r =
                 ctx.check(nullptr, opts.solveLimits(), nullptr, fixed);
@@ -325,64 +331,48 @@ canonicalizeHoles(smt::IncrementalContext &ctx,
     return SynthStatus::Ok;
 }
 
-/**
- * The synth side of one instruction's CEGIS run as a long-lived
- * incremental session: one TermTable, one persistent bit-blast cache,
- * one solver (or portfolio fleet) for every iteration. Each
- * counterexample becomes an activation-literal group, so iteration k
- * encodes and solves only the delta while learned clauses from
- * iterations 1..k-1 keep pruning the search.
- */
-class SynthSession
-{
-  public:
-    SynthSession(const oyster::Design &sketch, const ila::Ila &spec,
-                 const AbsFunc &alpha, const CegisOptions &opts)
-        : sketch(sketch), spec(spec), alpha(alpha),
-          ctx(tt, incrementalOptionsFrom(opts))
-    {
-        // Hole variables are shared by every counterexample group,
-        // exactly like the fresh path shares them per query.
-        for (const oyster::Decl &d : sketch.decls()) {
-            if (d.kind == oyster::DeclKind::Hole)
-                holeVars[d.name] =
-                    tt.freshVar("hole." + d.name, d.width);
-        }
-    }
-
-    void addCex(const ila::Instr &instr, const Counterexample &cex)
-    {
-        TermRef c = buildCexConstraint(sketch, spec, alpha, tt,
-                                       holeVars, instr, cex);
-        ctx.addGroup({c});
-    }
-
-    SynthStatus solve(HoleValues &candidate, const CegisOptions &opts)
-    {
-        smt::CheckResult r = ctx.check(nullptr, opts.solveLimits());
-        switch (r) {
-          case smt::CheckResult::Unsat:
-            return SynthStatus::Unsat;
-          case smt::CheckResult::Unknown:
-            return SynthStatus::Timeout;
-          case smt::CheckResult::Sat:
-            break;
-        }
-        return canonicalizeHoles(ctx, holeVars, opts, candidate);
-    }
-
-    const smt::IncrementalStats &stats() const { return ctx.stats(); }
-
-  private:
-    const oyster::Design &sketch;
-    const ila::Ila &spec;
-    const AbsFunc &alpha;
-    TermTable tt;
-    std::map<std::string, TermRef> holeVars;
-    smt::IncrementalContext ctx;
-};
-
 } // namespace
+
+SynthSession::SynthSession(const oyster::Design &sketch,
+                           const ila::Ila &spec, const AbsFunc &alpha,
+                           const std::string &instr_name,
+                           const CegisOptions &opts)
+    : sketch(sketch), spec(spec), alpha(alpha),
+      instr_name(instr_name), instr(spec.instr(instr_name)),
+      ctx(tt, incrementalOptionsFrom(opts))
+{
+    // Hole variables are shared by every counterexample group,
+    // exactly like the fresh path shares them per query.
+    for (const oyster::Decl &d : sketch.decls()) {
+        if (d.kind == oyster::DeclKind::Hole)
+            holeVars[d.name] = tt.freshVar("hole." + d.name, d.width);
+    }
+}
+
+void
+SynthSession::addCex(const Counterexample &cex)
+{
+    TermRef c = buildCexConstraint(sketch, spec, alpha, tt, holeVars,
+                                   instr, cex);
+    ctx.addGroup({c});
+}
+
+SynthStatus
+SynthSession::solve(HoleValues &candidate, const CegisOptions &opts)
+{
+    if (opts.expired())
+        return SynthStatus::Timeout;
+    smt::CheckResult r = ctx.check(nullptr, opts.solveLimits());
+    switch (r) {
+      case smt::CheckResult::Unsat:
+        return SynthStatus::Unsat;
+      case smt::CheckResult::Unknown:
+        return SynthStatus::Timeout;
+      case smt::CheckResult::Sat:
+        break;
+    }
+    return canonicalizeHoles(ctx, holeVars, opts, candidate);
+}
 
 SynthStatus
 InstrSynthesizer::synthStep(const ila::Instr &instr,
@@ -459,9 +449,23 @@ InstrSynthesizer::synthesize(const ila::Instr &instr,
     for (auto &[name, v] : zeroCandidate())
         candidate.emplace(name, v);
 
-    std::optional<SynthSession> session;
-    if (opts.incremental)
-        session.emplace(sketch, spec, alpha, opts);
+    std::unique_ptr<SynthSession> session;
+    bool pooled = false;
+    if (opts.incremental) {
+        if (opts.sessionPool) {
+            session = opts.sessionPool->checkout(instr.name(), opts);
+            pooled = session != nullptr;
+        }
+        if (!session) {
+            session = std::make_unique<SynthSession>(
+                sketch, spec, alpha, instr.name(), opts);
+        }
+    }
+    // A pooled session carries stats from earlier runs; flush only
+    // this run's deltas into the process counters.
+    smt::IncrementalStats session_base;
+    if (session)
+        session_base = session->stats();
 
     // Ackermann constraints encoded for this instruction across all
     // its queries: every fresh verify/synth query's count plus (at
@@ -472,12 +476,16 @@ InstrSynthesizer::synthesize(const ila::Instr &instr,
         if (session) {
             const smt::IncrementalStats &st = session->stats();
             OWL_COUNTER_ADD("cegis.incremental.solve_calls",
-                            st.solveCalls);
+                            st.solveCalls - session_base.solveCalls);
             OWL_COUNTER_ADD("cegis.incremental.clauses_reused",
-                            st.clausesReused);
+                            st.clausesReused -
+                                session_base.clausesReused);
             OWL_COUNTER_ADD("cegis.incremental.cache_hits",
-                            st.cacheHits);
-            instr_ack += st.ackermannConstraints;
+                            st.cacheHits - session_base.cacheHits);
+            instr_ack += st.ackermannConstraints -
+                         session_base.ackermannConstraints;
+            if (pooled)
+                opts.sessionPool->checkin(std::move(session));
         }
         OWL_HISTOGRAM_RECORD("cegis.instr_ackermann", instr_ack);
         result.status = status;
@@ -511,13 +519,18 @@ InstrSynthesizer::synthesize(const ila::Instr &instr,
         if (v == SynthStatus::Timeout)
             return finish(SynthStatus::Timeout);
         cexes.push_back(std::move(cex));
+        // Inter-step budget check: verification can consume the whole
+        // deadline in SAT calls too short to trip the CDCL-stride
+        // poll, so re-check before paying for the synth step.
+        if (opts.expired())
+            return finish(SynthStatus::Timeout);
         HoleValues previous = candidate;
         SynthStatus s;
         if (session) {
             obs::ScopedSpan synth_span("synth");
             synth_span.attr("cex_count", cexes.size());
             synth_span.attr("incremental", 1);
-            session->addCex(instr, cexes.back());
+            session->addCex(cexes.back());
             s = session->solve(candidate, opts);
         } else {
             smt::CheckStats synth_stats;

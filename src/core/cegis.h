@@ -26,6 +26,7 @@
 
 #include <chrono>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,10 +36,14 @@
 #include "ila/ila.h"
 #include "oyster/ir.h"
 #include "oyster/symeval.h"
+#include "smt/incremental.h"
 #include "smt/solver.h"
 
 namespace owl::synth
 {
+
+class SynthSession;
+class SynthSessionPool;
 
 /** Status of a synthesis attempt. */
 enum class SynthStatus
@@ -114,6 +119,15 @@ struct CegisOptions
      * sat.phase.* counters.
      */
     bool profileSat = false;
+    /**
+     * Optional warm-session pool (serve's amortization path). When
+     * set and incremental mode is on, synthesize() checks out an
+     * existing SynthSession for the instruction instead of building a
+     * fresh one, and returns it at the end whatever the outcome.
+     * Lexmin canonicalization keeps warm-session results bit-identical
+     * to cold ones (DESIGN.md §11). May be null (the default).
+     */
+    SynthSessionPool *sessionPool = nullptr;
 
     bool hasDeadline() const
     {
@@ -167,6 +181,87 @@ void applyInitAliases(const oyster::Design &sketch,
 
 /** Replicate aliased initial values inside a counterexample replay. */
 void applyCexAliases(const AbsFunc &alpha, Counterexample &cex);
+
+/**
+ * The synth side of one instruction's CEGIS run as a long-lived
+ * incremental session: one TermTable, one persistent bit-blast cache,
+ * one solver (or portfolio fleet) for every iteration. Each
+ * counterexample becomes an activation-literal group, so iteration k
+ * encodes and solves only the delta while learned clauses from
+ * iterations 1..k-1 keep pruning the search.
+ *
+ * Sessions may outlive a single synthesize() call (serve's warm pool):
+ * the accumulated groups are valid constraints of the same ∃∀
+ * subproblem, re-fed counterexamples dedup inside IncrementalContext,
+ * and lexmin canonicalization makes the final hole assignment a
+ * property of the formula — so a warm rerun converges to bit-identical
+ * holes. The referenced sketch/spec/alpha must outlive the session
+ * (the pool keeps its own CaseStudy per design for exactly this).
+ */
+class SynthSession
+{
+  public:
+    SynthSession(const oyster::Design &sketch, const ila::Ila &spec,
+                 const AbsFunc &alpha, const std::string &instr_name,
+                 const CegisOptions &opts);
+    SynthSession(const SynthSession &) = delete;
+    SynthSession &operator=(const SynthSession &) = delete;
+
+    const std::string &instrName() const { return instr_name; }
+
+    /**
+     * Encode one counterexample replay as an activation-literal group
+     * (exact re-encodes of a known counterexample dedup to the
+     * existing group; see IncrementalContext::addGroup).
+     */
+    void addCex(const Counterexample &cex);
+
+    /**
+     * Solve everything added so far and write the lexicographically
+     * minimal hole assignment into candidate.
+     */
+    SynthStatus solve(HoleValues &candidate, const CegisOptions &opts);
+
+    /** Warm-checkout bookkeeping; see IncrementalContext::beginReuse. */
+    int beginReuse() { return ctx.beginReuse(); }
+
+    /** Counterexample groups accumulated over the session's lifetime. */
+    int groups() const { return ctx.numGroups(); }
+
+    const smt::IncrementalStats &stats() const { return ctx.stats(); }
+
+  private:
+    const oyster::Design &sketch;
+    const ila::Ila &spec;
+    const AbsFunc &alpha;
+    std::string instr_name;
+    const ila::Instr &instr; ///< resolved from spec by instr_name
+    smt::TermTable tt;
+    std::map<std::string, smt::TermRef> holeVars;
+    smt::IncrementalContext ctx;
+};
+
+/**
+ * Source of warm SynthSessions, keyed by instruction name. The
+ * caller (InstrSynthesizer::synthesize via CegisOptions::sessionPool)
+ * checks a session out for the duration of one CEGIS run and checks
+ * it back in at the end. A checkout may be warm (a previous run's
+ * session) or pool-created cold; either way the returned session
+ * references design state the *pool* owns and outlives, so checkin()
+ * can always park it. checkout() may return null (pool declines, e.g.
+ * incompatible options or unknown instruction) — the caller then
+ * builds a private session on its own objects and does NOT check that
+ * one in. Implementations own design lifetime and thread safety; see
+ * serve::WarmSessionPool.
+ */
+class SynthSessionPool
+{
+  public:
+    virtual ~SynthSessionPool() = default;
+    virtual std::unique_ptr<SynthSession>
+    checkout(const std::string &instr_name, const CegisOptions &opts) = 0;
+    virtual void checkin(std::unique_ptr<SynthSession> session) = 0;
+};
 
 /**
  * Per-instruction control synthesis over a datapath sketch.

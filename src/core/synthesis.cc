@@ -113,6 +113,12 @@ class MonolithicSynthesizer
             OWL_COUNTER_INC("cegis.counterexamples");
             OWL_TRACE_EVENT("cegis", "mono iter n=", iter,
                             " cex=", cexes.size());
+            // Inter-step budget check (mirrors the per-instruction
+            // loop): short SAT calls can slip under the CDCL deadline
+            // stride, so the deadline must also be honored between
+            // the verify and synth halves of an iteration.
+            if (opts.expired())
+                return SynthStatus::Timeout;
             SynthStatus s = synth(cexes, candidate, opts);
             if (s != SynthStatus::Ok)
                 return s;

@@ -1,0 +1,67 @@
+#include "designs/registry.h"
+
+#include "designs/accumulator.h"
+#include "designs/aes_accelerator.h"
+#include "designs/alu_machine.h"
+#include "designs/crypto_core.h"
+#include "designs/riscv_single_cycle.h"
+#include "designs/riscv_two_stage.h"
+
+namespace owl::designs
+{
+
+const std::map<std::string, CaseStudyMaker> &
+caseStudyRegistry()
+{
+    static const std::map<std::string, CaseStudyMaker> r = {
+        {"accumulator", [] { return makeAccumulator(); }},
+        {"alu-machine", [] { return makeAluMachine(); }},
+        {"rv32i",
+         [] { return makeRiscvSingleCycle(RiscvVariant::RV32I); }},
+        {"rv32i-zbkb",
+         [] {
+             return makeRiscvSingleCycle(RiscvVariant::RV32I_Zbkb);
+         }},
+        {"rv32i-zbkc",
+         [] {
+             return makeRiscvSingleCycle(RiscvVariant::RV32I_Zbkc);
+         }},
+        {"rv32i-2stage",
+         [] { return makeRiscvTwoStage(RiscvVariant::RV32I); }},
+        {"rv32i-zbkb-2stage",
+         [] { return makeRiscvTwoStage(RiscvVariant::RV32I_Zbkb); }},
+        {"rv32i-zbkc-2stage",
+         [] { return makeRiscvTwoStage(RiscvVariant::RV32I_Zbkc); }},
+        {"crypto-core", [] { return makeCryptoCore(); }},
+        {"aes", [] { return makeAesAccelerator(); }},
+    };
+    return r;
+}
+
+std::vector<std::string>
+caseStudyNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, maker] : caseStudyRegistry())
+        names.push_back(name);
+    return names;
+}
+
+const CaseStudyMaker *
+findCaseStudyMaker(const std::string &name)
+{
+    const auto &r = caseStudyRegistry();
+    auto it = r.find(name);
+    return it == r.end() ? nullptr : &it->second;
+}
+
+std::optional<CaseStudy>
+makeCaseStudy(const std::string &name)
+{
+    const CaseStudyMaker *maker = findCaseStudyMaker(name);
+    if (!maker)
+        return std::nullopt;
+    return (*maker)();
+}
+
+} // namespace owl::designs

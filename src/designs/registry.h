@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Name -> CaseStudy factory registry for the built-in designs, shared
+ * by the CLI (`owl <cmd> <design>`) and the serve subsystem (jobs
+ * name designs by the same strings).
+ */
+
+#ifndef OWL_DESIGNS_REGISTRY_H
+#define OWL_DESIGNS_REGISTRY_H
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "designs/case_study.h"
+
+namespace owl::designs
+{
+
+using CaseStudyMaker = std::function<CaseStudy()>;
+
+/** All built-in designs, keyed by CLI/serve name, sorted. */
+const std::map<std::string, CaseStudyMaker> &caseStudyRegistry();
+
+/** The registry's keys, sorted. */
+std::vector<std::string> caseStudyNames();
+
+/** Look up a maker; null for unknown names. */
+const CaseStudyMaker *findCaseStudyMaker(const std::string &name);
+
+/** Build a case study by name; nullopt for unknown names. */
+std::optional<CaseStudy> makeCaseStudy(const std::string &name);
+
+} // namespace owl::designs
+
+#endif // OWL_DESIGNS_REGISTRY_H

@@ -14,6 +14,32 @@
 namespace owl::obs
 {
 
+// ---- per-request counter sink ------------------------------------------
+
+namespace detail
+{
+
+/**
+ * Same-thread accumulation of counter deltas for the active
+ * RequestScope. No locks: exactly one thread reads and writes it (the
+ * one that installed it), and Counter::add() only consults the
+ * thread-local pointer.
+ */
+struct RequestSink
+{
+    std::unordered_map<const Counter *, uint64_t> deltas;
+};
+
+thread_local RequestSink *tlRequestSink = nullptr;
+
+void
+requestSinkAdd(const Counter *c, uint64_t delta)
+{
+    tlRequestSink->deltas[c] += delta;
+}
+
+} // namespace detail
+
 namespace
 {
 
@@ -356,45 +382,42 @@ TaskSpanScope::~TaskSpanScope()
 
 // ---- spans -------------------------------------------------------------
 
-void
-ScopedSpan::begin(const char *name)
+namespace
 {
-    node = new SpanNode;
-    node->name = name;
-    node->startNs = nowNs();
-    node->lane = currentLane();
-    tlSpanStack.push_back(node);
-    gOpenSpans.fetch_add(1, std::memory_order_relaxed);
+
+/**
+ * Merge spans delivered by worker threads this span dispatched to
+ * (TaskSpanContext). Sorting by start time keeps the exported child
+ * order meaningful even though workers finish out of order.
+ */
+void
+drainAdoptionSlot(SpanNode *node)
+{
+    if (!node->slot)
+        return;
+    std::vector<std::unique_ptr<SpanNode>> adopted;
+    {
+        std::lock_guard<std::mutex> lock(node->slot->mu);
+        node->slot->open = false;
+        adopted.swap(node->slot->pending);
+    }
+    std::sort(adopted.begin(), adopted.end(),
+              [](const auto &a, const auto &b) {
+                  return a->startNs < b->startNs;
+              });
+    for (auto &a : adopted)
+        node->children.push_back(std::move(a));
+    node->slot.reset();
 }
 
+/**
+ * Attach a closed span to its parent: the innermost open span on this
+ * thread, else the adoption target captured by TaskSpanScope, else
+ * the registry's root forest.
+ */
 void
-ScopedSpan::end()
+deliverClosedSpan(std::unique_ptr<SpanNode> owned)
 {
-    node->durNs = nowNs() - node->startNs;
-    // The innermost open span on this thread is necessarily this one:
-    // ScopedSpan is stack-allocated and spans strictly nest.
-    tlSpanStack.pop_back();
-    gOpenSpans.fetch_sub(1, std::memory_order_relaxed);
-    // Merge spans delivered by worker threads this span dispatched to
-    // (TaskSpanContext). Sorting by start time keeps the exported
-    // child order meaningful even though workers finish out of order.
-    if (node->slot) {
-        std::vector<std::unique_ptr<SpanNode>> adopted;
-        {
-            std::lock_guard<std::mutex> lock(node->slot->mu);
-            node->slot->open = false;
-            adopted.swap(node->slot->pending);
-        }
-        std::sort(adopted.begin(), adopted.end(),
-                  [](const auto &a, const auto &b) {
-                      return a->startNs < b->startNs;
-                  });
-        for (auto &a : adopted)
-            node->children.push_back(std::move(a));
-        node->slot.reset();
-    }
-    std::unique_ptr<SpanNode> owned(node);
-    node = nullptr;
     if (!tlSpanStack.empty()) {
         tlSpanStack.back()->children.push_back(std::move(owned));
         return;
@@ -413,6 +436,40 @@ ScopedSpan::end()
         OWL_COUNTER_INC("obs.spans.late_adopted");
     }
     Registry::instance().addRoot(std::move(owned));
+}
+
+} // namespace
+
+void
+ScopedSpan::begin(const char *name)
+{
+    node = new SpanNode;
+    node->name = name;
+    node->startNs = nowNs();
+    node->lane = currentLane();
+    tlSpanStack.push_back(node);
+    gOpenSpans.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+ScopedSpan::end()
+{
+    // A span still open on this thread is necessarily the innermost
+    // stack entry (ScopedSpan is stack-allocated and spans strictly
+    // nest). When it is not, a RequestScope force-closed this span as
+    // abandoned and its node's ownership already moved on — closing
+    // again would double-deliver.
+    if (tlSpanStack.empty() || tlSpanStack.back() != node) {
+        node = nullptr;
+        return;
+    }
+    node->durNs = nowNs() - node->startNs;
+    tlSpanStack.pop_back();
+    gOpenSpans.fetch_sub(1, std::memory_order_relaxed);
+    drainAdoptionSlot(node);
+    std::unique_ptr<SpanNode> owned(node);
+    node = nullptr;
+    deliverClosedSpan(std::move(owned));
 }
 
 void
@@ -462,7 +519,8 @@ Registry::counter(const std::string &name)
     std::lock_guard<std::mutex> lock(i.mu);
     auto it = i.counters.find(name);
     if (it == i.counters.end()) {
-        it = i.counters.emplace(name, std::make_unique<Counter>())
+        it = i.counters
+                 .emplace(name, std::make_unique<Counter>(name))
                  .first;
     }
     return *it->second;
@@ -698,6 +756,179 @@ Registry::writeJsonFile(
     if (!f)
         return false;
     f << toJsonString(meta);
+    return static_cast<bool>(f);
+}
+
+// ---- per-request isolation ---------------------------------------------
+
+RequestScope::RequestScope(const char *name)
+{
+    if (!enabled())
+        return;
+    root = new SpanNode;
+    root->name = name;
+    root->startNs = nowNs();
+    root->lane = currentLane();
+    startNs_ = root->startNs;
+    tlSpanStack.push_back(root);
+    gOpenSpans.fetch_add(1, std::memory_order_relaxed);
+    sink = new detail::RequestSink;
+    prevSink = detail::tlRequestSink;
+    detail::tlRequestSink = sink;
+}
+
+RequestScope::~RequestScope()
+{
+    if (!root) {
+        return;
+    }
+    forceCloseAbandoned();
+    detail::tlRequestSink = prevSink;
+    delete sink;
+    sink = nullptr;
+    root->durNs = nowNs() - root->startNs;
+    // forceCloseAbandoned() left the request root as the innermost
+    // open span on this thread.
+    tlSpanStack.pop_back();
+    gOpenSpans.fetch_sub(1, std::memory_order_relaxed);
+    drainAdoptionSlot(root);
+    std::unique_ptr<SpanNode> owned(root);
+    root = nullptr;
+    deliverClosedSpan(std::move(owned));
+}
+
+void
+RequestScope::attr(const char *key, int64_t value)
+{
+    if (root)
+        root->attrs.push_back(SpanAttr{key, false, value, {}});
+}
+
+void
+RequestScope::attr(const char *key, const std::string &value)
+{
+    if (root)
+        root->attrs.push_back(SpanAttr{key, true, 0, value});
+}
+
+size_t
+RequestScope::openSpans() const
+{
+    if (!root)
+        return 0;
+    size_t above = 0;
+    for (auto it = tlSpanStack.rbegin();
+         it != tlSpanStack.rend() && *it != root; ++it)
+        above++;
+    return above;
+}
+
+size_t
+RequestScope::forceCloseAbandoned()
+{
+    if (!root)
+        return 0;
+    size_t closed = 0;
+    // Innermost first: each abandoned span is closed and attached to
+    // the next span down the stack, so the exported tree keeps its
+    // shape. Safe only because the spans' ScopedSpan owners are gone
+    // (the serve loop runs this after catching the request's
+    // exception, when the stack has unwound past them).
+    while (!tlSpanStack.empty() && tlSpanStack.back() != root) {
+        SpanNode *n = tlSpanStack.back();
+        n->durNs = nowNs() - n->startNs;
+        n->attrs.push_back(SpanAttr{"abandoned", false, 1, {}});
+        tlSpanStack.pop_back();
+        gOpenSpans.fetch_sub(1, std::memory_order_relaxed);
+        drainAdoptionSlot(n);
+        std::unique_ptr<SpanNode> owned(n);
+        deliverClosedSpan(std::move(owned));
+        closed++;
+    }
+    if (closed) {
+        abandoned += closed;
+        fprintf(stderr,
+                "[owl:obs] warning: request scope \"%s\" "
+                "force-closed %zu abandoned span(s) (see "
+                "obs.request.spans_abandoned)\n",
+                root->name.c_str(), closed);
+        Registry::instance()
+            .counter("obs.request.spans_abandoned")
+            .add(closed);
+    }
+    return closed;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+RequestScope::counterDeltas() const
+{
+    std::vector<std::pair<std::string, uint64_t>> out;
+    if (!sink)
+        return out;
+    out.reserve(sink->deltas.size());
+    for (const auto &[c, delta] : sink->deltas) {
+        if (!c->name().empty())
+            out.emplace_back(c->name(), delta);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+uint64_t
+RequestScope::counterDelta(const std::string &name) const
+{
+    if (!sink)
+        return 0;
+    for (const auto &[c, delta] : sink->deltas) {
+        if (c->name() == name)
+            return delta;
+    }
+    return 0;
+}
+
+json::Value
+RequestScope::toJson(
+    const std::vector<std::pair<std::string, std::string>> &meta) const
+{
+    json::Value doc = json::Value::object();
+    doc.set("schema", "owl.obs.v2");
+    if (!meta.empty()) {
+        json::Value m = json::Value::object();
+        for (const auto &[k, v] : meta)
+            m.set(k, v);
+        doc.set("meta", std::move(m));
+    }
+    json::Value counters = json::Value::object();
+    for (const auto &[name, delta] : counterDeltas())
+        counters.set(name, delta);
+    doc.set("counters", std::move(counters));
+    // Histograms are process-global (per-thread shards are merged at
+    // export); a per-request slice is not available, so the object is
+    // present (schema) but empty.
+    doc.set("histograms", json::Value::object());
+    doc.set("open_spans", static_cast<int64_t>(openSpans()));
+    json::Value spans = json::Value::array();
+    if (root) {
+        // Snapshot: the root is still open, so report duration so far.
+        // Same-thread access — no other thread touches this tree.
+        uint64_t saved = root->durNs;
+        root->durNs = nowNs() - root->startNs;
+        spans.push(spanToJson(*root));
+        root->durNs = saved;
+    }
+    doc.set("spans", std::move(spans));
+    return doc;
+}
+
+bool
+RequestScope::writeJsonFile(
+    const std::string &path,
+    const std::vector<std::pair<std::string, std::string>> &meta) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << toJson(meta).dump(2);
     return static_cast<bool>(f);
 }
 

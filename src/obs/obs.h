@@ -99,16 +99,42 @@ uint64_t nowNs();
 
 // ---- counters ----------------------------------------------------------
 
+class Counter;
+
+namespace detail
+{
+/**
+ * Per-thread counter-delta sink installed by RequestScope. While one
+ * is active on a thread, every Counter::add() on that thread is
+ * additionally recorded as a per-request delta; other threads (and
+ * their own scopes) are unaffected, which is what keeps per-request
+ * exports free of cross-request leakage.
+ */
+struct RequestSink;
+extern thread_local RequestSink *tlRequestSink;
+void requestSinkAdd(const Counter *c, uint64_t delta);
+} // namespace detail
+
 /** A named process-wide accumulator. Thread-safe. */
 class Counter
 {
   public:
-    void add(uint64_t delta) { v.fetch_add(delta, std::memory_order_relaxed); }
+    explicit Counter(std::string name = {}) : name_(std::move(name)) {}
+
+    void add(uint64_t delta)
+    {
+        v.fetch_add(delta, std::memory_order_relaxed);
+        if (detail::tlRequestSink != nullptr)
+            detail::requestSinkAdd(this, delta);
+    }
     uint64_t get() const { return v.load(std::memory_order_relaxed); }
     void reset() { v.store(0, std::memory_order_relaxed); }
+    /** Registry name ("" for counters created outside the registry). */
+    const std::string &name() const { return name_; }
 
   private:
     std::atomic<uint64_t> v{0};
+    std::string name_;
 };
 
 // ---- histograms --------------------------------------------------------
@@ -363,6 +389,103 @@ class TaskSpanScope
 
   private:
     std::shared_ptr<AdoptionSlot> prev;
+};
+
+// ---- per-request isolation ---------------------------------------------
+
+/**
+ * RAII scope giving one serve request its own span tree and counter
+ * deltas, without cross-request leakage (ISSUE 7 satellite).
+ *
+ *  - Spans: construction opens a root span (like ScopedSpan) under
+ *    which all the request's spans nest; the tree is exportable
+ *    per-request via toJson()/writeJsonFile() while the global
+ *    registry still receives it as a normal root at destruction.
+ *
+ *  - Counters: while the scope is alive, every Counter::add() on this
+ *    thread is additionally recorded as a per-request delta
+ *    (global counters are unaffected). counterDeltas() returns what
+ *    this request alone added. Same-thread only by design: a serve
+ *    session processes one request on one worker thread, and deltas
+ *    booked by helpers on other threads stay global-only.
+ *
+ *  - Abandonment: a request that throws (owl_panic) or is cancelled
+ *    mid-span would leave open spans on the thread stack, poisoning
+ *    the next request's tree. forceCloseAbandoned() (also run by the
+ *    destructor) closes every span still open above the request root,
+ *    tags each with attr abandoned=1, and books
+ *    `obs.request.spans_abandoned`. Only safe because those spans'
+ *    ScopedSpan owners are already destroyed (stack unwound past
+ *    them) or will never run their destructor body again — see
+ *    serve::Server for the catch-before-export discipline.
+ *
+ * Scopes must not nest on one thread, and the scope must be destroyed
+ * on the thread that created it. Inactive (all methods no-ops, active()
+ * false) while recording is disabled.
+ */
+class RequestScope
+{
+  public:
+    explicit RequestScope(const char *name);
+    ~RequestScope();
+    RequestScope(const RequestScope &) = delete;
+    RequestScope &operator=(const RequestScope &) = delete;
+
+    bool active() const { return root != nullptr; }
+
+    /** Attach an attribute to the request root span. */
+    void attr(const char *key, int64_t value);
+    void attr(const char *key, const std::string &value);
+
+    /**
+     * Close every span still open above the request root (stack
+     * unwound past their ScopedSpan owners without end() running is
+     * impossible — ScopedSpan always ends — so in practice these are
+     * spans begun by code that leaked them or was force-terminated).
+     * Returns how many were closed; also booked into
+     * `obs.request.spans_abandoned` and abandonedSpans().
+     */
+    size_t forceCloseAbandoned();
+
+    /** Total spans force-closed by this scope so far. */
+    size_t abandonedSpans() const { return abandoned; }
+
+    /** Spans currently open on this thread above the request root. */
+    size_t openSpans() const;
+
+    /**
+     * This request's counter deltas (name -> amount added while the
+     * scope was active on this thread), sorted by name. Unnamed
+     * counters (created outside the registry) are skipped.
+     */
+    std::vector<std::pair<std::string, uint64_t>> counterDeltas() const;
+
+    /** Delta for one counter name; 0 when untouched. */
+    uint64_t counterDelta(const std::string &name) const;
+
+    /**
+     * Per-request stats document in the owl.obs.v2 shape: counters
+     * are this request's deltas, histograms are empty (histograms are
+     * process-global), spans holds a snapshot of the request tree (the
+     * root span's dur_ns is "so far"), open_spans counts spans still
+     * open above the root.
+     */
+    json::Value toJson(
+        const std::vector<std::pair<std::string, std::string>> &meta =
+            {}) const;
+
+    /** Write toJson() to a file; false on I/O failure. */
+    bool writeJsonFile(
+        const std::string &path,
+        const std::vector<std::pair<std::string, std::string>> &meta =
+            {}) const;
+
+  private:
+    SpanNode *root = nullptr;
+    detail::RequestSink *sink = nullptr;
+    detail::RequestSink *prevSink = nullptr;
+    size_t abandoned = 0;
+    uint64_t startNs_ = 0;
 };
 
 // ---- registry ----------------------------------------------------------

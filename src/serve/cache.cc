@@ -1,0 +1,87 @@
+#include "serve/cache.h"
+
+#include "obs/obs.h"
+
+namespace owl::serve
+{
+
+ResultCache::ResultCache(size_t max_bytes) : maxBytes_(max_bytes) {}
+
+size_t
+ResultCache::entryBytes(const std::string &key,
+                        const synth::HoleValues &holes)
+{
+    size_t n = key.size() + 64; // entry + index bookkeeping
+    for (const auto &[name, v] : holes)
+        n += name.size() + 16 +
+             static_cast<size_t>((v.width() + 7) / 8);
+    return n;
+}
+
+void
+ResultCache::publishBytes()
+{
+    // Counter has no set(); reset+add under the cache mutex keeps the
+    // exported value equal to the resident size.
+    obs::Counter &c =
+        obs::Registry::instance().counter("serve.cache.bytes");
+    c.reset();
+    c.add(curBytes);
+}
+
+std::optional<synth::HoleValues>
+ResultCache::lookup(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = index.find(key);
+    if (it == index.end()) {
+        st.misses++;
+        OWL_COUNTER_INC("serve.cache.misses");
+        return std::nullopt;
+    }
+    st.hits++;
+    OWL_COUNTER_INC("serve.cache.hits");
+    lru.splice(lru.begin(), lru, it->second);
+    return it->second->holes;
+}
+
+void
+ResultCache::insert(const std::string &key,
+                    const synth::HoleValues &holes)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = index.find(key);
+    if (it != index.end()) {
+        curBytes -= it->second->bytes;
+        lru.erase(it->second);
+        index.erase(it);
+    }
+    lru.push_front(Entry{key, holes, entryBytes(key, holes)});
+    index.emplace(key, lru.begin());
+    curBytes += lru.front().bytes;
+    st.insertions++;
+    OWL_COUNTER_INC("serve.cache.insertions");
+    while (maxBytes_ > 0 && curBytes > maxBytes_ && lru.size() > 1) {
+        const Entry &victim = lru.back();
+        curBytes -= victim.bytes;
+        index.erase(victim.key);
+        lru.pop_back();
+        st.evictions++;
+        OWL_COUNTER_INC("serve.cache.evictions");
+    }
+    st.bytes = curBytes;
+    st.entries = lru.size();
+    publishBytes();
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    CacheStats out = st;
+    out.bytes = curBytes;
+    out.entries = lru.size();
+    return out;
+}
+
+} // namespace owl::serve

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The cross-request result cache: content-addressed memoization of
+ * per-instruction hole assignments (DESIGN.md §11).
+ *
+ * Keys come from serve::cacheKey (design fingerprint × instruction
+ * fingerprint); values are complete lexmin-canonical HoleValues from
+ * a SynthStatus::Ok run. Only Ok results are cached: a Timeout or
+ * IterLimit verdict depends on the request's budget/limits, which are
+ * deliberately *not* part of the key — a cached Ok answer is valid
+ * under any budget because the lexmin assignment is a property of the
+ * formula alone.
+ *
+ * Bounded by an approximate byte budget with LRU eviction. All
+ * methods are thread-safe; accounting lands in the serve.cache.*
+ * counters (hits, misses, insertions, evictions, bytes — `bytes` is
+ * maintained as the current resident size).
+ */
+
+#ifndef OWL_SERVE_CACHE_H
+#define OWL_SERVE_CACHE_H
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/cegis.h"
+
+namespace owl::serve
+{
+
+/** Point-in-time cache accounting (monotonic except bytes/entries). */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t bytes = 0;   ///< current resident estimate
+    uint64_t entries = 0; ///< current entry count
+};
+
+class ResultCache
+{
+  public:
+    /** @param max_bytes eviction threshold; 0 = unbounded. */
+    explicit ResultCache(size_t max_bytes = 64u << 20);
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Look up a memoized hole assignment. Books a hit or a miss in
+     * both stats() and the serve.cache.* counters.
+     */
+    std::optional<synth::HoleValues> lookup(const std::string &key);
+
+    /**
+     * Memoize an Ok result. Overwrites an existing entry for the key
+     * (identical by construction — fingerprint collisions aside).
+     * Evicts least-recently-used entries past the byte budget.
+     */
+    void insert(const std::string &key,
+                const synth::HoleValues &holes);
+
+    CacheStats stats() const;
+
+    size_t maxBytes() const { return maxBytes_; }
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        synth::HoleValues holes;
+        size_t bytes = 0;
+    };
+
+    /** Approximate resident size of one entry. */
+    static size_t entryBytes(const std::string &key,
+                             const synth::HoleValues &holes);
+
+    /** Sync the serve.cache.bytes counter to the resident size. */
+    void publishBytes();
+
+    mutable std::mutex mu;
+    std::list<Entry> lru; ///< most recently used first
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    size_t maxBytes_;
+    size_t curBytes = 0;
+    CacheStats st;
+};
+
+} // namespace owl::serve
+
+#endif // OWL_SERVE_CACHE_H

@@ -1,0 +1,128 @@
+#include "serve/fingerprint.h"
+
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include "core/absfunc_parser.h"
+#include "ila/expr.h"
+#include "oyster/printer.h"
+
+namespace owl::serve
+{
+
+namespace
+{
+
+/**
+ * Memoized structural hash over one IlaContext's expression pool.
+ * State/input leaves hash the referenced state's *content* (name,
+ * kind, widths, memconst words) rather than its registry index, so
+ * fingerprints survive re-registration order changes between builds
+ * of semantically identical ILAs.
+ */
+class ExprHasher
+{
+  public:
+    explicit ExprHasher(const ila::IlaContext &ctx) : ctx(ctx) {}
+
+    uint64_t hash(int32_t idx)
+    {
+        auto it = memo.find(idx);
+        if (it != memo.end())
+            return it->second;
+        const ila::IlaNode &n = ctx.node(idx);
+        Fnv64 f;
+        f.u64(static_cast<uint64_t>(n.op));
+        f.i64(n.width);
+        f.u64(n.isMem ? 1 : 0);
+        switch (n.op) {
+          case ila::IlaOp::Const:
+            f.i64(n.cval.width());
+            f.str(n.cval.toHex());
+            break;
+          case ila::IlaOp::StateVar:
+          case ila::IlaOp::InputVar:
+            hashState(f, n.a);
+            break;
+          case ila::IlaOp::Extract:
+            f.i64(n.a);
+            f.i64(n.b);
+            break;
+          default:
+            break;
+        }
+        for (int32_t kid : n.kids)
+            f.u64(hash(kid));
+        uint64_t h = f.value();
+        memo.emplace(idx, h);
+        return h;
+    }
+
+    void hashState(Fnv64 &f, int state_idx) const
+    {
+        const ila::StateInfo &s = ctx.state(state_idx);
+        f.str(s.name);
+        f.u64(static_cast<uint64_t>(s.kind));
+        f.i64(s.width);
+        f.i64(s.addrWidth);
+        f.u64(s.constContents.size());
+        for (const BitVec &w : s.constContents)
+            f.str(w.toHex());
+    }
+
+  private:
+    const ila::IlaContext &ctx;
+    std::unordered_map<int32_t, uint64_t> memo;
+};
+
+} // namespace
+
+uint64_t
+designFingerprint(const oyster::Design &sketch, const ila::Ila &spec,
+                  const synth::AbsFunc &alpha)
+{
+    Fnv64 f;
+    f.str(oyster::printOyster(sketch));
+    f.str(synth::printAbsFunc(alpha));
+    f.str(spec.name());
+    ExprHasher hasher(spec.ctx());
+    f.u64(spec.states().size());
+    for (size_t i = 0; i < spec.states().size(); i++)
+        hasher.hashState(f, static_cast<int>(i));
+    f.u64(spec.hasFetch() ? 1 : 0);
+    if (spec.hasFetch())
+        f.u64(hasher.hash(spec.fetch().idx()));
+    return f.value();
+}
+
+uint64_t
+instrFingerprint(const ila::Ila &spec, const ila::Instr &instr)
+{
+    Fnv64 f;
+    ExprHasher hasher(spec.ctx());
+    f.str(instr.name());
+    f.u64(instr.hasDecode() ? 1 : 0);
+    if (instr.hasDecode())
+        f.u64(hasher.hash(instr.decode().idx()));
+    f.u64(instr.updates().size());
+    for (const ila::Update &u : instr.updates()) {
+        Fnv64 state;
+        hasher.hashState(state, u.stateIdx);
+        f.u64(state.value());
+        f.u64(hasher.hash(u.value.idx()));
+    }
+    return f.value();
+}
+
+std::string
+cacheKey(uint64_t design_fp, uint64_t instr_fp)
+{
+    char buf[2 * 16 + 2];
+    snprintf(buf, sizeof buf, "%016llx:%016llx",
+             static_cast<unsigned long long>(design_fp),
+             static_cast<unsigned long long>(instr_fp));
+    return buf;
+}
+
+} // namespace owl::serve

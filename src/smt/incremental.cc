@@ -172,9 +172,36 @@ IncrementalContext::literalsOf(TermRef t)
 }
 
 int
+IncrementalContext::beginReuse()
+{
+    gen++;
+    istats.reuses++;
+    OWL_COUNTER_INC("smt.inc.session_reuses");
+    return gen;
+}
+
+int
 IncrementalContext::addGroup(const std::vector<TermRef> &assertions)
 {
     obs::ScopedSpan span("smt.inc.addGroup");
+    // Warm-session replays re-derive counterexample constraints the
+    // session already carries; hash-consing makes them TermRef-equal,
+    // so an exact batch match can be answered with the existing group
+    // (its activation literal is already in every check()'s
+    // assumptions — semantically a no-op, but it keeps the assumption
+    // set and clause database from growing without bound).
+    std::vector<uint32_t> key;
+    key.reserve(assertions.size());
+    for (TermRef t : assertions)
+        key.push_back(t.idx);
+    auto hit = groupIndex.find(key);
+    if (hit != groupIndex.end()) {
+        istats.groupsDeduped++;
+        OWL_COUNTER_INC("smt.inc.groups_deduped");
+        span.attr("group", hit->second);
+        span.attr("deduped", 1);
+        return hit->second;
+    }
     int gid = static_cast<int>(activations.size());
     size_t cached_before = blaster->cachedTerms();
     uint64_t reachable = reachableTerms(assertions);
@@ -197,6 +224,7 @@ IncrementalContext::addGroup(const std::vector<TermRef> &assertions)
     registerLeaves(assertions);
     mirrorToRacers();
     activations.push_back(act);
+    groupIndex.emplace(std::move(key), gid);
     istats.groups++;
     // Counter-track sample for --trace-out: cumulative blast-cache
     // hits, one point per group (a natural low-frequency stride).

@@ -36,6 +36,7 @@
 #ifndef OWL_SMT_INCREMENTAL_H
 #define OWL_SMT_INCREMENTAL_H
 
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -92,6 +93,16 @@ struct IncrementalStats
     /** Term-DAG nodes newly encoded to CNF by this session. */
     uint64_t nodesEncoded = 0;
     uint64_t groups = 0;
+    /**
+     * addGroup() batches that were assertion-for-assertion identical
+     * to an existing group and were answered with that group's id
+     * instead of a new activation literal (warm-session replays —
+     * serve's session pool re-feeds counterexamples the session
+     * already carries).
+     */
+    uint64_t groupsDeduped = 0;
+    /** beginReuse() calls: times this session was checked out warm. */
+    uint64_t reuses = 0;
     /** Ackermann congruence constraints added (incrementally). */
     uint64_t ackermannConstraints = 0;
 };
@@ -127,8 +138,27 @@ class IncrementalContext
      * Add a group of 1-bit assertions guarded by a fresh activation
      * literal; every subsequent check() assumes the group. Returns the
      * group id (dense, starting at 0) used by failedGroups().
+     *
+     * Idempotent per assertion batch: a batch whose TermRef sequence
+     * exactly matches an earlier group's returns that group's id
+     * without growing the assumption set (hash-consing makes replayed
+     * counterexample constraints bit-identical, so warm-session reuse
+     * hits this path instead of accreting duplicate groups). Booked in
+     * stats().groupsDeduped.
      */
     int addGroup(const std::vector<TermRef> &assertions);
+
+    /**
+     * Mark the start of a warm reuse of this session (serve's session
+     * pool calls it at checkout). Pure bookkeeping: bumps the
+     * generation and stats().reuses; the accumulated groups, learned
+     * clauses, and blast cache all stay live — that is the point.
+     * Returns the new generation (1-based; 0 = never reused).
+     */
+    int beginReuse();
+
+    /** How many times beginReuse() has been called. */
+    int generation() const { return gen; }
 
     /**
      * Solve everything asserted so far. limits.portfolioJobs and
@@ -189,6 +219,9 @@ class IncrementalContext
 
     std::vector<sat::Lit> activations;      ///< group id -> activation lit
     std::unordered_map<int, int> actVarToGroup;
+    /** Exact assertion batch -> existing group id (addGroup dedup). */
+    std::map<std::vector<uint32_t>, int> groupIndex;
+    int gen = 0; ///< beginReuse() count
 
     /** Leaves tracked for model extraction (vars + base reads). */
     std::vector<TermRef> modelLeaves;

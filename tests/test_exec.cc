@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <random>
 #include <thread>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "designs/accumulator.h"
 #include "designs/riscv_single_cycle.h"
 #include "exec/portfolio.h"
+#include "exec/queue.h"
 #include "exec/thread_pool.h"
 
 using namespace owl;
@@ -358,4 +361,104 @@ TEST(ExecSynth, PortfolioSynthesisVerifies)
     EXPECT_EQ(verifyDesign(cs.sketch, cs.spec, cs.alpha, nullptr,
                            vopts),
               SynthStatus::Ok);
+}
+
+// ---- bounded queue -----------------------------------------------------
+
+TEST(ExecQueue, FifoOrderAndAccounting)
+{
+    BoundedQueue<int> q(4);
+    EXPECT_EQ(q.capacity(), 4u);
+    EXPECT_TRUE(q.push(1));
+    EXPECT_TRUE(q.push(2));
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pop(), 1);
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_FALSE(q.tryPop().has_value());
+}
+
+TEST(ExecQueue, TryPushRespectsCapacity)
+{
+    BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.tryPush(1));
+    EXPECT_TRUE(q.tryPush(2));
+    EXPECT_FALSE(q.tryPush(3));
+    q.pop();
+    EXPECT_TRUE(q.tryPush(3));
+}
+
+TEST(ExecQueue, CloseDrainsThenSignalsShutdown)
+{
+    BoundedQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.push(3));     // intake refused...
+    EXPECT_FALSE(q.tryPush(3));
+    EXPECT_EQ(q.pop(), 1);       // ...but queued items still drain
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(ExecQueue, CloseWakesBlockedConsumers)
+{
+    BoundedQueue<int> q(1);
+    std::thread consumer([&] {
+        EXPECT_FALSE(q.pop().has_value());
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    q.close();
+    consumer.join();
+}
+
+TEST(ExecQueue, BlockedProducerResumesWhenSpaceFrees)
+{
+    BoundedQueue<int> q(1);
+    EXPECT_TRUE(q.push(1));
+    std::atomic<bool> pushed{false};
+    std::thread producer([&] {
+        EXPECT_TRUE(q.push(2)); // blocks until the consumer pops
+        pushed = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(pushed.load());
+    EXPECT_EQ(q.pop(), 1);
+    producer.join();
+    EXPECT_TRUE(pushed.load());
+    EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(ExecQueue, ConcurrentProducersConsumersLoseNothing)
+{
+    // 4 producers x 250 items through a tiny queue into 4 consumers:
+    // every item arrives exactly once (the TSan workout).
+    BoundedQueue<int> q(8);
+    constexpr int kProducers = 4, kPerProducer = 250;
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; p++)
+        producers.emplace_back([&q, p] {
+            for (int i = 0; i < kPerProducer; i++)
+                ASSERT_TRUE(q.push(p * kPerProducer + i));
+        });
+    std::mutex seen_mu;
+    std::vector<int> seen;
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < 4; c++)
+        consumers.emplace_back([&] {
+            while (auto v = q.pop()) {
+                std::lock_guard<std::mutex> lock(seen_mu);
+                seen.push_back(*v);
+            }
+        });
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+    std::sort(seen.begin(), seen.end());
+    ASSERT_EQ(seen.size(),
+              static_cast<size_t>(kProducers * kPerProducer));
+    for (int i = 0; i < kProducers * kPerProducer; i++)
+        EXPECT_EQ(seen[i], i);
 }

@@ -11,8 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <functional>
 #include <map>
+#include <sstream>
 #include <thread>
 
 #include "core/synthesis.h"
@@ -683,4 +685,127 @@ TEST_F(ObsTest, ConcurrentSynthesisTasksProduceCoherentTree)
     EXPECT_EQ(counters.find("cegis.iterations")->asInt(),
               r.cegisIterations);
     EXPECT_GT(counters.find("exec.tasks")->asInt(), 0);
+}
+
+// ---- per-request scopes (serve) ----------------------------------------
+
+TEST_F(ObsTest, RequestScopeCapturesOnlyItsOwnCounterDeltas)
+{
+    obs::Registry::instance().counter("rq.counter").add(5);
+    {
+        obs::RequestScope scope("request-a");
+        ASSERT_TRUE(scope.active());
+        OWL_COUNTER_ADD("rq.counter", 3);
+        EXPECT_EQ(scope.counterDelta("rq.counter"), 3u);
+        EXPECT_EQ(scope.counterDelta("rq.other"), 0u);
+    }
+    {
+        // A fresh scope starts from zero deltas even though the
+        // process-wide counter kept its value.
+        obs::RequestScope scope("request-b");
+        EXPECT_EQ(scope.counterDelta("rq.counter"), 0u);
+        OWL_COUNTER_ADD("rq.counter", 2);
+        EXPECT_EQ(scope.counterDelta("rq.counter"), 2u);
+    }
+    EXPECT_EQ(obs::Registry::instance().counterValue("rq.counter"),
+              10u);
+}
+
+TEST_F(ObsTest, RequestScopeDeltasAreThreadIsolated)
+{
+    // Two concurrent scopes on different threads must not see each
+    // other's increments (the serve invariant: one request runs on
+    // one session thread).
+    auto run = [](uint64_t delta, uint64_t *out) {
+        obs::RequestScope scope("request");
+        OWL_COUNTER_ADD("rq.threaded", delta);
+        *out = scope.counterDelta("rq.threaded");
+    };
+    uint64_t a = 0, b = 0;
+    std::thread ta(run, 7, &a);
+    std::thread tb(run, 11, &b);
+    ta.join();
+    tb.join();
+    EXPECT_EQ(a, 7u);
+    EXPECT_EQ(b, 11u);
+    EXPECT_EQ(obs::Registry::instance().counterValue("rq.threaded"),
+              18u);
+}
+
+TEST_F(ObsTest, RequestScopeExportsItsSpanTree)
+{
+    obs::RequestScope scope("request");
+    {
+        obs::ScopedSpan outer("outer");
+        obs::ScopedSpan inner("inner");
+    }
+    Value doc = scope.toJson({{"tool", "test"}});
+    EXPECT_EQ(doc.find("schema")->asString(), "owl.obs.v2");
+    EXPECT_EQ(doc.find("meta")->find("tool")->asString(), "test");
+    const Value &spans = *doc.find("spans");
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans.items()[0].find("name")->asString(), "request");
+    const Value *outer = findSpan(spans, "outer");
+    ASSERT_NE(outer, nullptr);
+    EXPECT_NE(findSpan(*outer->find("children"), "inner"), nullptr);
+}
+
+TEST_F(ObsTest, RequestScopeForceClosesAbandonedSpans)
+{
+    // Simulate a request that threw mid-span: spans above the scope
+    // root are still open when the request finishes. forceClose must
+    // close them (marking them), book the counter, and leave the
+    // thread's span stack clean for the next request.
+    {
+        obs::RequestScope scope("request");
+        auto *a = new obs::ScopedSpan("leaked-outer");
+        auto *b = new obs::ScopedSpan("leaked-inner");
+        EXPECT_EQ(scope.openSpans(), 2u);
+        size_t closed = scope.forceCloseAbandoned();
+        EXPECT_EQ(closed, 2u);
+        EXPECT_EQ(scope.openSpans(), 0u);
+        EXPECT_EQ(scope.abandonedSpans(), 2u);
+
+        Value doc = scope.toJson();
+        const Value *leaked = findSpan(*doc.find("spans"),
+                                       "leaked-outer");
+        ASSERT_NE(leaked, nullptr);
+        EXPECT_EQ(leaked->find("attrs")->find("abandoned")->asInt(),
+                  1);
+        // The ScopedSpan objects themselves are dead weight now;
+        // their destructors must not double-close.
+        delete b;
+        delete a;
+    }
+    EXPECT_EQ(obs::Registry::instance().counterValue(
+                  "obs.request.spans_abandoned"),
+              2u);
+
+    // The next scope on this thread is unaffected.
+    obs::RequestScope scope("request-2");
+    {
+        obs::ScopedSpan ok("clean");
+    }
+    EXPECT_EQ(scope.openSpans(), 0u);
+    EXPECT_EQ(scope.forceCloseAbandoned(), 0u);
+}
+
+TEST_F(ObsTest, RequestScopeWritesJsonFile)
+{
+    std::string path =
+        testing::TempDir() + "owl_request_scope_test.json";
+    {
+        obs::RequestScope scope("request");
+        OWL_COUNTER_INC("rq.file");
+        ASSERT_TRUE(scope.writeJsonFile(path, {{"id", "j1"}}));
+    }
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::stringstream ss;
+    ss << f.rdbuf();
+    Value doc;
+    ASSERT_TRUE(Value::parse(ss.str(), doc));
+    EXPECT_EQ(doc.find("meta")->find("id")->asString(), "j1");
+    EXPECT_EQ(doc.find("counters")->find("rq.file")->asInt(), 1);
+    ::remove(path.c_str());
 }

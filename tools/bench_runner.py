@@ -65,6 +65,15 @@ TRACKED_COUNTERS = [
     "cegis.counterexamples",
     "smt.checks",
     "smt.ackermann_constraints",
+    # Serve-loop accounting: exact for a sequential batch (one
+    # session), and the hits/misses split is the cache's fingerprint.
+    "serve.requests",
+    "serve.instr_queries",
+    "serve.cache.hits",
+    "serve.cache.misses",
+    "serve.cache.insertions",
+    "serve.sessions.created",
+    "serve.sessions.reused",
 ]
 
 TRACKED_HISTOGRAMS = [
@@ -75,15 +84,20 @@ TRACKED_HISTOGRAMS = [
 ]
 
 # Suites: name -> list of (run name, owl args). Sequential on purpose
-# (determinism); kept small enough for a 1-CPU CI box.
+# (determinism); kept small enough for a 1-CPU CI box. "@SMOKE_JOBS"
+# resolves to tools/serve_smoke_jobs.json next to this script.
 SUITES = {
     "smoke": [
         ("synth-accumulator", ["synth", "accumulator"]),
         ("synth-accumulator-fresh",
          ["synth", "accumulator", "--no-incremental"]),
         ("lint-accumulator", ["lint", "accumulator"]),
+        ("serve-batch", ["serve", "--batch", "@SMOKE_JOBS"]),
     ],
 }
+
+SMOKE_JOBS = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          "serve_smoke_jobs.json")
 
 
 def run_one(owl_bin, owl_args):
@@ -172,6 +186,8 @@ def main():
 
     if args.owl:
         for name, owl_args in SUITES[args.suite]:
+            owl_args = [SMOKE_JOBS if a == "@SMOKE_JOBS" else a
+                        for a in owl_args]
             print("[bench] %s: owl %s" % (name, " ".join(owl_args)))
             wall, doc = run_one(args.owl, owl_args)
             entry["runs"][name] = summarize(doc, wall)

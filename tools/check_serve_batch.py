@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""End-to-end check of `owl serve --batch`.
+
+Runs the smoke jobs file (deliberate duplicates: each design appears
+once cold and at least once repeated) through the serve loop and
+validates the owl.serve.v1 results document:
+
+  - every job reports status "ok" and the tool exits 0;
+  - the first job per design misses the cache on every instruction;
+  - every repeat job is answered entirely from the cache (zero CEGIS
+    iterations) and its hole assignments are bit-identical to the
+    cold run's — the lexmin canonicalization guarantee that makes
+    cross-request caching safe;
+  - per-request accounting balances (hits + misses = instruction
+    count of the design).
+
+Usage:
+  check_serve_batch.py --owl PATH/TO/owl [--jobs JOBS_JSON]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def fail(msg):
+    print("FAIL: %s" % msg)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--owl", required=True, help="owl binary")
+    ap.add_argument("--jobs",
+                    default=os.path.join(os.path.dirname(__file__),
+                                         "serve_smoke_jobs.json"),
+                    help="jobs file (default: serve_smoke_jobs.json)")
+    args = ap.parse_args()
+
+    fd, results_path = tempfile.mkstemp(prefix="owl_serve_results_",
+                                        suffix=".json")
+    os.close(fd)
+    cmd = [args.owl, "serve", "--batch", args.jobs,
+           "--results", results_path]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=240)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr)
+            fail("%s exited with %d" % (" ".join(cmd),
+                                        proc.returncode))
+        with open(results_path) as f:
+            doc = json.load(f)
+    finally:
+        if os.path.exists(results_path):
+            os.unlink(results_path)
+
+    if doc.get("schema") != "owl.serve.v1":
+        fail("results schema is %r, want owl.serve.v1"
+             % doc.get("schema"))
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        fail("results missing or empty")
+
+    first_by_design = {}
+    repeats = 0
+    for r in results:
+        rid, design = r.get("id", "?"), r.get("design", "?")
+        if r.get("status") != "ok":
+            fail("job %s (%s) status %r: %s"
+                 % (rid, design, r.get("status"), r.get("error", "")))
+        holes = r.get("holes")
+        if not isinstance(holes, dict) or not holes:
+            fail("job %s has no hole assignments" % rid)
+        n_instr = len(holes)
+        hits, misses = r.get("cache_hits"), r.get("cache_misses")
+        if hits + misses != n_instr:
+            fail("job %s accounting: hits %d + misses %d != %d "
+                 "instructions" % (rid, hits, misses, n_instr))
+        if design not in first_by_design:
+            first_by_design[design] = r
+            if misses != n_instr or hits != 0:
+                fail("cold job %s expected all misses, got %d/%d"
+                     % (rid, hits, n_instr))
+            continue
+        repeats += 1
+        cold = first_by_design[design]
+        if hits != n_instr or misses != 0:
+            fail("repeat job %s expected all cache hits, got %d "
+                 "hits / %d misses" % (rid, hits, misses))
+        if r.get("iterations") != 0:
+            fail("repeat job %s ran %d CEGIS iterations despite "
+                 "cache hits" % (rid, r["iterations"]))
+        if holes != cold["holes"]:
+            fail("repeat job %s holes differ from cold job %s:\n"
+                 "cold:   %s\nrepeat: %s"
+                 % (rid, cold.get("id"),
+                    json.dumps(cold["holes"], sort_keys=True),
+                    json.dumps(holes, sort_keys=True)))
+
+    if repeats == 0:
+        fail("jobs file has no duplicate designs; the smoke needs "
+             "deliberate repeats to exercise the cache")
+    print("OK: %d jobs (%d cache-hit repeats, %d designs), repeated "
+          "holes bit-identical"
+          % (len(results), repeats, len(first_by_design)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -246,6 +246,32 @@ def check_proof_coverage(doc):
              "proofs were checked but no steps were counted")
 
 
+def check_serve_stats(doc):
+    """A serve batch run books the full serve counter family. The
+    cache must balance: every per-instruction query is exactly one
+    hit or one miss, and every miss that synthesized OK inserted."""
+    counters = doc["counters"]
+    for name in ("serve.requests", "serve.instr_queries",
+                 "serve.cache.hits", "serve.cache.misses",
+                 "serve.cache.bytes", "serve.cache.insertions",
+                 "serve.cache.evictions", "serve.sessions.created",
+                 "serve.sessions.reused", "serve.spans_abandoned",
+                 "serve.queue.rejected"):
+        if name not in counters:
+            fail("$/counters", "serve run missing counter %r" % name)
+    hits = counters["serve.cache.hits"]
+    misses = counters["serve.cache.misses"]
+    queries = counters["serve.instr_queries"]
+    if hits + misses != queries:
+        fail("$/counters",
+             "cache accounting broken: hits %d + misses %d != "
+             "serve.instr_queries %d" % (hits, misses, queries))
+    if counters["serve.cache.insertions"] > misses:
+        fail("$/counters/serve.cache.insertions",
+             "more insertions (%d) than misses (%d)"
+             % (counters["serve.cache.insertions"], misses))
+
+
 def check_query_histograms(doc):
     """A v2 synthesis run records the per-query histograms: one
     smt.query_ns / smt.query_conflicts sample per SMT check, one
@@ -318,14 +344,38 @@ def main():
                       "lint.cnf", "lint.netlist"],
                      ["lint.runs"],
                      []))
+        # A serve batch with a deliberate duplicate: the repeat job
+        # must be answered from the content-addressed cache (nonzero
+        # hits AND misses), every request gets its own serve.request
+        # span, and the counter accounting balances.
+        runs.append((["serve", "--batch", "@JOBS"],
+                     ["serve.request", "cegis"],
+                     ["serve.requests", "serve.instr_queries",
+                      "serve.cache.hits", "serve.cache.misses",
+                      "serve.cache.insertions",
+                      "serve.sessions.created"],
+                     [check_serve_stats]))
     elif args.file:
         runs.append((None, [], [], []))
     else:
         ap.error("need a FILE or --owl")
 
+    jobs_file = None
     for owl_args, run_spans, run_nonzero, extra_checks in runs:
         cleanup = None
         if owl_args is not None:
+            if "@JOBS" in owl_args:
+                if jobs_file is None:
+                    fd, jobs_file = tempfile.mkstemp(
+                        prefix="owl_serve_jobs_", suffix=".json")
+                    with os.fdopen(fd, "w") as f:
+                        json.dump({"jobs": [
+                            {"id": "first", "design": "accumulator"},
+                            {"id": "repeat", "design": "accumulator"},
+                            {"id": "other", "design": "alu-machine"},
+                        ]}, f)
+                owl_args = [jobs_file if a == "@JOBS" else a
+                            for a in owl_args]
             path = run_owl(args.owl, owl_args)
             cleanup = path
             what = "%s %s" % (args.owl, " ".join(owl_args))
@@ -357,6 +407,8 @@ def main():
         else:
             print("OK: %s conforms to %s (%d runs)"
                   % (what, doc["schema"], len(doc["runs"])))
+    if jobs_file and os.path.exists(jobs_file):
+        os.unlink(jobs_file)
     return 0
 
 

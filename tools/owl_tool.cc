@@ -38,6 +38,14 @@
  *       design's four IRs — Oyster sketch, SMT term DAG, bit-blasted
  *       CNF, and hole-stubbed netlist — and print every diagnostic.
  *       Exit status 1 if any error-severity finding exists.
+ *   owl serve --batch jobs.json [--results out.json]
+ *             [--listen sock] [--sessions n] [--queue-cap n]
+ *             [--cache-mb m] [--budget s]
+ *       Synthesis as a long-lived service (DESIGN.md §11): a bounded
+ *       request queue feeding N concurrent sessions, a
+ *       content-addressed cross-request result cache, and a warm
+ *       solver pool. Batch mode replays a jobs file and exits; socket
+ *       mode serves NDJSON requests on a unix socket.
  *
  * `owl synth --check-proofs` additionally records a DRAT proof for
  * every UNSAT SAT verdict and replays it through the independent
@@ -53,8 +61,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <functional>
-#include <map>
+#include <sstream>
 #include <string>
 
 #include "core/absfunc_parser.h"
@@ -62,14 +69,11 @@
 #include "lint/lint.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
-#include "designs/accumulator.h"
-#include "designs/aes_accelerator.h"
-#include "designs/alu_machine.h"
-#include "designs/crypto_core.h"
-#include "designs/riscv_single_cycle.h"
-#include "designs/riscv_two_stage.h"
+#include "designs/registry.h"
 #include "oyster/printer.h"
 #include "oyster/verilog.h"
+#include "serve/server.h"
+#include "serve/socket.h"
 
 using namespace owl;
 using namespace owl::designs;
@@ -78,47 +82,20 @@ using namespace owl::synth;
 namespace
 {
 
-using Maker = std::function<CaseStudy()>;
-
-const std::map<std::string, Maker> &
-registry()
-{
-    static const std::map<std::string, Maker> r = {
-        {"accumulator", [] { return makeAccumulator(); }},
-        {"alu-machine", [] { return makeAluMachine(); }},
-        {"rv32i",
-         [] { return makeRiscvSingleCycle(RiscvVariant::RV32I); }},
-        {"rv32i-zbkb",
-         [] {
-             return makeRiscvSingleCycle(RiscvVariant::RV32I_Zbkb);
-         }},
-        {"rv32i-zbkc",
-         [] {
-             return makeRiscvSingleCycle(RiscvVariant::RV32I_Zbkc);
-         }},
-        {"rv32i-2stage",
-         [] { return makeRiscvTwoStage(RiscvVariant::RV32I); }},
-        {"rv32i-zbkb-2stage",
-         [] { return makeRiscvTwoStage(RiscvVariant::RV32I_Zbkb); }},
-        {"rv32i-zbkc-2stage",
-         [] { return makeRiscvTwoStage(RiscvVariant::RV32I_Zbkc); }},
-        {"crypto-core", [] { return makeCryptoCore(); }},
-        {"aes", [] { return makeAesAccelerator(); }},
-    };
-    return r;
-}
-
 int
 usage()
 {
     fprintf(stderr,
             "usage: owl <command> [<design>] [options]\n"
             "commands: list | sketch | alpha | synth | control | "
-            "verify | lint\n"
+            "verify | lint | serve\n"
             "options (synth): --mono, --jobs <n> (or OWL_JOBS), "
             "--portfolio <k>, --budget <seconds>, --check-proofs, "
             "--no-incremental, --profile-sat, -o <file.v>\n"
             "options (lint): --cycles <k>  symbolic-evaluation depth\n"
+            "options (serve): --batch <jobs.json>, --results "
+            "<out.json>, --listen <socket>, --sessions <n>, "
+            "--queue-cap <n>, --cache-mb <m>, --budget <seconds>\n"
             "options (any): --stats-json <file.json>  export "
             "owl::obs spans+counters+histograms\n"
             "               --trace-out <file.json>  export a Chrome "
@@ -130,13 +107,141 @@ usage()
 CaseStudy
 make(const std::string &name)
 {
-    auto it = registry().find(name);
-    if (it == registry().end()) {
+    auto cs = makeCaseStudy(name);
+    if (!cs) {
         fprintf(stderr, "unknown design '%s'; try `owl list`\n",
                 name.c_str());
         exit(2);
     }
-    return it->second();
+    return std::move(*cs);
+}
+
+/**
+ * `owl serve` — the long-lived service front ends. Batch mode reads a
+ * jobs file, runs every job through the server (queue, cache, warm
+ * pool), and prints one JSON document with the results in input
+ * order; exit 0 iff every job succeeded. Socket mode serves NDJSON
+ * requests at --listen until a shutdown command. Both can be combined
+ * (batch first, then listen).
+ */
+int
+cmdServe(int argc, char **argv)
+{
+    serve::ServerOptions sopts;
+    std::string batch_path, results_path, listen_path, stats_json;
+    for (int i = 2; i < argc; i++) {
+        if (!strcmp(argv[i], "--batch") && i + 1 < argc) {
+            batch_path = argv[++i];
+        } else if (!strcmp(argv[i], "--results") && i + 1 < argc) {
+            results_path = argv[++i];
+        } else if (!strcmp(argv[i], "--listen") && i + 1 < argc) {
+            listen_path = argv[++i];
+        } else if (!strcmp(argv[i], "--sessions") && i + 1 < argc) {
+            sopts.sessions = atoi(argv[++i]);
+        } else if (!strcmp(argv[i], "--queue-cap") && i + 1 < argc) {
+            sopts.queueCap = static_cast<size_t>(atol(argv[++i]));
+        } else if (!strcmp(argv[i], "--cache-mb") && i + 1 < argc) {
+            sopts.cacheBytes =
+                static_cast<size_t>(atol(argv[++i])) << 20;
+        } else if (!strcmp(argv[i], "--budget") && i + 1 < argc) {
+            sopts.defaultBudgetMs = atol(argv[++i]) * 1000;
+        } else if (!strcmp(argv[i], "--stats-json") && i + 1 < argc) {
+            stats_json = argv[++i];
+        } else {
+            return usage();
+        }
+    }
+    if (batch_path.empty() && listen_path.empty()) {
+        fprintf(stderr,
+                "owl serve: need --batch <jobs.json> and/or "
+                "--listen <socket>\n");
+        return 2;
+    }
+
+    auto write_stats = [&]() {
+        if (stats_json.empty())
+            return;
+        if (!obs::Registry::instance().writeJsonFile(
+                stats_json,
+                {{"tool", "owl"}, {"command", "serve"}}))
+            fprintf(stderr, "[owl] failed to write stats to %s\n",
+                    stats_json.c_str());
+    };
+
+    serve::Server server(sopts);
+    int rc = 0;
+
+    if (!batch_path.empty()) {
+        std::ifstream f(batch_path);
+        if (!f) {
+            fprintf(stderr, "owl serve: cannot read %s\n",
+                    batch_path.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << f.rdbuf();
+        std::vector<serve::JobRequest> jobs;
+        std::string err;
+        if (!serve::parseJobsFile(text.str(), jobs, err)) {
+            fprintf(stderr, "owl serve: %s: %s\n", batch_path.c_str(),
+                    err.c_str());
+            return 2;
+        }
+        fprintf(stderr,
+                "[owl] serve: %zu jobs, %d session(s), cache %zu "
+                "MiB\n",
+                jobs.size(), server.options().sessions,
+                server.options().cacheBytes >> 20);
+        std::vector<serve::JobResult> results =
+            server.runBatch(std::move(jobs));
+
+        obs::json::Value doc = obs::json::Value::object();
+        obs::json::Value arr = obs::json::Value::array();
+        for (const serve::JobResult &r : results) {
+            if (!r.ok())
+                rc = 1;
+            fprintf(stderr,
+                    "[owl] serve: %s %s in %.3f s (cache %llu/%llu, "
+                    "sessions %llu warm)\n",
+                    r.design.c_str(), r.status.c_str(), r.seconds,
+                    static_cast<unsigned long long>(r.cacheHits),
+                    static_cast<unsigned long long>(r.cacheHits +
+                                                    r.cacheMisses),
+                    static_cast<unsigned long long>(r.sessionsReused));
+            arr.push(serve::resultToJson(r));
+        }
+        doc.set("schema", std::string("owl.serve.v1"));
+        doc.set("results", std::move(arr));
+        std::string out = doc.dump(2) + "\n";
+        if (results_path.empty()) {
+            fputs(out.c_str(), stdout);
+        } else {
+            std::ofstream rf(results_path);
+            rf << out;
+            if (!rf) {
+                fprintf(stderr, "owl serve: cannot write %s\n",
+                        results_path.c_str());
+                rc = 2;
+            } else {
+                fprintf(stderr, "[owl] serve: wrote %s\n",
+                        results_path.c_str());
+            }
+        }
+    }
+
+    if (!listen_path.empty() && rc == 0) {
+        fprintf(stderr, "[owl] serve: listening on %s\n",
+                listen_path.c_str());
+        std::string err;
+        if (!serve::serveSocket(server, listen_path, &err)) {
+            fprintf(stderr, "owl serve: %s\n", err.c_str());
+            rc = 1;
+        }
+    }
+
+    server.shutdown();
+    write_stats();
+    return rc;
 }
 
 } // namespace
@@ -149,10 +254,12 @@ main(int argc, char **argv)
     std::string cmd = argv[1];
 
     if (cmd == "list") {
-        for (const auto &[name, maker] : registry())
+        for (const std::string &name : caseStudyNames())
             printf("%s\n", name.c_str());
         return 0;
     }
+    if (cmd == "serve")
+        return cmdServe(argc, argv);
     if (argc < 3)
         return usage();
     std::string design = argv[2];
